@@ -1,0 +1,463 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (Section 6) at a laptop scale, one testing.B benchmark per
+// figure. Each benchmark reports the headline series as custom metrics
+// (million operations per virtual second); run the cmd/montage-bench
+// tool for the full tables at larger scales.
+//
+//	go test -bench=. -benchmem
+package montage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"montage/internal/bench"
+	"montage/internal/mindicator"
+	"montage/internal/simclock"
+)
+
+// benchScale is the configuration used by the go test benchmarks: small
+// enough to finish in seconds per figure, large enough that the relative
+// shapes survive.
+func benchScale() bench.Scale {
+	s := bench.QuickScale()
+	s.Threads = []int{1, 8, 40}
+	s.OpsPerThread = 500
+	return s
+}
+
+// reportSeries publishes selected (series, threads) cells as benchmark
+// metrics.
+func reportSeries(b *testing.B, rs []bench.Result, series []string, x float64) {
+	b.Helper()
+	for _, s := range series {
+		for _, r := range rs {
+			if r.Series == s && r.X == x {
+				name := strings.ReplaceAll(s, " ", "-")
+				unit := fmt.Sprintf("Mops/s(%s@%g)", name, x)
+				if r.Unit == "seconds" {
+					unit = fmt.Sprintf("sec(%s@%g)", name, x)
+				}
+				b.ReportMetric(r.Mops, unit)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4_DesignHashmap regenerates Figure 4: the design-space
+// exploration (write-back buffer size, reclamation placement, epoch
+// length) on a write-dominant hashmap.
+func BenchmarkFig4_DesignHashmap(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig4Design(scale, []int64{100_000, 10_000_000, 1_000_000_000}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"Buf=2", "Buf=64", "DirWB", "Montage(T)"}, 10_000_000)
+		}
+	}
+}
+
+// BenchmarkFig5_DesignQueue regenerates Figure 5: the same exploration
+// on a single-threaded queue.
+func BenchmarkFig5_DesignQueue(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig5Design(scale, []int64{100_000, 10_000_000, 1_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"Buf=2", "Buf=64", "DirWB", "Montage(T)"}, 10_000_000)
+		}
+	}
+}
+
+// BenchmarkFig6_Queues regenerates Figure 6: queue throughput across all
+// nine systems and the thread sweep.
+func BenchmarkFig6_Queues(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig6Queues(scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"DRAM(T)", "Montage", "Friedman", "Mnemosyne"}, 8)
+		}
+	}
+}
+
+// BenchmarkFig7a_MapWrite regenerates Figure 7a: hashmap throughput,
+// write-dominant 0:1:1 get:insert:remove.
+func BenchmarkFig7a_MapWrite(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig7Maps(scale, nil, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"DRAM(T)", "Montage", "SOFT", "Dali", "Mnemosyne"}, 40)
+		}
+	}
+}
+
+// BenchmarkFig7b_MapRead regenerates Figure 7b: hashmap throughput,
+// read-dominant 18:1:1.
+func BenchmarkFig7b_MapRead(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig7Maps(scale, nil, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"DRAM(T)", "Montage", "SOFT", "Dali"}, 40)
+		}
+	}
+}
+
+// BenchmarkFig8a_QueuePayload regenerates Figure 8a: single-threaded
+// queue throughput across payload sizes 16B-4KB.
+func BenchmarkFig8a_QueuePayload(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig8Payload(scale, nil, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"Montage", "Friedman"}, 4096)
+		}
+	}
+}
+
+// BenchmarkFig8b_MapPayload regenerates Figure 8b: single-threaded
+// hashmap (2:1:1) across payload sizes.
+func BenchmarkFig8b_MapPayload(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig8Payload(scale, nil, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"Montage", "SOFT"}, 4096)
+		}
+	}
+}
+
+// BenchmarkFig9_SyncFrequency regenerates Figure 9: hashmap throughput
+// with a sync every 1..100000 operations, Montage (cb) vs (dw).
+func BenchmarkFig9_SyncFrequency(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig9Sync(scale, 8, []int{1, 100, 10_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"Montage(cb)", "Montage(dw)"}, 1)
+			reportSeries(b, rs, []string{"Montage(cb)", "Montage(dw)"}, 10_000)
+		}
+	}
+}
+
+// BenchmarkFig10_Memcached regenerates Figure 10: the memcached-style
+// store on YCSB-A.
+func BenchmarkFig10_Memcached(b *testing.B) {
+	scale := benchScale()
+	scale.KeyRange = 5000
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig10Memcached(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"DRAM(T)", "Montage(T)", "Montage"}, 8)
+		}
+	}
+}
+
+// BenchmarkFig11_Graph regenerates Figure 11: the graph microbenchmark
+// at 4:1 and 499:1 edge:vertex operation ratios.
+func BenchmarkFig11_Graph(b *testing.B) {
+	scale := benchScale()
+	scale.OpsPerThread = 300
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig11Graph(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"DRAM(T)", "Montage"}, 8)
+		}
+	}
+}
+
+// BenchmarkFig12_GraphRecovery regenerates Figure 12: rebuilding a large
+// graph from a crashed Montage image vs constructing it from partitioned
+// adjacency files.
+func BenchmarkFig12_GraphRecovery(b *testing.B) {
+	scale := benchScale()
+	scale.Threads = []int{1, 8}
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.Fig12Recovery(scale, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"DRAM(T) construct", "Montage recover"}, 8)
+		}
+	}
+}
+
+// BenchmarkRecoveryHashmap regenerates the Section 6.4 measurement:
+// hashmap recovery time vs data size with 1 and 8 recovery threads.
+func BenchmarkRecoveryHashmap(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.RecoveryHashmap(scale, []int{4096, 16384}, []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, rs, []string{"1 threads", "8 threads"}, 16384)
+		}
+	}
+}
+
+// BenchmarkAblationBufferSize isolates design question 4 of Section 5.2:
+// the effect of the per-thread write-back buffer size at a fixed epoch
+// length.
+func BenchmarkAblationBufferSize(b *testing.B) {
+	scale := benchScale()
+	for _, buf := range []int{2, 16, 64, 256} {
+		b.Run(fmt.Sprintf("buf=%d", buf), func(b *testing.B) {
+			s := scale
+			s.BufferSize = buf
+			for i := 0; i < b.N; i++ {
+				rs, err := bench.Fig7Maps(s, []string{"Montage"}, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					reportSeries(b, rs, []string{"Montage"}, 8)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEpochTrigger compares the three ways Section 5.2
+// suggests an epoch could be measured — elapsed time, operations
+// performed, or payloads written — at roughly equivalent advance rates.
+func BenchmarkAblationEpochTrigger(b *testing.B) {
+	run := func(b *testing.B, ecfg EpochConfig) {
+		costs := simclock.DefaultCosts()
+		sys, err := NewSystem(Config{ArenaSize: 128 << 20, MaxThreads: 2, Costs: &costs, Epoch: ecfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sys.Close()
+		m := NewHashMap(sys, 8192)
+		val := make([]byte, 256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := fmt.Sprintf("k%d", i%2048)
+			if i%2 == 0 {
+				if _, err := m.Insert(0, key, val); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := m.Remove(0, key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(sys.Epochs().Advances()), "advances")
+		b.ReportMetric(float64(sys.Clock().Now(0))/float64(b.N), "vns/op")
+	}
+	b.Run("time-10ms", func(b *testing.B) { run(b, EpochConfig{EpochLengthV: 10_000_000}) })
+	b.Run("ops-20000", func(b *testing.B) { run(b, EpochConfig{EpochOps: 20_000}) })
+	b.Run("payloads-20000", func(b *testing.B) { run(b, EpochConfig{EpochPayloads: 20_000}) })
+}
+
+// BenchmarkAblationSyncMindicator measures the system-level effect of
+// the mindicator: a sync-heavy hashmap workload with the boundary
+// fast-path enabled vs disabled (always scanning all thread containers).
+func BenchmarkAblationSyncMindicator(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		costs := simclock.DefaultCosts()
+		sys, err := NewSystem(Config{
+			ArenaSize: 64 << 20, MaxThreads: 4, Costs: &costs,
+			Epoch: EpochConfig{DisableMindicator: disable},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sys.Close()
+		m := NewHashMap(sys, 4096)
+		val := make([]byte, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Put(0, fmt.Sprintf("k%d", i%512), val); err != nil {
+				b.Fatal(err)
+			}
+			if i%8 == 7 {
+				sys.Sync(0)
+			}
+		}
+		b.ReportMetric(float64(sys.Clock().Now(0))/float64(b.N), "vns/op")
+	}
+	b.Run("mindicator", func(b *testing.B) { run(b, false) })
+	b.Run("scan-always", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationMindicator compares the mindicator's tree against a
+// naive linear scan for tracking the minimum of per-thread epochs — the
+// structure Section 5 adopts from Liu et al. for sync support.
+func BenchmarkAblationMindicator(b *testing.B) {
+	const threads = 64
+	b.Run("mindicator", func(b *testing.B) {
+		m := mindicator.New(threads)
+		for i := 0; i < b.N; i++ {
+			tid := i % threads
+			m.Set(tid, int64(i))
+			if i%8 == 0 {
+				_ = m.Min()
+			}
+		}
+	})
+	b.Run("naive-scan", func(b *testing.B) {
+		vals := make([]int64, threads)
+		for i := 0; i < b.N; i++ {
+			tid := i % threads
+			vals[tid] = int64(i)
+			if i%8 == 0 {
+				min := int64(1<<63 - 1)
+				for _, v := range vals {
+					if v < min {
+						min = v
+					}
+				}
+				_ = min
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLockFree compares the lock-based Montage structures
+// against their nonblocking counterparts built on CASVerify
+// (Section 3.3).
+func BenchmarkAblationLockFree(b *testing.B) {
+	mk := func() *System {
+		costs := simclock.DefaultCosts()
+		sys, err := NewSystem(Config{ArenaSize: 64 << 20, MaxThreads: 1, Costs: &costs,
+			Epoch: EpochConfig{EpochLengthV: 10_000_000}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	val := make([]byte, 64)
+	b.Run("queue-lock", func(b *testing.B) {
+		sys := mk()
+		defer sys.Close()
+		q := NewQueue(sys)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := q.Enqueue(0, val); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := q.Dequeue(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("queue-lockfree", func(b *testing.B) {
+		sys := mk()
+		defer sys.Close()
+		q := NewLFQueue(sys)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := q.Enqueue(0, val); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := q.Dequeue(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("set-lock", func(b *testing.B) {
+		sys := mk()
+		defer sys.Close()
+		m := NewHashMap(sys, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Insert(0, fmt.Sprintf("k%d", i%1000), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("set-lockfree", func(b *testing.B) {
+		sys := mk()
+		defer sys.Close()
+		m := NewLFSet(sys)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Insert(0, fmt.Sprintf("k%d", i%1000), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCoreOps measures raw core-API operation costs (wall time, not
+// virtual time): payload creation, in-place update, cross-epoch copy.
+func BenchmarkCoreOps(b *testing.B) {
+	sys, err := NewSystem(Config{ArenaSize: 256 << 20, MaxThreads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 256)
+	b.Run("pnew-pdelete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := sys.DoOp(0, func(op Op) error {
+				p, err := op.PNew(data)
+				if err != nil {
+					return err
+				}
+				return op.PDelete(p)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("set-in-place", func(b *testing.B) {
+		var p *PBlk
+		sys.DoOp(0, func(op Op) error {
+			p, _ = op.PNew(data)
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := sys.DoOp(0, func(op Op) error {
+				np, err := op.Set(p, data)
+				p = np
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i%1024 == 1023 {
+				sys.Advance() // exercise the copying path periodically
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+// Command montage-kv is an interactive key-value shell over a persistent
+// Montage store, demonstrating the full lifecycle on one device image:
+// buffered updates, explicit sync, simulated crashes, recovery, and
+// reopening a pool image across process runs.
+//
+// Usage:
+//
+//	montage-kv                # fresh in-memory pool
+//	montage-kv -pool pool.img # reopen (or create) a pool image
+//
+// Commands:
+//
+//	set <key> <value>        store (buffered; durable within two epochs)
+//	setttl <key> <sec> <val> store with expiry
+//	get <key>                look up
+//	del <key>                delete
+//	keys                     list keys
+//	sync                     force durability now (like fsync)
+//	crash                    power failure: lose unsynced work, recover
+//	stats                    hit/miss/set counters
+//	save                     write the pool image (requires -pool)
+//	quit                     save (if -pool) and exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"montage"
+	"montage/internal/kvstore"
+	"montage/internal/pds"
+	"montage/internal/pmem"
+)
+
+const buckets = 4096
+
+func main() {
+	pool := flag.String("pool", "", "pool image path (empty: in-memory only)")
+	arena := flag.Int("arena", 64<<20, "arena size in bytes")
+	flag.Parse()
+
+	cfg := montage.Config{
+		ArenaSize:  *arena,
+		MaxThreads: 1,
+		Epoch:      montage.EpochConfig{EpochLength: montage.DefaultEpochLength},
+	}
+
+	var sys *montage.System
+	var store *kvstore.Store
+	if *pool != "" {
+		if dev, err := pmem.NewDeviceFromFile(*pool, 1, nil); err == nil {
+			s2, chunks, rerr := montage.RecoverParallel(dev, cfg, 1)
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "recover %s: %v\n", *pool, rerr)
+				os.Exit(1)
+			}
+			st, rerr := kvstore.RecoverMontageStore(s2, buckets, chunks, 0)
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "rebuild: %v\n", rerr)
+				os.Exit(1)
+			}
+			sys, store = s2, st
+			fmt.Printf("reopened pool %s\n", *pool)
+		}
+	}
+	if sys == nil {
+		var err error
+		sys, err = montage.NewSystem(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store = kvstore.New(kvstore.NewMontageBackend(pds.NewHashMap(sys, buckets)), 0)
+		fmt.Println("created fresh pool")
+	}
+
+	save := func() {
+		if *pool == "" {
+			fmt.Println("no -pool path; nothing saved")
+			return
+		}
+		sys.Sync(0)
+		if err := sys.Device().Save(*pool); err != nil {
+			fmt.Println("save failed:", err)
+			return
+		}
+		fmt.Printf("pool saved to %s\n", *pool)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for in.Scan() {
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "set":
+			if len(fields) < 3 {
+				fmt.Println("usage: set <key> <value>")
+				break
+			}
+			if err := store.Set(0, fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("OK (buffered; sync to force durability)")
+			}
+		case "setttl":
+			if len(fields) < 4 {
+				fmt.Println("usage: setttl <key> <seconds> <value>")
+				break
+			}
+			secs, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Println("bad ttl:", err)
+				break
+			}
+			if err := store.SetTTL(0, fields[1], []byte(strings.Join(fields[3:], " ")), time.Duration(secs)*time.Second); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("OK")
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				break
+			}
+			if v, ok := store.Get(0, fields[1]); ok {
+				fmt.Printf("%q\n", v)
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				break
+			}
+			ok, err := store.Delete(0, fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if ok {
+				fmt.Println("deleted")
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "keys":
+			keys := storeKeys(store)
+			if len(keys) == 0 {
+				fmt.Println("(empty)")
+			} else {
+				fmt.Println(strings.Join(keys, "\n"))
+			}
+		case "sync":
+			start := time.Now()
+			sys.Sync(0)
+			fmt.Printf("synced in %v\n", time.Since(start))
+		case "crash":
+			fmt.Println("simulating power failure...")
+			sys.Device().Crash(montage.CrashDropAll)
+			s2, chunks, err := montage.RecoverParallel(sys.Device(), cfg, 1)
+			if err != nil {
+				fmt.Println("recovery failed:", err)
+				break
+			}
+			st, err := kvstore.RecoverMontageStore(s2, buckets, chunks, 0)
+			if err != nil {
+				fmt.Println("rebuild failed:", err)
+				break
+			}
+			// The pre-crash System must simply be dropped, never Closed:
+			// closing it would flush its stale pre-crash buffers onto
+			// blocks the recovered system may have reallocated.
+			sys, store = s2, st
+			fmt.Printf("recovered; %d keys survive\n", len(storeKeys(store)))
+		case "stats":
+			st := store.Stats()
+			fmt.Printf("hits=%d misses=%d sets=%d deletes=%d expirations=%d\n",
+				st.Hits.Load(), st.Misses.Load(), st.Sets.Load(), st.Deletes.Load(), st.Expirations.Load())
+		case "save":
+			save()
+		case "quit", "exit":
+			save()
+			sys.Close()
+			return
+		default:
+			fmt.Println("commands: set setttl get del keys sync crash stats save quit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+// storeKeys lists the store's keys via its backend snapshot.
+func storeKeys(s *kvstore.Store) []string {
+	keys := s.Keys(0)
+	sort.Strings(keys)
+	return keys
+}

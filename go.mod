@@ -1,0 +1,3 @@
+module montage
+
+go 1.22

@@ -1,0 +1,447 @@
+package baselines
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"montage/internal/simclock"
+)
+
+func newEnv(t *testing.T) *Env {
+	t.Helper()
+	costs := simclock.DefaultCosts()
+	env, err := NewEnv(1<<24, 8, &costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// benchQueue is the common queue surface.
+type benchQueue interface {
+	Enqueue(tid int, val []byte) error
+	Dequeue(tid int) ([]byte, bool, error)
+	Len() int
+}
+
+// benchMap is the common map surface.
+type benchMap interface {
+	Get(tid int, key string) ([]byte, bool)
+	Insert(tid int, key string, val []byte) (bool, error)
+	Remove(tid int, key string) (bool, error)
+	Len() int
+}
+
+func allQueues(t *testing.T, env *Env) map[string]benchQueue {
+	t.Helper()
+	fq, err := NewFriedmanQueue(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := NewMODQueue(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pqs, err := NewProntoQueue(env, ProntoSync, 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pqf, err := NewProntoQueue(env, ProntoFull, 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq, err := NewMnemosyneQueue(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]benchQueue{
+		"dram":        NewTransientQueue(env, DRAM),
+		"nvm":         NewTransientQueue(env, NVM),
+		"friedman":    fq,
+		"mod":         mq,
+		"pronto-sync": pqs,
+		"pronto-full": pqf,
+		"mnemosyne":   nq,
+	}
+}
+
+func allMaps(t *testing.T, env *Env) map[string]benchMap {
+	t.Helper()
+	dm, err := NewDaliMap(env, 64, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := NewMODMap(env, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewProntoMap(env, ProntoSync, 8, 64, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := NewProntoMap(env, ProntoFull, 8, 64, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := NewMnemosyneMap(env, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]benchMap{
+		"dram":        NewTransientMap(env, DRAM, 64),
+		"nvm":         NewTransientMap(env, NVM, 64),
+		"soft":        NewSoftMap(env, 64),
+		"nvtraverse":  NewNVTraverseMap(env, 64),
+		"dali":        dm,
+		"mod":         mm,
+		"pronto-sync": pm,
+		"pronto-full": pf,
+		"mnemosyne":   nm,
+	}
+}
+
+func TestAllQueuesFIFO(t *testing.T) {
+	for name, q := range allQueues(t, newEnv(t)) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 50; i++ {
+				if err := q.Enqueue(0, []byte(fmt.Sprintf("v%02d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if q.Len() != 50 {
+				t.Fatalf("Len = %d", q.Len())
+			}
+			for i := 0; i < 50; i++ {
+				v, ok, err := q.Dequeue(0)
+				if err != nil || !ok || string(v) != fmt.Sprintf("v%02d", i) {
+					t.Fatalf("Dequeue %d = %q ok=%v err=%v", i, v, ok, err)
+				}
+			}
+			if _, ok, _ := q.Dequeue(0); ok {
+				t.Fatal("empty dequeue ok")
+			}
+		})
+	}
+}
+
+func TestAllMapsMatchModel(t *testing.T) {
+	for name, m := range allMaps(t, newEnv(t)) {
+		t.Run(name, func(t *testing.T) {
+			model := map[string][]byte{}
+			r := rand.New(rand.NewSource(11))
+			for i := 0; i < 1500; i++ {
+				key := fmt.Sprintf("k%02d", r.Intn(50))
+				switch r.Intn(3) {
+				case 0:
+					val := []byte(fmt.Sprintf("v%d", i))
+					ins, err := m.Insert(0, key, val)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, present := model[key]
+					if ins == present {
+						t.Fatalf("Insert(%q)=%v, model present=%v", key, ins, present)
+					}
+					if ins {
+						model[key] = val
+					}
+				case 1:
+					rm, err := m.Remove(0, key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, present := model[key]
+					if rm != present {
+						t.Fatalf("Remove(%q)=%v, model present=%v", key, rm, present)
+					}
+					delete(model, key)
+				default:
+					v, ok := m.Get(0, key)
+					mv, mok := model[key]
+					if ok != mok || (ok && !bytes.Equal(v, mv)) {
+						t.Fatalf("Get(%q)=%q,%v model=%q,%v", key, v, ok, mv, mok)
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("Len=%d model=%d", m.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestQueuesConcurrent(t *testing.T) {
+	env := newEnv(t)
+	for name, q := range allQueues(t, env) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for tid := 0; tid < 4; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						if err := q.Enqueue(tid, []byte{byte(tid), byte(i)}); err != nil {
+							t.Error(err)
+							return
+						}
+						if i%2 == 1 {
+							if _, _, err := q.Dequeue(tid); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			if q.Len() != 200 {
+				t.Fatalf("Len = %d, want 200", q.Len())
+			}
+		})
+	}
+}
+
+func TestStrictSystemsPersistPerOp(t *testing.T) {
+	// Strictly durable systems must leave no staged writes after an
+	// operation returns: everything is fenced on the critical path.
+	env := newEnv(t)
+	fq, _ := NewFriedmanQueue(env)
+	if err := fq.Enqueue(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if env.Dev.PendingWrites(0) != 0 {
+		t.Fatal("friedman enqueue left staged writes")
+	}
+	sm := NewSoftMap(env, 8)
+	sm.Insert(0, "k", []byte("v"))
+	if env.Dev.PendingWrites(0) != 0 {
+		t.Fatal("SOFT insert left staged writes")
+	}
+	nm := NewNVTraverseMap(env, 8)
+	nm.Insert(0, "k", []byte("v"))
+	nm.Get(0, "k")
+	if env.Dev.PendingWrites(0) != 0 {
+		t.Fatal("NVTraverse ops left staged writes")
+	}
+	mq, _ := NewMODQueue(env)
+	mq.Enqueue(0, []byte("x"))
+	if env.Dev.PendingWrites(0) != 0 {
+		t.Fatal("MOD enqueue left staged writes")
+	}
+}
+
+func TestBufferedSystemsDeferPersistence(t *testing.T) {
+	// Dalí is buffered: updates must not fence inline; the periodic flush
+	// drains them.
+	env := newEnv(t)
+	dm, err := NewDaliMap(env, 8, 1<<60) // effectively never flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.Clk.Now(0)
+	dm.Insert(0, "k", []byte("v"))
+	if env.Dev.PendingWrites(0) != 0 {
+		t.Fatal("Dalí staged a write-back inline")
+	}
+	_ = before
+}
+
+func TestDaliFlushDrains(t *testing.T) {
+	env := newEnv(t)
+	dm, err := NewDaliMap(env, 8, 1) // flush on every boundary check
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm.Insert(0, "a", []byte("1"))
+	dm.Insert(0, "b", []byte("2"))
+	// maybeFlush ran inside Insert; all records should be durable and
+	// nothing staged.
+	if env.Dev.PendingWrites(0) != 0 {
+		t.Fatal("Dalí flush left staged writes")
+	}
+}
+
+func TestDaliCompact(t *testing.T) {
+	env := newEnv(t)
+	dm, err := NewDaliMap(env, 4, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm.Insert(0, "k", []byte("1"))
+	dm.Remove(0, "k")
+	dm.Insert(0, "k", []byte("2"))
+	dm.Compact(0)
+	if v, ok := dm.Get(0, "k"); !ok || string(v) != "2" {
+		t.Fatalf("after compact Get = %q %v", v, ok)
+	}
+	if dm.Len() != 1 {
+		t.Fatalf("Len = %d", dm.Len())
+	}
+}
+
+func TestSoftMapNoUpdate(t *testing.T) {
+	env := newEnv(t)
+	sm := NewSoftMap(env, 8)
+	sm.Insert(0, "k", []byte("v1"))
+	if ins, _ := sm.Insert(0, "k", []byte("v2")); ins {
+		t.Fatal("SOFT must not update existing keys")
+	}
+	if v, _ := sm.Get(0, "k"); string(v) != "v1" {
+		t.Fatal("value changed")
+	}
+}
+
+func TestSoftReadsTouchNoNVM(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	costs.NVMReadLine = 1_000_000 // poison NVM reads
+	env, err := NewEnv(1<<22, 2, &costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSoftMap(env, 8)
+	sm.Insert(0, "k", []byte("v"))
+	before := env.Clk.Now(1)
+	sm.Get(1, "k")
+	delta := env.Clk.Now(1) - before
+	if delta >= 1_000_000 {
+		t.Fatalf("SOFT read touched NVM (cost %d)", delta)
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// The whole point of the cost model: for the same op sequence,
+	// strictly durable systems accrue more virtual time than transient
+	// ones, and Mnemosyne more than Friedman-style single-structure
+	// systems.
+	env := newEnv(t)
+	run := func(q benchQueue, tid int) int64 {
+		start := env.Clk.Now(tid)
+		for i := 0; i < 100; i++ {
+			if err := q.Enqueue(tid, bytes.Repeat([]byte{1}, 256)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return env.Clk.Now(tid) - start
+	}
+	dq := NewTransientQueue(env, DRAM)
+	fq, _ := NewFriedmanQueue(env)
+	nq, _ := NewMnemosyneQueue(env)
+	tDram := run(dq, 0)
+	tFried := run(fq, 1)
+	tMnemo := run(nq, 2)
+	if !(tDram < tFried && tFried < tMnemo) {
+		t.Fatalf("cost ordering violated: dram=%d friedman=%d mnemosyne=%d", tDram, tFried, tMnemo)
+	}
+}
+
+func TestProntoFullFasterThanSync(t *testing.T) {
+	env := newEnv(t)
+	qs, _ := NewProntoQueue(env, ProntoSync, 8, 0, 0)
+	qf, _ := NewProntoQueue(env, ProntoFull, 8, 0, 0)
+	val := bytes.Repeat([]byte{7}, 1024)
+	for i := 0; i < 200; i++ {
+		qs.Enqueue(0, val)
+	}
+	for i := 0; i < 200; i++ {
+		qf.Enqueue(1, val)
+	}
+	if env.Clk.Now(1) >= env.Clk.Now(0) {
+		t.Fatalf("pronto-full (%d) not faster than pronto-sync (%d)", env.Clk.Now(1), env.Clk.Now(0))
+	}
+}
+
+func TestProntoCheckpointCharges(t *testing.T) {
+	env := newEnv(t)
+	q, err := NewProntoQueue(env, ProntoSync, 8, 10, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		q.Enqueue(0, []byte("x"))
+	}
+	before := env.Clk.Now(0)
+	q.Enqueue(0, []byte("x")) // 10th op triggers the checkpoint
+	delta := env.Clk.Now(0) - before
+	perOp := before / 9
+	if delta < perOp*3 {
+		t.Fatalf("checkpoint cost not visible: op took %d vs usual %d", delta, perOp)
+	}
+}
+
+func TestMnemosyneMapRemoveMiddle(t *testing.T) {
+	env := newEnv(t)
+	m, err := NewMnemosyneMap(env, 1) // single bucket: chain of 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := m.Insert(0, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rm, err := m.Remove(0, "b"); err != nil || !rm {
+		t.Fatalf("remove middle: %v %v", rm, err)
+	}
+	if _, ok := m.Get(0, "b"); ok {
+		t.Fatal("middle key still present")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := m.Get(0, k); !ok {
+			t.Fatalf("key %q lost", k)
+		}
+	}
+}
+
+func TestDaliFlushPauseStallsOps(t *testing.T) {
+	env := newEnv(t)
+	dm, err := NewDaliMap(env, 8, 1) // flush at every opportunity
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm.Insert(0, "a", make([]byte, 1024))
+	// The insert triggered a flush; a later op on another thread must be
+	// pushed past the flush window.
+	before := env.Clk.Now(1)
+	dm.Get(1, "a")
+	if env.Clk.Now(1) <= before {
+		t.Fatal("no time charged to reader")
+	}
+	if env.Clk.Now(1) < env.Clk.Now(0)/2 {
+		t.Fatalf("reader (%d) not stalled by flush pause (flusher at %d)", env.Clk.Now(1), env.Clk.Now(0))
+	}
+}
+
+func TestTransientQueueNVMFreesBlocks(t *testing.T) {
+	env := newEnv(t)
+	q := NewTransientQueue(env, NVM)
+	live := env.Heap.Live()
+	q.Enqueue(0, []byte("x"))
+	if env.Heap.Live() != live+1 {
+		t.Fatal("NVM enqueue did not allocate")
+	}
+	q.Dequeue(0)
+	if env.Heap.Live() != live {
+		t.Fatal("NVM dequeue did not free")
+	}
+}
+
+func TestProntoMapCheckpoint(t *testing.T) {
+	env := newEnv(t)
+	m, err := NewProntoMap(env, ProntoSync, 4, 64, 5, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Insert(0, fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	before := env.Clk.Now(0)
+	perOp := before / 4
+	m.Insert(0, "trigger", []byte("v")) // 5th logged op -> checkpoint
+	delta := env.Clk.Now(0) - before
+	if delta < perOp*2 {
+		t.Fatalf("map checkpoint cost invisible: %d vs usual %d", delta, perOp)
+	}
+}

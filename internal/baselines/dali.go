@@ -1,0 +1,309 @@
+package baselines
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"montage/internal/pmem"
+	"montage/internal/simclock"
+)
+
+// DaliMap reimplements the Dalí hashmap of Nawab et al. (DISC '17) in
+// the form the Montage authors used for their comparison: buffered
+// durably linearizable, with the to-be-written-back cache lines tracked
+// explicitly in software (the original used a privileged
+// flush-the-whole-cache instruction).
+//
+// Dalí keeps everything in NVM — there is no DRAM index — as per-bucket
+// version lists: an update prepends a record to its bucket with no
+// write-back or fence; a lookup walks the records in NVM. Periodically
+// (Dalí's epoch) some thread flushes every dirty bucket and persists the
+// epoch record. Reads from NVM on every hop are why Dalí trails Montage
+// by 7x on read-heavy workloads despite also being buffered.
+type DaliMap struct {
+	env     *Env
+	buckets []daliBucket
+	mask    uint64
+
+	// tracker serializes the software dirty-line bookkeeping that
+	// replaces the original's privileged whole-cache flush: every update
+	// registers the lines it dirtied in a shared tracking structure.
+	// This global component is why Dalí's throughput stays nearly flat
+	// as threads are added (paper Figures 7a/7b).
+	tracker simclock.Resource
+
+	epochLenV  int64 // virtual ns between flush rounds
+	lastFlushV atomic.Int64
+	flushUntil atomic.Int64 // ops begun during a flush wait for it
+	flushMu    sync.Mutex
+	epochAddr  pmem.Addr
+}
+
+type daliBucket struct {
+	mu    sync.Mutex
+	head  *daliRecord
+	dirty bool
+	addr  pmem.Addr // bucket root pointer's home
+}
+
+// daliRecord is one version record in a bucket's list. Records live in
+// NVM; the Go object mirrors the block for traversal.
+type daliRecord struct {
+	key     string
+	val     []byte
+	deleted bool
+	addr    pmem.Addr
+	next    *daliRecord
+}
+
+// NewDaliMap creates a map with nBuckets buckets flushing about every
+// epochLenV virtual nanoseconds.
+func NewDaliMap(env *Env, nBuckets int, epochLenV int64) (*DaliMap, error) {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	m := &DaliMap{env: env, buckets: make([]daliBucket, n), mask: uint64(n - 1), epochLenV: epochLenV}
+	env.Clk.Register(&m.tracker)
+	addr, err := env.Heap.Alloc(0, 8)
+	if err != nil {
+		return nil, err
+	}
+	m.epochAddr = addr
+	for i := range m.buckets {
+		a, err := env.Heap.Alloc(0, 8)
+		if err != nil {
+			return nil, err
+		}
+		m.buckets[i].addr = a
+	}
+	return m, nil
+}
+
+func (m *DaliMap) bucket(key string) *daliBucket {
+	return &m.buckets[fnv1a(key)&m.mask]
+}
+
+// enterOp stalls an operation that begins while an epoch flush is in
+// progress (the original Dalí's whole-cache flush quiesces everyone).
+func (m *DaliMap) enterOp(tid int) {
+	m.env.Clk.ChargeOp(tid)
+	if until := m.flushUntil.Load(); until > 0 {
+		m.env.Clk.SetAtLeast(tid, until)
+	}
+}
+
+// track charges the serialized dirty-line bookkeeping for an update that
+// dirtied n bytes.
+func (m *DaliMap) track(tid, n int) {
+	costs := m.env.Clk.Costs()
+	service := 200 + simclock.Lines(n)*(costs.DRAMLine*4)
+	m.tracker.Occupy(m.env.Clk, tid, service)
+}
+
+// maybeFlush runs Dalí's epoch flush if the virtual epoch has elapsed:
+// write back every dirty bucket, fence once, persist the epoch record.
+// The cost lands on the unlucky worker that crosses the boundary.
+func (m *DaliMap) maybeFlush(tid int) {
+	if m.env.Clk == nil {
+		return
+	}
+	if m.env.Clk.Now(tid)-m.lastFlushV.Load() < m.epochLenV {
+		return
+	}
+	if !m.flushMu.TryLock() {
+		return
+	}
+	defer m.flushMu.Unlock()
+	if m.env.Clk.Now(tid)-m.lastFlushV.Load() < m.epochLenV {
+		return
+	}
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		if b.dirty {
+			// Write back the version records, then prune superseded
+			// versions (Dalí retains up to three epochs of versions;
+			// with a flush each epoch, pruning at flush time keeps the
+			// same bound).
+			for r := b.head; r != nil; r = r.next {
+				m.env.flush(tid, r.addr, []byte{1})
+			}
+			m.env.flush(tid, b.addr, []byte{1})
+			m.pruneLocked(tid, b)
+			b.dirty = false
+		}
+		b.mu.Unlock()
+	}
+	m.env.fence(tid)
+	m.env.flush(tid, m.epochAddr, []byte{1})
+	m.env.fence(tid)
+	m.lastFlushV.Store(m.env.Clk.Now(tid))
+	m.flushUntil.Store(m.env.Clk.Now(tid))
+}
+
+// pruneLocked compacts a bucket's version list, keeping the newest
+// record per key and dropping tombstones. Caller holds b.mu.
+func (m *DaliMap) pruneLocked(tid int, b *daliBucket) {
+	seen := map[string]bool{}
+	var head, tail *daliRecord
+	for r := b.head; r != nil; r = r.next {
+		if seen[r.key] {
+			m.env.Heap.Free(tid, r.addr)
+			continue
+		}
+		seen[r.key] = true
+		if r.deleted {
+			m.env.Heap.Free(tid, r.addr)
+			continue
+		}
+		nr := &daliRecord{key: r.key, val: r.val, addr: r.addr}
+		if head == nil {
+			head = nr
+		} else {
+			tail.next = nr
+		}
+		tail = nr
+	}
+	b.head = head
+}
+
+// Get walks the bucket's version records in NVM.
+func (m *DaliMap) Get(tid int, key string) ([]byte, bool) {
+	m.enterOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for r := b.head; r != nil; r = r.next {
+		m.env.Clk.ChargeNVMRead(tid, 32) // record header in NVM
+		if r.key == key {
+			if r.deleted {
+				return nil, false
+			}
+			m.env.Clk.ChargeNVMRead(tid, len(r.val))
+			return append([]byte(nil), r.val...), true
+		}
+	}
+	return nil, false
+}
+
+// Insert prepends an insert record if the key is absent. No write-back,
+// no fence: durability arrives with the next epoch flush.
+func (m *DaliMap) Insert(tid int, key string, val []byte) (bool, error) {
+	m.enterOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	present := false
+	for r := b.head; r != nil; r = r.next {
+		m.env.Clk.ChargeNVMRead(tid, 32)
+		if r.key == key {
+			present = !r.deleted
+			break
+		}
+	}
+	if present {
+		b.mu.Unlock()
+		m.maybeFlush(tid)
+		return false, nil
+	}
+	addr, err := m.env.allocWrite(tid, val)
+	if err != nil {
+		b.mu.Unlock()
+		return false, err
+	}
+	b.head = &daliRecord{key: key, val: append([]byte(nil), val...), addr: addr, next: b.head}
+	b.dirty = true
+	b.mu.Unlock()
+	m.track(tid, len(val))
+	m.maybeFlush(tid)
+	return true, nil
+}
+
+// Remove prepends a delete record if the key is present.
+func (m *DaliMap) Remove(tid int, key string) (bool, error) {
+	m.enterOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	present := false
+	for r := b.head; r != nil; r = r.next {
+		m.env.Clk.ChargeNVMRead(tid, 32)
+		if r.key == key {
+			present = !r.deleted
+			break
+		}
+	}
+	if !present {
+		b.mu.Unlock()
+		m.maybeFlush(tid)
+		return false, nil
+	}
+	addr, err := m.env.allocWrite(tid, nil)
+	if err != nil {
+		b.mu.Unlock()
+		return false, err
+	}
+	b.head = &daliRecord{key: key, deleted: true, addr: addr, next: b.head}
+	b.dirty = true
+	b.mu.Unlock()
+	m.track(tid, 64)
+	m.maybeFlush(tid)
+	return true, nil
+}
+
+// ResetTiming zeroes the flush timers; the benchmark harness calls it
+// after resetting the virtual clock.
+func (m *DaliMap) ResetTiming() {
+	m.lastFlushV.Store(0)
+	m.flushUntil.Store(0)
+}
+
+// Compact collapses version lists (Dalí does this during its epoch
+// maintenance; exposed for tests so long runs don't grow unboundedly).
+func (m *DaliMap) Compact(tid int) {
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		seen := map[string]bool{}
+		var head, tail *daliRecord
+		for r := b.head; r != nil; r = r.next {
+			if seen[r.key] {
+				m.env.Heap.Free(tid, r.addr)
+				continue
+			}
+			seen[r.key] = true
+			if r.deleted {
+				m.env.Heap.Free(tid, r.addr)
+				continue
+			}
+			nr := &daliRecord{key: r.key, val: r.val, addr: r.addr}
+			if head == nil {
+				head = nr
+			} else {
+				tail.next = nr
+			}
+			tail = nr
+		}
+		b.head = head
+		b.mu.Unlock()
+	}
+}
+
+// Len counts live keys (tests only).
+func (m *DaliMap) Len() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		seen := map[string]bool{}
+		for r := b.head; r != nil; r = r.next {
+			if !seen[r.key] {
+				seen[r.key] = true
+				if !r.deleted {
+					n++
+				}
+			}
+		}
+		b.mu.Unlock()
+	}
+	return n
+}

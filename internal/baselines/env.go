@@ -1,0 +1,74 @@
+// Package baselines reimplements the systems Montage is compared against
+// in the paper's evaluation (Section 6), each over the same simulated-NVM
+// substrate and cost model so comparisons are apples-to-apples:
+//
+//   - DRAM (T) and NVM (T): transient structures with no persistence
+//     (transient.go);
+//   - the persistent lock-free queue of Friedman et al. (friedman.go);
+//   - the Dalí buffered durably linearizable hashmap (dali.go);
+//   - the SOFT lock-free hashmap, which persists only semantic data but
+//     keeps a full DRAM copy (soft.go);
+//   - NVTraverse-transformed structures, with writes-back and fences in
+//     both read and write traversals (nvtraverse.go);
+//   - MOD functional structures that linearize with a single persisted
+//     CAS at the cost of path copying (mod.go);
+//   - Pronto high-level operation logging, synchronous and asynchronous
+//     (pronto.go);
+//   - a Mnemosyne-style persistent STM (mnemosyne.go).
+//
+// The baselines implement each system's persistence discipline — what is
+// written back, fenced, and when — faithfully during crash-free
+// operation; that is what the throughput experiments measure. Their
+// recovery procedures are out of scope for the benchmark reproduction
+// (the paper's recovery experiments, Section 6.4, measure Montage only).
+package baselines
+
+import (
+	"montage/internal/pmem"
+	"montage/internal/ralloc"
+	"montage/internal/simclock"
+)
+
+// Env bundles the device, allocator, and clock a baseline runs on.
+type Env struct {
+	Dev  *pmem.Device
+	Heap *ralloc.Heap
+	Clk  *simclock.Clock
+}
+
+// NewEnv creates a fresh simulated-NVM environment.
+func NewEnv(arenaSize, maxThreads int, costs *simclock.Costs) (*Env, error) {
+	var clk *simclock.Clock
+	if costs != nil {
+		clk = simclock.New(maxThreads, *costs)
+	}
+	dev := pmem.NewDevice(arenaSize, maxThreads, clk)
+	heap, err := ralloc.New(dev, maxThreads, ralloc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Dev: dev, Heap: heap, Clk: clk}, nil
+}
+
+// allocWrite allocates a block and stores data into it (an NVM store;
+// durability requires a later flush+fence).
+func (e *Env) allocWrite(tid int, data []byte) (pmem.Addr, error) {
+	addr, err := e.Heap.Alloc(tid, len(data))
+	if err != nil {
+		return pmem.NilAddr, err
+	}
+	e.Clk.ChargeNVMWrite(tid, len(data))
+	return addr, nil
+}
+
+// flush issues a write-back for n payload bytes at addr. The data
+// content is irrelevant to baseline throughput modeling, but real bytes
+// are written so the device traffic is genuine.
+func (e *Env) flush(tid int, addr pmem.Addr, data []byte) {
+	if err := e.Dev.WriteBack(tid, addr, data); err != nil {
+		panic("baselines: write-back failed: " + err.Error())
+	}
+}
+
+// fence waits for tid's outstanding writes-back.
+func (e *Env) fence(tid int) { e.Dev.Fence(tid) }

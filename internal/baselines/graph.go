@@ -1,0 +1,231 @@
+package baselines
+
+import (
+	"sort"
+	"sync"
+
+	"montage/internal/pmem"
+)
+
+// TransientGraph is the no-persistence reference graph for Figures 11
+// and 12: the same striped-lock adjacency design as the Montage graph,
+// with vertex and edge attributes in DRAM (DRAM (T)) or in NVM blocks
+// without any write-back (NVM (T)).
+type TransientGraph struct {
+	env     *Env
+	medium  Medium
+	stripes []tgStripe
+	mask    uint64
+}
+
+type tgStripe struct {
+	mu       sync.Mutex
+	vertices map[uint64]*tgVertex
+}
+
+type tgVertex struct {
+	id    uint64
+	addr  pmem.Addr
+	edges map[uint64]pmem.Addr // neighbor -> edge block (NilAddr for DRAM)
+}
+
+// NewTransientGraph creates an empty graph with nStripes lock stripes.
+func NewTransientGraph(env *Env, medium Medium, nStripes int) *TransientGraph {
+	n := 1
+	for n < nStripes {
+		n *= 2
+	}
+	g := &TransientGraph{env: env, medium: medium, stripes: make([]tgStripe, n), mask: uint64(n - 1)}
+	for i := range g.stripes {
+		g.stripes[i].vertices = make(map[uint64]*tgVertex)
+	}
+	return g
+}
+
+func (g *TransientGraph) stripe(id uint64) *tgStripe { return &g.stripes[id&g.mask] }
+
+func (g *TransientGraph) lockPair(a, b uint64) func() {
+	sa, sb := int(a&g.mask), int(b&g.mask)
+	if sa == sb {
+		g.stripes[sa].mu.Lock()
+		return g.stripes[sa].mu.Unlock
+	}
+	if sa > sb {
+		sa, sb = sb, sa
+	}
+	g.stripes[sa].mu.Lock()
+	g.stripes[sb].mu.Lock()
+	return func() {
+		g.stripes[sb].mu.Unlock()
+		g.stripes[sa].mu.Unlock()
+	}
+}
+
+func (g *TransientGraph) allocAttr(tid, n int) (pmem.Addr, error) {
+	if g.medium == NVM {
+		return g.env.allocWrite(tid, make([]byte, n))
+	}
+	g.env.Clk.ChargeAlloc(tid)
+	g.env.Clk.ChargeDRAM(tid, n)
+	return pmem.NilAddr, nil
+}
+
+func (g *TransientGraph) freeAttr(tid int, addr pmem.Addr) {
+	if addr != pmem.NilAddr {
+		g.env.Heap.Free(tid, addr)
+	}
+}
+
+// AddVertex creates a vertex with attrSize attribute bytes and edges to
+// the given (existing) neighbors.
+func (g *TransientGraph) AddVertex(tid int, id uint64, attrSize int, neighbors []uint64) (bool, error) {
+	g.env.Clk.ChargeOp(tid)
+	// Lock all touched stripes in order.
+	stripes := map[int]bool{int(id & g.mask): true}
+	for _, nb := range neighbors {
+		stripes[int(nb&g.mask)] = true
+	}
+	order := make([]int, 0, len(stripes))
+	for s := range stripes {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	for _, s := range order {
+		g.stripes[s].mu.Lock()
+	}
+	defer func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			g.stripes[order[i]].mu.Unlock()
+		}
+	}()
+	st := g.stripe(id)
+	if _, ok := st.vertices[id]; ok {
+		return false, nil
+	}
+	addr, err := g.allocAttr(tid, attrSize)
+	if err != nil {
+		return false, err
+	}
+	v := &tgVertex{id: id, addr: addr, edges: make(map[uint64]pmem.Addr)}
+	st.vertices[id] = v
+	for _, nb := range neighbors {
+		if nb == id {
+			continue
+		}
+		nv, ok := g.stripe(nb).vertices[nb]
+		if !ok {
+			continue
+		}
+		if _, dup := v.edges[nb]; dup {
+			continue
+		}
+		ea, err := g.allocAttr(tid, 16)
+		if err != nil {
+			return false, err
+		}
+		v.edges[nb] = ea
+		nv.edges[id] = ea
+	}
+	return true, nil
+}
+
+// RemoveVertex deletes a vertex and its edges.
+func (g *TransientGraph) RemoveVertex(tid int, id uint64) (bool, error) {
+	g.env.Clk.ChargeOp(tid)
+	for i := range g.stripes {
+		g.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for i := len(g.stripes) - 1; i >= 0; i-- {
+			g.stripes[i].mu.Unlock()
+		}
+	}()
+	st := g.stripe(id)
+	v, ok := st.vertices[id]
+	if !ok {
+		return false, nil
+	}
+	for nb, ea := range v.edges {
+		g.freeAttr(tid, ea)
+		if nv, ok := g.stripe(nb).vertices[nb]; ok {
+			delete(nv.edges, id)
+		}
+	}
+	g.freeAttr(tid, v.addr)
+	delete(st.vertices, id)
+	return true, nil
+}
+
+// AddEdge creates the edge {src,dst} with attrSize attribute bytes.
+func (g *TransientGraph) AddEdge(tid int, src, dst uint64, attrSize int) (bool, error) {
+	g.env.Clk.ChargeOp(tid)
+	if src == dst {
+		return false, nil
+	}
+	unlock := g.lockPair(src, dst)
+	defer unlock()
+	sv, ok1 := g.stripe(src).vertices[src]
+	dv, ok2 := g.stripe(dst).vertices[dst]
+	if !ok1 || !ok2 {
+		return false, nil
+	}
+	if _, dup := sv.edges[dst]; dup {
+		return false, nil
+	}
+	ea, err := g.allocAttr(tid, attrSize)
+	if err != nil {
+		return false, err
+	}
+	sv.edges[dst] = ea
+	dv.edges[src] = ea
+	return true, nil
+}
+
+// RemoveEdge deletes the edge {src,dst}.
+func (g *TransientGraph) RemoveEdge(tid int, src, dst uint64) (bool, error) {
+	g.env.Clk.ChargeOp(tid)
+	unlock := g.lockPair(src, dst)
+	defer unlock()
+	sv, ok := g.stripe(src).vertices[src]
+	if !ok {
+		return false, nil
+	}
+	ea, ok := sv.edges[dst]
+	if !ok {
+		return false, nil
+	}
+	g.freeAttr(tid, ea)
+	delete(sv.edges, dst)
+	if dv, ok := g.stripe(dst).vertices[dst]; ok {
+		delete(dv.edges, src)
+	}
+	return true, nil
+}
+
+// Order returns the vertex count.
+func (g *TransientGraph) Order() int {
+	n := 0
+	for i := range g.stripes {
+		g.stripes[i].mu.Lock()
+		n += len(g.stripes[i].vertices)
+		g.stripes[i].mu.Unlock()
+	}
+	return n
+}
+
+// SizeEdges returns the undirected edge count.
+func (g *TransientGraph) SizeEdges() int {
+	n := 0
+	for i := range g.stripes {
+		g.stripes[i].mu.Lock()
+		for _, v := range g.stripes[i].vertices {
+			for nb := range v.edges {
+				if v.id < nb {
+					n++
+				}
+			}
+		}
+		g.stripes[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestTransientGraphBasics(t *testing.T) {
+	for _, medium := range []Medium{DRAM, NVM} {
+		env := newEnv(t)
+		g := NewTransientGraph(env, medium, 16)
+		if ok, err := g.AddVertex(0, 1, 64, nil); err != nil || !ok {
+			t.Fatalf("AddVertex: %v %v", ok, err)
+		}
+		if ok, _ := g.AddVertex(0, 1, 64, nil); ok {
+			t.Fatal("duplicate vertex accepted")
+		}
+		if ok, err := g.AddVertex(0, 2, 64, []uint64{1, 99}); err != nil || !ok {
+			t.Fatal(err)
+		}
+		if g.Order() != 2 || g.SizeEdges() != 1 {
+			t.Fatalf("order=%d edges=%d", g.Order(), g.SizeEdges())
+		}
+		if ok, _ := g.AddEdge(0, 1, 2, 16); ok {
+			t.Fatal("duplicate edge accepted")
+		}
+		if ok, _ := g.AddEdge(0, 1, 1, 16); ok {
+			t.Fatal("self loop accepted")
+		}
+		if ok, _ := g.AddEdge(0, 1, 77, 16); ok {
+			t.Fatal("edge to missing vertex accepted")
+		}
+		if ok, err := g.RemoveEdge(0, 2, 1); err != nil || !ok {
+			t.Fatal(err)
+		}
+		if ok, _ := g.RemoveEdge(0, 2, 1); ok {
+			t.Fatal("double edge removal")
+		}
+		g.AddEdge(0, 1, 2, 16)
+		if ok, err := g.RemoveVertex(0, 1); err != nil || !ok {
+			t.Fatal(err)
+		}
+		if g.Order() != 1 || g.SizeEdges() != 0 {
+			t.Fatalf("after vertex removal: order=%d edges=%d", g.Order(), g.SizeEdges())
+		}
+		if ok, _ := g.RemoveVertex(0, 1); ok {
+			t.Fatal("double vertex removal")
+		}
+	}
+}
+
+func TestTransientGraphMediumCosts(t *testing.T) {
+	// NVM-backed attributes must cost more virtual time than DRAM ones.
+	envD := newEnv(t)
+	gD := NewTransientGraph(envD, DRAM, 16)
+	envN := newEnv(t)
+	gN := NewTransientGraph(envN, NVM, 16)
+	for id := uint64(0); id < 50; id++ {
+		gD.AddVertex(0, id, 1024, nil)
+		gN.AddVertex(0, id, 1024, nil)
+	}
+	for id := uint64(1); id < 50; id++ {
+		gD.AddEdge(0, 0, id, 1024)
+		gN.AddEdge(0, 0, id, 1024)
+	}
+	if envN.Clk.Now(0) <= envD.Clk.Now(0) {
+		t.Fatalf("NVM graph (%d) not costlier than DRAM graph (%d)", envN.Clk.Now(0), envD.Clk.Now(0))
+	}
+}

@@ -1,0 +1,298 @@
+package baselines
+
+import (
+	"sync"
+
+	"montage/internal/pmem"
+	"montage/internal/simclock"
+)
+
+// MOD structures (Haria, Hill, Swift — ASPLOS '20) are "minimally
+// ordered durable" functional data structures: every update builds a new
+// version by path copying, persists the fresh nodes, fences once, and
+// then linearizes-and-persists with a single pointer flip. The ordering
+// is minimal — two fences per update, none per read — but the path
+// copying multiplies allocation and write-back traffic, which is why MOD
+// trails Montage by 4x on maps and by more on queues (where rebalancing
+// copies whole lists).
+
+// MODQueue is a functional two-list (banker's) queue with MOD
+// persistence.
+type MODQueue struct {
+	env   *Env
+	mu    sync.Mutex
+	vlock simclock.Resource
+	root  pmem.Addr // the persistent root pointer's home
+
+	front *modCell // next to dequeue, in order
+	back  *modCell // enqueued, in reverse order
+}
+
+type modCell struct {
+	val  []byte
+	addr pmem.Addr
+	next *modCell
+}
+
+// NewMODQueue creates an empty queue.
+func NewMODQueue(env *Env) (*MODQueue, error) {
+	root, err := env.Heap.Alloc(0, 8)
+	if err != nil {
+		return nil, err
+	}
+	q := &MODQueue{env: env, root: root}
+	env.Clk.Register(&q.vlock)
+	return q, nil
+}
+
+// commit persists the root flip: fence the new nodes, flip, flush the
+// root, fence.
+func (q *MODQueue) commit(tid int) {
+	q.env.fence(tid)
+	q.env.flush(tid, q.root, []byte{1})
+	q.env.fence(tid)
+}
+
+// newCell allocates, writes, and writes back one fresh functional cell.
+func (q *MODQueue) newCell(tid int, val []byte, next *modCell) (*modCell, error) {
+	addr, err := q.env.allocWrite(tid, val)
+	if err != nil {
+		return nil, err
+	}
+	q.env.flush(tid, addr, val)
+	return &modCell{val: append([]byte(nil), val...), addr: addr, next: next}, nil
+}
+
+// Enqueue pushes onto the back list: one fresh cell, two fences.
+func (q *MODQueue) Enqueue(tid int, val []byte) error {
+	q.env.Clk.ChargeOp(tid)
+	q.mu.Lock()
+	q.vlock.Acquire(q.env.Clk, tid)
+	defer func() {
+		q.vlock.Release(q.env.Clk, tid)
+		q.mu.Unlock()
+	}()
+	c, err := q.newCell(tid, val, q.back)
+	if err != nil {
+		return err
+	}
+	q.back = c
+	q.commit(tid)
+	return nil
+}
+
+// Dequeue pops from the front list; when it is empty the back list is
+// reversed into a fresh front list — the full functional copy whose
+// write-back traffic dominates MOD queue cost.
+func (q *MODQueue) Dequeue(tid int) ([]byte, bool, error) {
+	q.env.Clk.ChargeOp(tid)
+	q.mu.Lock()
+	q.vlock.Acquire(q.env.Clk, tid)
+	defer func() {
+		q.vlock.Release(q.env.Clk, tid)
+		q.mu.Unlock()
+	}()
+	if q.front == nil {
+		if q.back == nil {
+			return nil, false, nil
+		}
+		// Reverse: every cell is copied into a fresh persistent cell.
+		var front *modCell
+		for c := q.back; c != nil; c = c.next {
+			q.env.Clk.ChargeNVMRead(tid, len(c.val))
+			nc, err := q.newCell(tid, c.val, front)
+			if err != nil {
+				return nil, false, err
+			}
+			front = nc
+			q.env.Heap.Free(tid, c.addr)
+		}
+		q.front = front
+		q.back = nil
+	}
+	c := q.front
+	q.env.Clk.ChargeNVMRead(tid, len(c.val))
+	q.front = c.next
+	q.env.Heap.Free(tid, c.addr)
+	q.commit(tid)
+	return append([]byte(nil), c.val...), true, nil
+}
+
+// Len counts items (tests only).
+func (q *MODQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for c := q.front; c != nil; c = c.next {
+		n++
+	}
+	for c := q.back; c != nil; c = c.next {
+		n++
+	}
+	return n
+}
+
+// MODMap is a hashmap of per-bucket MOD (history-preserving, sorted)
+// linked lists with per-bucket locking — the configuration the Montage
+// authors built because it outperforms the original paper's prefix-tree.
+// An update copies every cell that precedes the modified position.
+type MODMap struct {
+	env     *Env
+	buckets []modBucket
+	mask    uint64
+}
+
+type modBucket struct {
+	mu   sync.Mutex
+	root pmem.Addr
+	head *modKV
+}
+
+type modKV struct {
+	key  string
+	val  []byte
+	addr pmem.Addr
+	next *modKV
+}
+
+// NewMODMap creates a map with nBuckets buckets.
+func NewMODMap(env *Env, nBuckets int) (*MODMap, error) {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	m := &MODMap{env: env, buckets: make([]modBucket, n), mask: uint64(n - 1)}
+	for i := range m.buckets {
+		root, err := env.Heap.Alloc(0, 8)
+		if err != nil {
+			return nil, err
+		}
+		m.buckets[i].root = root
+	}
+	return m, nil
+}
+
+func (m *MODMap) bucket(key string) *modBucket {
+	return &m.buckets[fnv1a(key)&m.mask]
+}
+
+func (m *MODMap) newKV(tid int, key string, val []byte, next *modKV) (*modKV, error) {
+	addr, err := m.env.allocWrite(tid, val)
+	if err != nil {
+		return nil, err
+	}
+	m.env.flush(tid, addr, val)
+	return &modKV{key: key, val: append([]byte(nil), val...), addr: addr, next: next}, nil
+}
+
+func (m *MODMap) commit(tid int, b *modBucket) {
+	m.env.fence(tid)
+	m.env.flush(tid, b.root, []byte{1})
+	m.env.fence(tid)
+}
+
+// Get reads with no persistence work (MOD reads are free of ordering).
+func (m *MODMap) Get(tid int, key string) ([]byte, bool) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for c := b.head; c != nil && c.key <= key; c = c.next {
+		m.env.Clk.ChargeNVMRead(tid, 16)
+		if c.key == key {
+			m.env.Clk.ChargeNVMRead(tid, len(c.val))
+			return append([]byte(nil), c.val...), true
+		}
+	}
+	return nil, false
+}
+
+// replacePrefix builds the new version: copies every cell before pos,
+// attaching tail after the copies, and returns the new head. All fresh
+// cells are written back (fence deferred to commit).
+func (m *MODMap) replacePrefix(tid int, head, stop *modKV, tail *modKV) (*modKV, error) {
+	if head == stop {
+		return tail, nil
+	}
+	rest, err := m.replacePrefix(tid, head.next, stop, tail)
+	if err != nil {
+		return nil, err
+	}
+	return m.newKV(tid, head.key, head.val, rest)
+}
+
+// Insert adds key=val if absent, copying the bucket prefix.
+func (m *MODMap) Insert(tid int, key string, val []byte) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pos := b.head
+	for pos != nil && pos.key < key {
+		m.env.Clk.ChargeNVMRead(tid, 16)
+		pos = pos.next
+	}
+	if pos != nil && pos.key == key {
+		return false, nil
+	}
+	node, err := m.newKV(tid, key, val, pos)
+	if err != nil {
+		return false, err
+	}
+	newHead, err := m.replacePrefix(tid, b.head, pos, node)
+	if err != nil {
+		return false, err
+	}
+	m.freePrefix(tid, b.head, pos)
+	b.head = newHead
+	m.commit(tid, b)
+	return true, nil
+}
+
+// Remove deletes key, copying the bucket prefix.
+func (m *MODMap) Remove(tid int, key string) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pos := b.head
+	for pos != nil && pos.key < key {
+		m.env.Clk.ChargeNVMRead(tid, 16)
+		pos = pos.next
+	}
+	if pos == nil || pos.key != key {
+		return false, nil
+	}
+	newHead, err := m.replacePrefix(tid, b.head, pos, pos.next)
+	if err != nil {
+		return false, err
+	}
+	m.freePrefix(tid, b.head, pos)
+	m.env.Heap.Free(tid, pos.addr)
+	b.head = newHead
+	m.commit(tid, b)
+	return true, nil
+}
+
+// freePrefix releases the superseded cells of the old version. (True MOD
+// retains history; the Montage comparison reclaims old versions to keep
+// memory bounded, as any practical deployment must.)
+func (m *MODMap) freePrefix(tid int, head, stop *modKV) {
+	for c := head; c != stop; c = c.next {
+		m.env.Heap.Free(tid, c.addr)
+	}
+}
+
+// Len counts stored pairs (tests only).
+func (m *MODMap) Len() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for c := b.head; c != nil; c = c.next {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}

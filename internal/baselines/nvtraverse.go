@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"sync"
+
+	"montage/internal/pmem"
+)
+
+// NVTraverseMap reimplements the result of applying the NVTraverse
+// transformation (Friedman et al., PLDI '20) to a chained hashmap.
+// NVTraverse converts a transient "traversal data structure" into a
+// strictly durably linearizable one by having every operation — reads
+// included — write back the nodes it inspected in its critical
+// "ensure" phase and fence before linearizing. Updates additionally
+// persist the nodes they modify and fence again. The per-read flush
+// traffic is why NVTraverse tracks Montage at low thread counts but
+// falls behind once the write-combining buffer saturates (paper
+// Section 6.1).
+type NVTraverseMap struct {
+	env     *Env
+	buckets []nvtBucket
+	mask    uint64
+}
+
+type nvtBucket struct {
+	mu   sync.Mutex
+	head *nvtNode
+}
+
+type nvtNode struct {
+	key  string
+	val  []byte
+	addr pmem.Addr
+	next *nvtNode
+}
+
+// NewNVTraverseMap creates a map with nBuckets buckets.
+func NewNVTraverseMap(env *Env, nBuckets int) *NVTraverseMap {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	return &NVTraverseMap{env: env, buckets: make([]nvtBucket, n), mask: uint64(n - 1)}
+}
+
+func (m *NVTraverseMap) bucket(key string) *nvtBucket {
+	return &m.buckets[fnv1a(key)&m.mask]
+}
+
+// ensure is NVTraverse's read-side persistence: write back the critical
+// nodes of the traversal and fence.
+func (m *NVTraverseMap) ensure(tid int, nodes ...*nvtNode) {
+	for _, n := range nodes {
+		if n != nil {
+			m.env.flush(tid, n.addr, []byte{1})
+		}
+	}
+	m.env.fence(tid)
+}
+
+// Get looks up key; per NVTraverse it persists the traversal frontier
+// before returning.
+func (m *NVTraverseMap) Get(tid int, key string) ([]byte, bool) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var prev *nvtNode
+	for n := b.head; n != nil; prev, n = n, n.next {
+		m.env.Clk.ChargeNVMRead(tid, 16)
+		if n.key == key {
+			m.env.Clk.ChargeNVMRead(tid, len(n.val))
+			m.ensure(tid, prev, n)
+			return append([]byte(nil), n.val...), true
+		}
+	}
+	m.ensure(tid, prev)
+	return nil, false
+}
+
+// Insert adds key=val if absent: persist the new node, fence, link,
+// persist the link, fence.
+func (m *NVTraverseMap) Insert(tid int, key string, val []byte) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var prev *nvtNode
+	for n := b.head; n != nil; prev, n = n, n.next {
+		m.env.Clk.ChargeNVMRead(tid, 16)
+		if n.key == key {
+			m.ensure(tid, prev, n)
+			return false, nil
+		}
+	}
+	addr, err := m.env.allocWrite(tid, val)
+	if err != nil {
+		return false, err
+	}
+	node := &nvtNode{key: key, val: append([]byte(nil), val...), addr: addr, next: b.head}
+	m.env.flush(tid, addr, val)
+	m.env.fence(tid)
+	b.head = node
+	m.env.flush(tid, addr, []byte{1}) // link word
+	m.env.fence(tid)
+	return true, nil
+}
+
+// Remove deletes key with the same two-fence discipline.
+func (m *NVTraverseMap) Remove(tid int, key string) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var prev *nvtNode
+	for n := b.head; n != nil; prev, n = n, n.next {
+		m.env.Clk.ChargeNVMRead(tid, 16)
+		if n.key == key {
+			m.ensure(tid, prev, n)
+			if prev == nil {
+				b.head = n.next
+			} else {
+				prev.next = n.next
+			}
+			m.env.flush(tid, n.addr, []byte{0})
+			m.env.fence(tid)
+			m.env.Heap.Free(tid, n.addr)
+			return true, nil
+		}
+	}
+	m.ensure(tid, prev)
+	return false, nil
+}
+
+// Len counts stored pairs (tests only).
+func (m *NVTraverseMap) Len() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for c := b.head; c != nil; c = c.next {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"sync"
+
+	"montage/internal/pmem"
+)
+
+// SoftMap reimplements SOFT (Zuriel et al., OOPSLA '19): a durable
+// lock-free hash set that persists only semantic data (the key-value
+// payloads plus valid/deleted flags) while keeping a full copy of the
+// data in DRAM, from which all reads are served. Reads therefore touch
+// no NVM at all — which is why SOFT tops every read graph — but every
+// insert and remove still performs a write-back and fence on the critical
+// path (strict durable linearizability), and the DRAM copy forfeits NVM's
+// capacity advantage. SOFT does not support atomic update of an existing
+// key; Insert of a present key is a no-op, exactly as in the paper's
+// benchmark configuration.
+type SoftMap struct {
+	env     *Env
+	buckets []softBucket
+	mask    uint64
+}
+
+type softBucket struct {
+	mu   sync.Mutex
+	head *softNode
+}
+
+type softNode struct {
+	key   string
+	val   []byte    // DRAM copy (all reads hit this)
+	pNode pmem.Addr // persistent node (key, value, validity bits)
+	next  *softNode
+}
+
+// NewSoftMap creates a map with nBuckets buckets.
+func NewSoftMap(env *Env, nBuckets int) *SoftMap {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	return &SoftMap{env: env, buckets: make([]softBucket, n), mask: uint64(n - 1)}
+}
+
+func (m *SoftMap) bucket(key string) *softBucket {
+	return &m.buckets[fnv1a(key)&m.mask]
+}
+
+// Get serves the read entirely from the DRAM copy.
+func (m *SoftMap) Get(tid int, key string) ([]byte, bool) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := b.head; n != nil; n = n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			m.env.Clk.ChargeDRAM(tid, len(n.val))
+			return append([]byte(nil), n.val...), true
+		}
+	}
+	return nil, false
+}
+
+// Insert adds key=val if absent: allocate and fill the persistent node,
+// write it back, fence, then make it valid (one flushed store).
+func (m *SoftMap) Insert(tid int, key string, val []byte) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := b.head; n != nil; n = n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			return false, nil
+		}
+	}
+	addr, err := m.env.allocWrite(tid, val)
+	if err != nil {
+		return false, err
+	}
+	// Persist content + validity (SOFT folds validity into the node so a
+	// single write-back + fence suffices).
+	m.env.flush(tid, addr, val)
+	m.env.fence(tid)
+	// DRAM copy.
+	m.env.Clk.ChargeDRAM(tid, len(val))
+	b.head = &softNode{key: key, val: append([]byte(nil), val...), pNode: addr, next: b.head}
+	return true, nil
+}
+
+// Remove deletes key: flip the persistent deleted flag, write back,
+// fence, then drop the DRAM copy.
+func (m *SoftMap) Remove(tid int, key string) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var prev *softNode
+	for n := b.head; n != nil; prev, n = n, n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			m.env.flush(tid, n.pNode, []byte{0}) // deleted flag
+			m.env.fence(tid)
+			if prev == nil {
+				b.head = n.next
+			} else {
+				prev.next = n.next
+			}
+			m.env.Heap.Free(tid, n.pNode)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Len counts stored pairs (tests only).
+func (m *SoftMap) Len() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for c := b.head; c != nil; c = c.next {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,286 @@
+package baselines
+
+import (
+	"sync"
+
+	"montage/internal/pmem"
+	"montage/internal/simclock"
+)
+
+// Medium selects where a transient structure keeps its payloads.
+type Medium int
+
+const (
+	// DRAM places payloads in DRAM: the DRAM (T) reference line.
+	DRAM Medium = iota
+	// NVM places payloads in the persistent arena via Ralloc but performs
+	// no write-backs or fences: the NVM (T) reference line.
+	NVM
+)
+
+// TransientQueue is a plain single-lock queue with no persistence — the
+// DRAM (T) / NVM (T) reference lines of Figure 6.
+type TransientQueue struct {
+	env    *Env
+	medium Medium
+	mu     sync.Mutex
+	vlock  simclock.Resource // virtual-time image of the lock
+	items  []transientItem
+}
+
+type transientItem struct {
+	val  []byte
+	addr pmem.Addr // block backing the item when medium == NVM
+}
+
+// NewTransientQueue creates an empty queue on the given medium.
+func NewTransientQueue(env *Env, medium Medium) *TransientQueue {
+	q := &TransientQueue{env: env, medium: medium}
+	env.Clk.Register(&q.vlock)
+	return q
+}
+
+func (q *TransientQueue) chargeValue(tid int, n int) {
+	if q.medium == DRAM {
+		q.env.Clk.ChargeDRAM(tid, n)
+	} else {
+		q.env.Clk.ChargeNVMWrite(tid, n)
+	}
+}
+
+// Enqueue appends val.
+func (q *TransientQueue) Enqueue(tid int, val []byte) error {
+	q.env.Clk.ChargeOp(tid)
+	q.mu.Lock()
+	q.vlock.Acquire(q.env.Clk, tid)
+	defer func() {
+		q.vlock.Release(q.env.Clk, tid)
+		q.mu.Unlock()
+	}()
+	it := transientItem{val: append([]byte(nil), val...)}
+	if q.medium == NVM {
+		addr, err := q.env.allocWrite(tid, val)
+		if err != nil {
+			return err
+		}
+		it.addr = addr
+	} else {
+		q.env.Clk.ChargeAlloc(tid)
+		q.env.Clk.ChargeDRAM(tid, len(val))
+	}
+	q.items = append(q.items, it)
+	return nil
+}
+
+// Dequeue removes and returns the oldest value.
+func (q *TransientQueue) Dequeue(tid int) ([]byte, bool, error) {
+	q.env.Clk.ChargeOp(tid)
+	q.mu.Lock()
+	q.vlock.Acquire(q.env.Clk, tid)
+	defer func() {
+		q.vlock.Release(q.env.Clk, tid)
+		q.mu.Unlock()
+	}()
+	if len(q.items) == 0 {
+		return nil, false, nil
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	if q.medium == NVM {
+		q.env.Clk.ChargeNVMRead(tid, len(it.val))
+		q.env.Heap.Free(tid, it.addr)
+	} else {
+		q.env.Clk.ChargeDRAM(tid, len(it.val))
+	}
+	return it.val, true, nil
+}
+
+// Len returns the queue length.
+func (q *TransientQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// TransientMap is a lock-per-bucket chained hashmap with no persistence —
+// the DRAM (T) / NVM (T) reference lines of Figure 7.
+type TransientMap struct {
+	env     *Env
+	medium  Medium
+	buckets []transientBucket
+	mask    uint64
+}
+
+type transientBucket struct {
+	mu   sync.Mutex
+	head *transientNode
+}
+
+type transientNode struct {
+	key  string
+	val  []byte
+	addr pmem.Addr
+	next *transientNode
+}
+
+// NewTransientMap creates a map with nBuckets buckets.
+func NewTransientMap(env *Env, medium Medium, nBuckets int) *TransientMap {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	return &TransientMap{env: env, medium: medium, buckets: make([]transientBucket, n), mask: uint64(n - 1)}
+}
+
+func (m *TransientMap) bucket(key string) *transientBucket {
+	return &m.buckets[fnv1a(key)&m.mask]
+}
+
+func (m *TransientMap) chargeValueRead(tid, n int) {
+	if m.medium == DRAM {
+		m.env.Clk.ChargeDRAM(tid, n)
+	} else {
+		m.env.Clk.ChargeNVMRead(tid, n)
+	}
+}
+
+// Get returns the value under key.
+func (m *TransientMap) Get(tid int, key string) ([]byte, bool) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := b.head; n != nil; n = n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			m.chargeValueRead(tid, len(n.val))
+			return append([]byte(nil), n.val...), true
+		}
+	}
+	return nil, false
+}
+
+// Insert adds key=val if absent.
+func (m *TransientMap) Insert(tid int, key string, val []byte) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := b.head; n != nil; n = n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			return false, nil
+		}
+	}
+	node := &transientNode{key: key, val: append([]byte(nil), val...), next: b.head}
+	if m.medium == NVM {
+		addr, err := m.env.allocWrite(tid, val)
+		if err != nil {
+			return false, err
+		}
+		node.addr = addr
+	} else {
+		m.env.Clk.ChargeAlloc(tid)
+		m.env.Clk.ChargeDRAM(tid, len(val))
+	}
+	b.head = node
+	return true, nil
+}
+
+// Put inserts or updates key=val, returning whether the key was new.
+func (m *TransientMap) Put(tid int, key string, val []byte) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := b.head; n != nil; n = n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			if m.medium == NVM {
+				m.env.Clk.ChargeNVMWrite(tid, len(val))
+			} else {
+				m.env.Clk.ChargeDRAM(tid, len(val))
+			}
+			n.val = append(n.val[:0], val...)
+			return false, nil
+		}
+	}
+	node := &transientNode{key: key, val: append([]byte(nil), val...), next: b.head}
+	if m.medium == NVM {
+		addr, err := m.env.allocWrite(tid, val)
+		if err != nil {
+			return false, err
+		}
+		node.addr = addr
+	} else {
+		m.env.Clk.ChargeAlloc(tid)
+		m.env.Clk.ChargeDRAM(tid, len(val))
+	}
+	b.head = node
+	return true, nil
+}
+
+// Remove deletes key.
+func (m *TransientMap) Remove(tid int, key string) (bool, error) {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var prev *transientNode
+	for n := b.head; n != nil; prev, n = n, n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			if prev == nil {
+				b.head = n.next
+			} else {
+				prev.next = n.next
+			}
+			if m.medium == NVM {
+				m.env.Heap.Free(tid, n.addr)
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Keys lists the stored keys (admin use; not linearizable).
+func (m *TransientMap) Keys() []string {
+	var keys []string
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for c := b.head; c != nil; c = c.next {
+			keys = append(keys, c.key)
+		}
+		b.mu.Unlock()
+	}
+	return keys
+}
+
+// Len counts stored pairs (tests only).
+func (m *TransientMap) Len() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for c := b.head; c != nil; c = c.next {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}
+
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

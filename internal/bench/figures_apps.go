@@ -1,0 +1,516 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"montage/internal/baselines"
+	"montage/internal/core"
+	"montage/internal/epoch"
+	"montage/internal/graphgen"
+	"montage/internal/kvstore"
+	"montage/internal/pds"
+	"montage/internal/pmem"
+	"montage/internal/simclock"
+	"montage/internal/ycsb"
+)
+
+// Fig10Memcached regenerates Figure 10: memcached-style store throughput
+// on YCSB-A vs thread count, for DRAM (T), Montage (T), and Montage.
+func Fig10Memcached(scale Scale) ([]Result, error) {
+	systems := []string{"DRAM(T)", "Montage(T)", "Montage"}
+	var out []Result
+	for _, name := range systems {
+		for _, threads := range scale.Threads {
+			mops, err := runMemcached(name, scale, threads)
+			if err != nil {
+				return nil, fmt.Errorf("%s threads=%d: %w", name, threads, err)
+			}
+			out = append(out, Result{
+				Figure: "fig10", Series: name,
+				Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: mops,
+			})
+		}
+	}
+	return out, nil
+}
+
+func runMemcached(name string, scale Scale, threads int) (float64, error) {
+	var store *kvstore.Store
+	var clk *simclock.Clock
+	var sys *core.System
+	switch name {
+	case "DRAM(T)":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return 0, err
+		}
+		store = kvstore.New(kvstore.NewTransientBackend(baselines.NewTransientMap(env, baselines.DRAM, scale.Buckets)), 0)
+		clk = env.Clk
+	case "Montage(T)", "Montage":
+		var err error
+		sys, err = montageSystem(scale, threads, epoch.Config{Transient: name == "Montage(T)"})
+		if err != nil {
+			return 0, err
+		}
+		defer sys.Close()
+		store = kvstore.New(kvstore.NewMontageBackend(pds.NewHashMap(sys, scale.Buckets)), 0)
+		clk = sys.Clock()
+	default:
+		return 0, fmt.Errorf("unknown memcached backend %q", name)
+	}
+
+	records := uint64(scale.KeyRange)
+	val := value(scale.ValueSize)
+	for i := uint64(0); i < records; i++ {
+		if err := store.Set(0, ycsb.Key(i), val); err != nil {
+			return 0, err
+		}
+	}
+	if sys != nil {
+		sys.Sync(0)
+	}
+	clk.Reset()
+	if sys != nil {
+		sys.Epochs().ResetVirtualTimer()
+	}
+	workloads := make([]*ycsb.Workload, threads)
+	for tid := range workloads {
+		workloads[tid] = ycsb.NewWorkloadA(records, scale.Seed+int64(tid))
+	}
+	var firstErr error
+	mops := runWorkers(clk, threads, scale.OpsPerThread, func(tid, i int) {
+		op := workloads[tid].Next()
+		switch op.Kind {
+		case ycsb.Read:
+			store.Get(tid, op.Key)
+		default:
+			if err := store.Set(tid, op.Key, val); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return mops, firstErr
+}
+
+// graphUnderTest adapts the Montage and transient graphs to one surface.
+type graphUnderTest interface {
+	AddVertex(tid int, id uint64, neighbors []uint64) error
+	RemoveVertex(tid int, id uint64) error
+	AddEdge(tid int, src, dst uint64) error
+	RemoveEdge(tid int, src, dst uint64) error
+}
+
+type montageGraphAdapter struct {
+	g    *pds.Graph
+	attr []byte
+}
+
+func (a montageGraphAdapter) AddVertex(tid int, id uint64, nbs []uint64) error {
+	_, err := a.g.AddVertex(tid, id, a.attr, nbs)
+	return err
+}
+func (a montageGraphAdapter) RemoveVertex(tid int, id uint64) error {
+	_, err := a.g.RemoveVertex(tid, id)
+	return err
+}
+func (a montageGraphAdapter) AddEdge(tid int, src, dst uint64) error {
+	_, err := a.g.AddEdge(tid, src, dst, a.attr[:16])
+	return err
+}
+func (a montageGraphAdapter) RemoveEdge(tid int, src, dst uint64) error {
+	_, err := a.g.RemoveEdge(tid, src, dst)
+	return err
+}
+
+type transientGraphAdapter struct {
+	g        *baselines.TransientGraph
+	attrSize int
+}
+
+func (a transientGraphAdapter) AddVertex(tid int, id uint64, nbs []uint64) error {
+	_, err := a.g.AddVertex(tid, id, a.attrSize, nbs)
+	return err
+}
+func (a transientGraphAdapter) RemoveVertex(tid int, id uint64) error {
+	_, err := a.g.RemoveVertex(tid, id)
+	return err
+}
+func (a transientGraphAdapter) AddEdge(tid int, src, dst uint64) error {
+	_, err := a.g.AddEdge(tid, src, dst, 16)
+	return err
+}
+func (a transientGraphAdapter) RemoveEdge(tid int, src, dst uint64) error {
+	_, err := a.g.RemoveEdge(tid, src, dst)
+	return err
+}
+
+// Fig11Graph regenerates Figure 11: the graph microbenchmark at
+// edge:vertex operation ratios 4:1 (fig11a) and 499:1 (fig11b).
+func Fig11Graph(scale Scale) ([]Result, error) {
+	var out []Result
+	for _, ratio := range []struct {
+		fig  string
+		edge int // edge ops per (edge+vertex) total of edge+1
+	}{{"fig11a-4to1", 4}, {"fig11b-499to1", 499}} {
+		for _, name := range []string{"DRAM(T)", "Montage(T)", "Montage"} {
+			for _, threads := range scale.Threads {
+				mops, err := runGraphBench(name, scale, threads, ratio.edge)
+				if err != nil {
+					return nil, fmt.Errorf("%s threads=%d: %w", name, threads, err)
+				}
+				out = append(out, Result{
+					Figure: ratio.fig, Series: name,
+					Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: mops,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func runGraphBench(name string, scale Scale, threads, edgeRatio int) (float64, error) {
+	capacity := uint64(scale.GraphVertices)
+	attr := value(64)
+	var g graphUnderTest
+	var clk *simclock.Clock
+	var sys *core.System
+	switch name {
+	case "DRAM(T)":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return 0, err
+		}
+		g = transientGraphAdapter{g: baselines.NewTransientGraph(env, baselines.DRAM, 4096), attrSize: 64}
+		clk = env.Clk
+	case "Montage(T)", "Montage":
+		var err error
+		sys, err = montageSystem(scale, threads, epoch.Config{Transient: name == "Montage(T)"})
+		if err != nil {
+			return 0, err
+		}
+		defer sys.Close()
+		g = montageGraphAdapter{g: pds.NewGraph(sys, 4096), attr: attr}
+		clk = sys.Clock()
+	default:
+		return 0, fmt.Errorf("unknown graph system %q", name)
+	}
+
+	// Initialize: half the capacity, each new vertex wired to GraphDegree
+	// random existing vertices (paper Section 6.3).
+	r := rand.New(rand.NewSource(scale.Seed))
+	nbs := make([]uint64, scale.GraphDegree)
+	for id := uint64(0); id < capacity/2; id++ {
+		for j := range nbs {
+			nbs[j] = uint64(r.Int63n(int64(capacity)))
+		}
+		if err := g.AddVertex(0, id, nbs); err != nil {
+			return 0, err
+		}
+	}
+	if sys != nil {
+		sys.Sync(0)
+	}
+	clk.Reset()
+	if sys != nil {
+		sys.Epochs().ResetVirtualTimer()
+	}
+
+	rngs := make([]*rand.Rand, threads)
+	for tid := range rngs {
+		rngs[tid] = rng(scale.Seed, tid)
+	}
+	var firstErr error
+	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	mops := runWorkers(clk, threads, scale.OpsPerThread, func(tid, i int) {
+		r := rngs[tid]
+		if r.Intn(edgeRatio+1) < edgeRatio {
+			src := uint64(r.Int63n(int64(capacity)))
+			dst := uint64(r.Int63n(int64(capacity)))
+			if r.Intn(2) == 0 {
+				if err := g.AddEdge(tid, src, dst); err != nil {
+					fail(err)
+				}
+			} else {
+				if err := g.RemoveEdge(tid, src, dst); err != nil {
+					fail(err)
+				}
+			}
+		} else {
+			id := uint64(r.Int63n(int64(capacity)))
+			if r.Intn(2) == 0 {
+				local := make([]uint64, scale.GraphDegree)
+				for j := range local {
+					local[j] = uint64(r.Int63n(int64(capacity)))
+				}
+				if err := g.AddVertex(tid, id, local); err != nil {
+					fail(err)
+				}
+			} else {
+				if err := g.RemoveVertex(tid, id); err != nil {
+					fail(err)
+				}
+			}
+		}
+	})
+	return mops, firstErr
+}
+
+// Fig12Recovery regenerates Figure 12: the time to rebuild a large graph
+// from a crashed Montage image, compared with constructing the same graph
+// from partitioned binary adjacency files into transient memory.
+func Fig12Recovery(scale Scale, dir string) ([]Result, error) {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "montage-fig12-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	// Generate (or reuse) the Orkut-stand-in dataset.
+	parts := graphgen.Partitions(dir)
+	maxThreads := scale.Threads[len(scale.Threads)-1]
+	if parts == 0 {
+		ds := graphgen.Generate(graphgen.Params{
+			Vertices:  uint64(scale.GraphVertices),
+			AvgDegree: scale.GraphDegree,
+			Skew:      0.6,
+			Seed:      scale.Seed,
+		})
+		if err := ds.WritePartitions(dir, maxThreads); err != nil {
+			return nil, err
+		}
+		parts = maxThreads
+	}
+
+	var out []Result
+	// Construction lines: DRAM (T) and NVM (T).
+	for _, name := range []string{"DRAM(T) construct", "NVM(T) construct"} {
+		medium := baselines.DRAM
+		if name == "NVM(T) construct" {
+			medium = baselines.NVM
+		}
+		for _, threads := range scale.Threads {
+			secs, err := constructFromPartitions(scale, dir, parts, threads, medium)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{
+				Figure: "fig12", Series: name, Unit: "seconds",
+				Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: secs,
+			})
+		}
+	}
+
+	// Montage recovery line: build the graph once, persist, crash, then
+	// recover with each thread count from the same durable image.
+	img, err := buildMontageGraphImage(scale, dir, parts)
+	if err != nil {
+		return nil, err
+	}
+	for _, threads := range scale.Threads {
+		costs := simclock.DefaultCosts()
+		clk := simclock.New(threads, costs)
+		dev, err := pmem.NewDeviceFromFile(img, threads, clk)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{ArenaSize: scale.ArenaSize, MaxThreads: threads}
+		clk.Reset()
+		sys2, chunks, err := core.RecoverParallel(dev, cfg, threads)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := pds.RecoverGraph(sys2, 4096, chunks); err != nil {
+			return nil, err
+		}
+		secs := float64(clk.Max()) / 1e9
+		out = append(out, Result{
+			Figure: "fig12", Series: "Montage recover", Unit: "seconds",
+			Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: secs,
+		})
+	}
+	return out, nil
+}
+
+// constructFromPartitions loads the dataset into a transient graph with
+// the given number of loader threads and returns the virtual seconds the
+// slowest loader needed.
+func constructFromPartitions(scale Scale, dir string, parts, threads int, medium baselines.Medium) (float64, error) {
+	env, err := newEnv(scale, threads)
+	if err != nil {
+		return 0, err
+	}
+	g := baselines.NewTransientGraph(env, medium, 4096)
+	env.Clk.Reset()
+	// Pass 1: vertices; pass 2: edges (canonical direction only).
+	for pass := 0; pass < 2; pass++ {
+		errs := make([]error, threads)
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				for p := t; p < parts; p += threads {
+					err := graphgen.ReadPartition(dir, p, func(rec graphgen.Record) error {
+						env.Clk.ChargeDRAM(t, 16+8*len(rec.Neighbors)) // file record parse
+						if pass == 0 {
+							_, err := g.AddVertex(t, rec.Vertex, 64, nil)
+							return err
+						}
+						for _, nb := range rec.Neighbors {
+							if rec.Vertex < nb {
+								if _, err := g.AddEdge(t, rec.Vertex, nb, 16); err != nil {
+									return err
+								}
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						errs[t] = err
+						return
+					}
+				}
+			}(t)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return float64(env.Clk.Max()) / 1e9, nil
+}
+
+// buildMontageGraphImage constructs the Montage graph from the dataset,
+// makes it durable, crashes, and saves the device image; it returns the
+// image path.
+func buildMontageGraphImage(scale Scale, dir string, parts int) (string, error) {
+	sys, err := montageSystem(scale, 1, epoch.Config{})
+	if err != nil {
+		return "", err
+	}
+	g := pds.NewGraph(sys, 4096)
+	attr := value(64)
+	for p := 0; p < parts; p++ {
+		err := graphgen.ReadPartition(dir, p, func(rec graphgen.Record) error {
+			_, err := g.AddVertex(0, rec.Vertex, attr, nil)
+			return err
+		})
+		if err != nil {
+			return "", err
+		}
+	}
+	for p := 0; p < parts; p++ {
+		err := graphgen.ReadPartition(dir, p, func(rec graphgen.Record) error {
+			for _, nb := range rec.Neighbors {
+				if rec.Vertex < nb {
+					if _, err := g.AddEdge(0, rec.Vertex, nb, attr[:16]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+	}
+	sys.Sync(0)
+	sys.Device().Crash(pmem.CrashDropAll)
+	img := filepath.Join(dir, "montage-graph.img")
+	if err := sys.Device().Save(img); err != nil {
+		return "", err
+	}
+	sys.Close()
+	return img, nil
+}
+
+// RecoverySizes are the element counts swept by the Section 6.4 hashmap
+// recovery experiment (the paper sweeps 2M-64M 1KB elements, 1-32GB).
+var RecoverySizes = []int{16_384, 65_536, 262_144}
+
+// RecoveryHashmap regenerates the Section 6.4 measurement: time to
+// recover a hashmap of N 1KB elements with 1 and 8 recovery threads.
+func RecoveryHashmap(scale Scale, sizes []int, threadCounts []int) ([]Result, error) {
+	if sizes == nil {
+		sizes = RecoverySizes
+	}
+	if threadCounts == nil {
+		threadCounts = []int{1, 8}
+	}
+	tmp, err := os.MkdirTemp("", "montage-recovery-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var out []Result
+	for _, n := range sizes {
+		s := scale
+		s.ValueSize = 1024
+		// Size the arena for the payload set plus allocator slack.
+		need := n * 2048 * 2
+		if s.ArenaSize < need {
+			s.ArenaSize = need
+		}
+		sys, err := montageSystem(s, 1, epoch.Config{})
+		if err != nil {
+			return nil, err
+		}
+		m := pds.NewHashMap(sys, n*2)
+		val := value(1024)
+		for i := 0; i < n; i++ {
+			if _, err := m.Insert(0, key32(i), val); err != nil {
+				return nil, err
+			}
+		}
+		sys.Sync(0)
+		sys.Device().Crash(pmem.CrashDropAll)
+		img := filepath.Join(tmp, fmt.Sprintf("map-%d.img", n))
+		if err := sys.Device().Save(img); err != nil {
+			return nil, err
+		}
+		sys.Close()
+
+		for _, threads := range threadCounts {
+			costs := simclock.DefaultCosts()
+			clk := simclock.New(threads, costs)
+			dev, err := pmem.NewDeviceFromFile(img, threads, clk)
+			if err != nil {
+				return nil, err
+			}
+			clk.Reset()
+			sys2, chunks, err := core.RecoverParallel(dev, core.Config{ArenaSize: s.ArenaSize, MaxThreads: threads}, threads)
+			if err != nil {
+				return nil, err
+			}
+			m2, err := pds.RecoverHashMap(sys2, n*2, chunks)
+			if err != nil {
+				return nil, err
+			}
+			if m2.Len() != n {
+				return nil, fmt.Errorf("recovery dropped elements: %d != %d", m2.Len(), n)
+			}
+			secs := float64(clk.Max()) / 1e9
+			out = append(out, Result{
+				Figure: "recovery-6.4", Series: fmt.Sprintf("%d threads", threads), Unit: "seconds",
+				Label: fmt.Sprintf("%d x 1KB (%.0f MB)", n, float64(n)/1024), X: float64(n), Mops: secs,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,386 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"montage/internal/epoch"
+	"montage/internal/pds"
+)
+
+// runQueueWorkload measures a 1:1 enqueue:dequeue workload on q.
+func runQueueWorkload(in *instance[Queue], scale Scale, threads int) (float64, error) {
+	val := value(scale.ValueSize)
+	// Preload so that dequeues mostly find items.
+	for i := 0; i < 512; i++ {
+		if err := in.impl.Enqueue(0, val); err != nil {
+			return 0, err
+		}
+	}
+	in.settle()
+	var firstErr error
+	mops := runWorkers(in.clk, threads, scale.OpsPerThread, func(tid, i int) {
+		if i%2 == 0 {
+			if err := in.impl.Enqueue(tid, val); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			if _, _, err := in.impl.Dequeue(tid); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return mops, firstErr
+}
+
+// runMapWorkload measures a get:insert:remove mix on m.
+func runMapWorkload(in *instance[Map], scale Scale, threads int, mix opMix) (float64, error) {
+	if err := preloadMap(in.impl, scale); err != nil {
+		return 0, err
+	}
+	in.settle()
+	rngs := make([]*rand.Rand, threads)
+	for tid := range rngs {
+		rngs[tid] = rng(scale.Seed, tid)
+	}
+	val := value(scale.ValueSize)
+	var firstErr error
+	mops := runWorkers(in.clk, threads, scale.OpsPerThread, func(tid, i int) {
+		r := rngs[tid]
+		key := key32(r.Intn(scale.KeyRange))
+		switch mix.kind(r.Intn(mix.total())) {
+		case 0:
+			in.impl.Get(tid, key)
+		case 1:
+			if _, err := in.impl.Insert(tid, key, val); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		default:
+			if _, err := in.impl.Remove(tid, key); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return mops, firstErr
+}
+
+// Fig6Queues regenerates Figure 6: queue throughput vs thread count for
+// every system.
+func Fig6Queues(scale Scale, systems []string) ([]Result, error) {
+	if systems == nil {
+		systems = queueSystems()
+	}
+	var out []Result
+	for _, name := range systems {
+		for _, threads := range scale.Threads {
+			in, err := makeQueue(name, scale, threads)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			mops, err := runQueueWorkload(in, scale, threads)
+			in.close()
+			if err != nil {
+				return nil, fmt.Errorf("%s threads=%d: %w", name, threads, err)
+			}
+			out = append(out, Result{
+				Figure: "fig6", Series: name,
+				Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: mops,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig7Maps regenerates Figure 7a (write-dominant 0:1:1) or 7b
+// (read-dominant 18:1:1): hashmap throughput vs thread count.
+func Fig7Maps(scale Scale, systems []string, readDominant bool) ([]Result, error) {
+	if systems == nil {
+		systems = mapSystems()
+	}
+	fig, mix := "fig7a", mixWriteDominant
+	if readDominant {
+		fig, mix = "fig7b", mixReadDominant
+	}
+	var out []Result
+	for _, name := range systems {
+		for _, threads := range scale.Threads {
+			in, err := makeMap(name, scale, threads)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			mops, err := runMapWorkload(in, scale, threads, mix)
+			in.close()
+			if err != nil {
+				return nil, fmt.Errorf("%s threads=%d: %w", name, threads, err)
+			}
+			out = append(out, Result{
+				Figure: fig, Series: name,
+				Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: mops,
+			})
+		}
+	}
+	return out, nil
+}
+
+// defaultPayloadSizes are the x values of Figure 8.
+var defaultPayloadSizes = []int{16, 64, 256, 1024, 4096}
+
+// Fig8Payload regenerates Figure 8a (single-threaded queues) or 8b
+// (single-threaded hashmap, 2:1:1) across payload sizes.
+func Fig8Payload(scale Scale, systems []string, maps bool) ([]Result, error) {
+	fig := "fig8a"
+	if maps {
+		fig = "fig8b"
+	}
+	if systems == nil {
+		if maps {
+			systems = []string{"DRAM(T)", "NVM(T)", "Montage(T)", "Montage", "SOFT", "NVTraverse", "Dali", "MOD", "Pronto-Sync", "Mnemosyne"}
+		} else {
+			systems = []string{"DRAM(T)", "NVM(T)", "Montage(T)", "Montage", "Friedman", "MOD", "Pronto-Sync", "Mnemosyne"}
+		}
+	}
+	var out []Result
+	for _, name := range systems {
+		for _, size := range defaultPayloadSizes {
+			s := scale
+			s.ValueSize = size
+			var mops float64
+			var err error
+			if maps {
+				var in *instance[Map]
+				in, err = makeMap(name, s, 1)
+				if err == nil {
+					mops, err = runMapWorkload(in, s, 1, mixReadWrite)
+					in.close()
+				}
+			} else {
+				var in *instance[Queue]
+				in, err = makeQueue(name, s, 1)
+				if err == nil {
+					mops, err = runQueueWorkload(in, s, 1)
+					in.close()
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s size=%d: %w", name, size, err)
+			}
+			out = append(out, Result{
+				Figure: fig, Series: name,
+				Label: fmt.Sprintf("%dB", size), X: float64(size), Mops: mops,
+			})
+		}
+	}
+	return out, nil
+}
+
+// designGroup is one bar group of Figures 4 and 5.
+type designGroup struct {
+	name      string
+	buf       int
+	localFree bool
+	dirWB     bool
+	transient bool
+	dirFree   bool
+	workerAdv bool
+}
+
+// designGroups are the paper's eight bar groups plus a ninth that
+// answers Section 5.2's first design question directly: what if epoch
+// advances run on (and are charged to) the triggering worker instead of
+// a background thread?
+var designGroups = []designGroup{
+	{name: "Buf=2", buf: 2},
+	{name: "Buf=16", buf: 16},
+	{name: "Buf=64", buf: 64},
+	{name: "Buf=256", buf: 256},
+	{name: "Buf64+LocalFree", buf: 64, localFree: true},
+	{name: "DirWB", buf: 64, dirWB: true},
+	{name: "Montage(T)", transient: true},
+	{name: "Buf64+DirFree", buf: 64, dirFree: true},
+	{name: "Buf64+WorkerAdv", buf: 64, workerAdv: true},
+}
+
+// DefaultEpochLengths are the virtual epoch lengths swept in Figures 4
+// and 5 (the paper sweeps 1us to 5s).
+var DefaultEpochLengths = []int64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000,
+}
+
+func epochLenLabel(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%ds", ns/1_000_000_000)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%dms", ns/1_000_000)
+	case ns >= 1_000:
+		return fmt.Sprintf("%dus", ns/1_000)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// designEpochConfig renders a group into an epoch configuration.
+func (g designGroup) config(epochLenV int64) epoch.Config {
+	cfg := epoch.Config{
+		BufferSize:    g.buf,
+		LocalFree:     g.localFree,
+		DirectFree:    g.dirFree,
+		Transient:     g.transient,
+		EpochLengthV:  epochLenV,
+		WorkerAdvance: g.workerAdv,
+	}
+	if g.dirWB {
+		cfg.Policy = epoch.PolicyDirect
+	}
+	if g.transient {
+		cfg.EpochLengthV = 0
+	}
+	return cfg
+}
+
+// Fig4Design regenerates Figure 4: the design exploration on a 40-thread
+// write-dominant hashmap, sweeping write-back buffer size, reclamation
+// placement, and epoch length.
+func Fig4Design(scale Scale, epochLens []int64, threads int) ([]Result, error) {
+	if epochLens == nil {
+		epochLens = DefaultEpochLengths
+	}
+	if threads == 0 {
+		threads = 40
+	}
+	var out []Result
+	for _, g := range designGroups {
+		for _, el := range epochLens {
+			sys, err := montageSystem(scale, threads, g.config(el))
+			if err != nil {
+				return nil, err
+			}
+			in := &instance[Map]{impl: pds.NewHashMap(sys, scale.Buckets), clk: sys.Clock(), sys: sys, close: sys.Close}
+			mops, err := runMapWorkload(in, scale, threads, mixWriteDominant)
+			in.close()
+			if err != nil {
+				return nil, fmt.Errorf("%s epoch=%s: %w", g.name, epochLenLabel(el), err)
+			}
+			out = append(out, Result{
+				Figure: "fig4", Series: g.name,
+				Label: epochLenLabel(el), X: float64(el), Mops: mops,
+			})
+			if g.transient {
+				break // Montage(T) has no epoch dimension
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig5Design regenerates Figure 5: the same design exploration on a
+// single-threaded queue.
+func Fig5Design(scale Scale, epochLens []int64) ([]Result, error) {
+	if epochLens == nil {
+		epochLens = DefaultEpochLengths
+	}
+	var out []Result
+	for _, g := range designGroups {
+		for _, el := range epochLens {
+			sys, err := montageSystem(scale, 1, g.config(el))
+			if err != nil {
+				return nil, err
+			}
+			in := &instance[Queue]{impl: pds.NewQueue(sys), clk: sys.Clock(), sys: sys, close: sys.Close}
+			mops, err := runQueueWorkload(in, scale, 1)
+			in.close()
+			if err != nil {
+				return nil, fmt.Errorf("%s epoch=%s: %w", g.name, epochLenLabel(el), err)
+			}
+			out = append(out, Result{
+				Figure: "fig5", Series: g.name,
+				Label: epochLenLabel(el), X: float64(el), Mops: mops,
+			})
+			if g.transient {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// defaultSyncIntervals are the x values of Figure 9 (a sync every x
+// operations).
+var defaultSyncIntervals = []int{1, 10, 100, 1_000, 10_000, 100_000}
+
+// Fig9Sync regenerates Figure 9: 40-thread write-dominant hashmaps with a
+// sync every x operations, comparing the buffered configuration
+// (Montage (cb)) against per-operation write-back (Montage (dw)) and the
+// transient references.
+func Fig9Sync(scale Scale, threads int, intervals []int) ([]Result, error) {
+	if threads == 0 {
+		threads = 40
+	}
+	if intervals == nil {
+		intervals = defaultSyncIntervals
+	}
+	type cfg struct {
+		name   string
+		series string
+		policy epoch.Policy
+	}
+	cfgs := []cfg{
+		{name: "Montage", series: "Montage(cb)", policy: epoch.PolicyBuffered},
+		{name: "Montage", series: "Montage(dw)", policy: epoch.PolicyPerOp},
+	}
+	var out []Result
+	// Transient references (sync is free for them; one value per x).
+	for _, ref := range []string{"NVM(T)", "Montage(T)"} {
+		for _, interval := range intervals {
+			in, err := makeMap(ref, scale, threads)
+			if err != nil {
+				return nil, err
+			}
+			mops, err := runMapWorkload(in, scale, threads, mixWriteDominant)
+			in.close()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{
+				Figure: "fig9", Series: ref,
+				Label: fmt.Sprintf("sync/%d", interval), X: float64(interval), Mops: mops,
+			})
+		}
+	}
+	for _, c := range cfgs {
+		for _, interval := range intervals {
+			sys, err := montageSystem(scale, threads, epoch.Config{Policy: c.policy})
+			if err != nil {
+				return nil, err
+			}
+			in := &instance[Map]{impl: pds.NewHashMap(sys, scale.Buckets), clk: sys.Clock(), sys: sys, close: sys.Close}
+			if err := preloadMap(in.impl, scale); err != nil {
+				return nil, err
+			}
+			in.settle()
+			rngs := make([]*rand.Rand, threads)
+			for tid := range rngs {
+				rngs[tid] = rng(scale.Seed, tid)
+			}
+			val := value(scale.ValueSize)
+			mops := runWorkers(in.clk, threads, scale.OpsPerThread, func(tid, i int) {
+				r := rngs[tid]
+				key := key32(r.Intn(scale.KeyRange))
+				if r.Intn(2) == 0 {
+					in.impl.Insert(tid, key, val)
+				} else {
+					in.impl.Remove(tid, key)
+				}
+				if (i+1)%interval == 0 {
+					sys.Sync(tid)
+				}
+			})
+			in.close()
+			out = append(out, Result{
+				Figure: "fig9", Series: c.series,
+				Label: fmt.Sprintf("sync/%d", interval), X: float64(interval), Mops: mops,
+			})
+		}
+	}
+	return out, nil
+}

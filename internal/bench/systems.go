@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+
+	"montage/internal/baselines"
+	"montage/internal/core"
+	"montage/internal/epoch"
+	"montage/internal/pds"
+	"montage/internal/simclock"
+)
+
+// Queue is the surface every benchmarked queue exposes.
+type Queue interface {
+	Enqueue(tid int, val []byte) error
+	Dequeue(tid int) ([]byte, bool, error)
+}
+
+// Map is the surface every benchmarked map exposes.
+type Map interface {
+	Get(tid int, key string) ([]byte, bool)
+	Insert(tid int, key string, val []byte) (bool, error)
+	Remove(tid int, key string) (bool, error)
+}
+
+// instance bundles a structure under test with its clock and teardown.
+type instance[T any] struct {
+	impl  T
+	clk   *simclock.Clock
+	sys   *core.System // non-nil for Montage systems (Sync, epochs)
+	close func()
+}
+
+// montageSystem builds a Montage system for threads workers with the
+// scale's epoch parameters.
+func montageSystem(scale Scale, threads int, ecfg epoch.Config) (*core.System, error) {
+	costs := simclock.DefaultCosts()
+	ecfg.MaxThreads = threads
+	if ecfg.BufferSize == 0 {
+		ecfg.BufferSize = scale.BufferSize
+	}
+	if ecfg.EpochLengthV == 0 && !ecfg.Transient {
+		ecfg.EpochLengthV = scale.EpochLenV
+	}
+	return core.NewSystem(core.Config{
+		ArenaSize:  scale.ArenaSize,
+		MaxThreads: threads,
+		Epoch:      ecfg,
+		Costs:      &costs,
+	})
+}
+
+func newEnv(scale Scale, threads int) (*baselines.Env, error) {
+	costs := simclock.DefaultCosts()
+	return baselines.NewEnv(scale.ArenaSize, threads, &costs)
+}
+
+// queueSystems returns constructors for every queue series of Figure 6.
+func queueSystems() []string {
+	return []string{
+		"DRAM(T)", "NVM(T)", "Montage(T)", "Montage",
+		"Friedman", "MOD", "Pronto-Full", "Pronto-Sync", "Mnemosyne",
+	}
+}
+
+func makeQueue(name string, scale Scale, threads int) (*instance[Queue], error) {
+	switch name {
+	case "DRAM(T)", "NVM(T)":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		medium := baselines.DRAM
+		if name == "NVM(T)" {
+			medium = baselines.NVM
+		}
+		return &instance[Queue]{impl: baselines.NewTransientQueue(env, medium), clk: env.Clk, close: func() {}}, nil
+	case "Montage", "Montage(T)":
+		ecfg := epoch.Config{Transient: name == "Montage(T)"}
+		sys, err := montageSystem(scale, threads, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Queue]{impl: pds.NewQueue(sys), clk: sys.Clock(), sys: sys, close: sys.Close}, nil
+	case "Montage-LF":
+		sys, err := montageSystem(scale, threads, epoch.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Queue]{impl: pds.NewLFQueue(sys), clk: sys.Clock(), sys: sys, close: sys.Close}, nil
+	case "Friedman":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		q, err := baselines.NewFriedmanQueue(env)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Queue]{impl: q, clk: env.Clk, close: func() {}}, nil
+	case "MOD":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		q, err := baselines.NewMODQueue(env)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Queue]{impl: q, clk: env.Clk, close: func() {}}, nil
+	case "Pronto-Full", "Pronto-Sync":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		mode := baselines.ProntoSync
+		if name == "Pronto-Full" {
+			mode = baselines.ProntoFull
+		}
+		q, err := baselines.NewProntoQueue(env, mode, threads, 100_000, 4<<20)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Queue]{impl: q, clk: env.Clk, close: func() {}}, nil
+	case "Mnemosyne":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		q, err := baselines.NewMnemosyneQueue(env)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Queue]{impl: q, clk: env.Clk, close: func() {}}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown queue system %q", name)
+}
+
+// mapSystems returns the map series of Figure 7.
+func mapSystems() []string {
+	return []string{
+		"DRAM(T)", "NVM(T)", "Montage(T)", "Montage", "SOFT",
+		"NVTraverse", "Dali", "MOD", "Pronto-Full", "Pronto-Sync", "Mnemosyne",
+	}
+}
+
+func makeMap(name string, scale Scale, threads int) (*instance[Map], error) {
+	switch name {
+	case "DRAM(T)", "NVM(T)":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		medium := baselines.DRAM
+		if name == "NVM(T)" {
+			medium = baselines.NVM
+		}
+		return &instance[Map]{impl: baselines.NewTransientMap(env, medium, scale.Buckets), clk: env.Clk, close: func() {}}, nil
+	case "Montage", "Montage(T)":
+		ecfg := epoch.Config{Transient: name == "Montage(T)"}
+		sys, err := montageSystem(scale, threads, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: pds.NewHashMap(sys, scale.Buckets), clk: sys.Clock(), sys: sys, close: sys.Close}, nil
+	case "Montage-LF":
+		// Nonblocking Montage set (ablation series; the list index makes
+		// it usable only at small key ranges).
+		sys, err := montageSystem(scale, threads, epoch.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: pds.NewLFSet(sys), clk: sys.Clock(), sys: sys, close: sys.Close}, nil
+	case "SOFT":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: baselines.NewSoftMap(env, scale.Buckets), clk: env.Clk, close: func() {}}, nil
+	case "NVTraverse":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: baselines.NewNVTraverseMap(env, scale.Buckets), clk: env.Clk, close: func() {}}, nil
+	case "Dali":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		m, err := baselines.NewDaliMap(env, scale.Buckets, scale.EpochLenV)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: m, clk: env.Clk, close: func() {}}, nil
+	case "MOD":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		m, err := baselines.NewMODMap(env, scale.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: m, clk: env.Clk, close: func() {}}, nil
+	case "Pronto-Full", "Pronto-Sync":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		mode := baselines.ProntoSync
+		if name == "Pronto-Full" {
+			mode = baselines.ProntoFull
+		}
+		m, err := baselines.NewProntoMap(env, mode, threads, scale.Buckets, 100_000, 4<<20)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: m, clk: env.Clk, close: func() {}}, nil
+	case "Mnemosyne":
+		env, err := newEnv(scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		m, err := baselines.NewMnemosyneMap(env, scale.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		return &instance[Map]{impl: m, clk: env.Clk, close: func() {}}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown map system %q", name)
+}
+
+// preloadMap inserts the scale's preload set (even keys, so inserts of
+// odd keys during measurement hit absent keys about half the time).
+func preloadMap(m Map, scale Scale) error {
+	val := value(scale.ValueSize)
+	for i := 0; i < scale.Preload; i++ {
+		k := key32((i * 2) % scale.KeyRange)
+		if _, err := m.Insert(0, k, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timingResettable is implemented by baselines that keep their own
+// virtual-time pipelines (Pronto's sister-hyperthread loggers).
+type timingResettable interface{ ResetTiming() }
+
+// settle makes preload work durable on Montage systems and resets the
+// measurement clock.
+func (in *instance[T]) settle() {
+	if in.sys != nil {
+		in.sys.Sync(0)
+	}
+	in.clk.Reset()
+	if in.sys != nil {
+		in.sys.Epochs().ResetVirtualTimer()
+	}
+	if r, ok := any(in.impl).(timingResettable); ok {
+		r.ResetTiming()
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import "encoding/binary"
+
+// Field-structured payloads: the Go analog of the paper's GENERATE_FIELD
+// macro, which generates per-field get_/set_ accessors on a payload
+// class. A payload's data section is encoded as a sequence of
+// length-prefixed fields; GetField reads one field (with the old-see-new
+// check), and SetField rewrites one field, going through the ordinary
+// Set path so the in-place/copy-on-epoch-change rules apply unchanged.
+
+// EncodeFields packs fields into one payload data section. Each field is
+// a 4-byte little-endian length followed by its bytes.
+func EncodeFields(fields ...[]byte) []byte {
+	n := 0
+	for _, f := range fields {
+		n += 4 + len(f)
+	}
+	buf := make([]byte, n)
+	off := 0
+	for _, f := range fields {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(f)))
+		copy(buf[off+4:], f)
+		off += 4 + len(f)
+	}
+	return buf
+}
+
+// DecodeFields unpacks a data section produced by EncodeFields. The
+// returned slices alias data.
+func DecodeFields(data []byte) ([][]byte, bool) {
+	var out [][]byte
+	off := 0
+	for off < len(data) {
+		if off+4 > len(data) {
+			return nil, false
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+4+l > len(data) {
+			return nil, false
+		}
+		out = append(out, data[off+4:off+4+l])
+		off += 4 + l
+	}
+	return out, true
+}
+
+// GetField returns field idx of a field-structured payload (the paper's
+// generated get_fieldname, old-see-new check included).
+func (op Op) GetField(p *PBlk, idx int) ([]byte, error) {
+	data, err := op.Get(p)
+	if err != nil {
+		return nil, err
+	}
+	fields, ok := DecodeFields(data)
+	if !ok || idx < 0 || idx >= len(fields) {
+		return nil, ErrNoSuchField
+	}
+	return fields[idx], nil
+}
+
+// SetField rewrites field idx and returns the payload now holding the
+// data (the paper's generated set_fieldname: "may return a new
+// payload"). As with Set, the caller must rewrite its pointer when a
+// copy is returned.
+func (op Op) SetField(p *PBlk, idx int, val []byte) (*PBlk, error) {
+	data, err := op.Get(p)
+	if err != nil {
+		return nil, err
+	}
+	fields, ok := DecodeFields(data)
+	if !ok || idx < 0 || idx >= len(fields) {
+		return nil, ErrNoSuchField
+	}
+	// Copy the fields before re-encoding: they alias p's data, which Set
+	// may rewrite in place.
+	cp := make([][]byte, len(fields))
+	for i, f := range fields {
+		if i == idx {
+			cp[i] = val
+		} else {
+			cp[i] = append([]byte(nil), f...)
+		}
+	}
+	return op.Set(p, EncodeFields(cp...))
+}
+
+// ErrNoSuchField reports a field index outside the payload's layout or a
+// payload whose data is not field-structured.
+var ErrNoSuchField = errString("montage: payload has no such field")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

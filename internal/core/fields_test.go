@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"montage/internal/pmem"
+)
+
+func TestFieldsEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		fields, ok := DecodeFields(EncodeFields(a, b, c))
+		return ok && len(fields) == 3 &&
+			bytes.Equal(fields[0], a) && bytes.Equal(fields[1], b) && bytes.Equal(fields[2], c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldsDecodeRejectsGarbage(t *testing.T) {
+	if _, ok := DecodeFields([]byte{1, 2, 3}); ok {
+		t.Fatal("short header accepted")
+	}
+	if _, ok := DecodeFields([]byte{255, 255, 255, 255, 0}); ok {
+		t.Fatal("oversized length accepted")
+	}
+	if fields, ok := DecodeFields(nil); !ok || len(fields) != 0 {
+		t.Fatal("empty data should decode to zero fields")
+	}
+}
+
+func TestGetSetField(t *testing.T) {
+	s := newSys(t)
+	var p *PBlk
+	// Create a payload with key/value fields, like the paper's Figure 2
+	// Payload class (GENERATE_FIELD(K, key, ...), GENERATE_FIELD(V, val, ...)).
+	if err := s.DoOp(0, func(op Op) error {
+		var err error
+		p, err = op.PNew(EncodeFields([]byte("the-key"), []byte("v1")))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DoOp(0, func(op Op) error {
+		k, err := op.GetField(p, 0)
+		if err != nil || string(k) != "the-key" {
+			t.Fatalf("GetField(0) = %q, %v", k, err)
+		}
+		np, err := op.SetField(p, 1, []byte("v2"))
+		if err != nil {
+			return err
+		}
+		if np != p {
+			t.Fatal("same-epoch SetField must update in place")
+		}
+		v, err := op.GetField(p, 1)
+		if err != nil || string(v) != "v2" {
+			t.Fatalf("GetField(1) = %q, %v", v, err)
+		}
+		// The untouched field is preserved.
+		k, _ = op.GetField(p, 0)
+		if string(k) != "the-key" {
+			t.Fatalf("key field corrupted: %q", k)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFieldCrossEpochCopies(t *testing.T) {
+	s := newSys(t)
+	var p *PBlk
+	s.DoOp(0, func(op Op) error {
+		var err error
+		p, err = op.PNew(EncodeFields([]byte("k"), []byte("v1")))
+		return err
+	})
+	s.Advance()
+	if err := s.DoOp(0, func(op Op) error {
+		np, err := op.SetField(p, 1, []byte("v2"))
+		if err != nil {
+			return err
+		}
+		if np == p {
+			t.Fatal("cross-epoch SetField must return a copy")
+		}
+		if np.UID() != p.UID() {
+			t.Fatal("copy must share the uid")
+		}
+		v, _ := op.GetField(np, 1)
+		k, _ := op.GetField(np, 0)
+		if string(v) != "v2" || string(k) != "k" {
+			t.Fatalf("copied fields wrong: %q %q", k, v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldErrors(t *testing.T) {
+	s := newSys(t)
+	var p *PBlk
+	s.DoOp(0, func(op Op) error {
+		var err error
+		p, err = op.PNew(EncodeFields([]byte("only")))
+		return err
+	})
+	if err := s.DoOp(0, func(op Op) error {
+		if _, err := op.GetField(p, 5); !errors.Is(err, ErrNoSuchField) {
+			t.Fatalf("GetField(5) err = %v", err)
+		}
+		if _, err := op.SetField(p, -1, nil); !errors.Is(err, ErrNoSuchField) {
+			t.Fatalf("SetField(-1) err = %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldsSurviveCrash(t *testing.T) {
+	s := newSys(t)
+	var p *PBlk
+	s.DoOp(0, func(op Op) error {
+		var err error
+		p, err = op.PNew(EncodeFields([]byte("key"), []byte("old")))
+		return err
+	})
+	s.Advance()
+	s.DoOp(0, func(op Op) error {
+		np, err := op.SetField(p, 1, []byte("new"))
+		p = np
+		return err
+	})
+	s.Sync(0)
+	s.Device().Crash(pmem.CrashDropAll)
+	_, got, err := Recover(s.Device(), Config{ArenaSize: 1 << 22, MaxThreads: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("recovered %d payloads", len(got))
+	}
+	fields, ok := DecodeFields(got[0].data)
+	if !ok || string(fields[0]) != "key" || string(fields[1]) != "new" {
+		t.Fatalf("recovered fields: %q (ok=%v)", fields, ok)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+
+	"montage/internal/epoch"
+	"montage/internal/payload"
+	"montage/internal/pmem"
+	"montage/internal/ralloc"
+)
+
+// Recover reopens a Montage system from a crashed device and returns the
+// surviving payloads.
+//
+// If the crash occurred in epoch e (the durable clock value), all
+// payloads labeled e or e-1 are discarded, implementing the paper's
+// two-epoch rule: what survives is exactly the set of payloads created by
+// operations that linearized before the e-1 boundary, a consistent prefix
+// of pre-crash execution. Among a payload's surviving versions (blocks
+// sharing a uid), only the newest counts; if that newest version is an
+// anti-payload, the payload is gone. Every discarded block has its
+// durable header invalidated so a subsequent crash cannot resurrect it,
+// and the allocator's free lists are rebuilt around the survivors.
+//
+// workers parallelizes the arena sweep (the paper's k recovery
+// iterators). The caller hands the returned payloads to each data
+// structure's rebuild routine, which reconstructs the transient index
+// (constraint 6: the rebuilt concrete state must mean the same abstract
+// state as the surviving payload set).
+//
+// After recovery, the pre-crash System (if the process still holds one)
+// must be discarded without further use — in particular without calling
+// Close or Sync on it: its buffered payloads reference blocks that
+// recovery may have freed and reallocated, and flushing them would
+// corrupt the new system's data.
+func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error) {
+	cfg = cfg.withDefaults()
+	if clk := dev.Clock(); clk == nil && cfg.Costs != nil {
+		// The device owns the clock; a clockless device stays clockless.
+		cfg.Costs = nil
+	}
+	heap, err := ralloc.New(dev, cfg.MaxThreads, ralloc.Options{SuperblockSize: cfg.SuperblockSize})
+	if err != nil {
+		return nil, nil, err
+	}
+	clock, err := epoch.ReadClock(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cutoff uint64
+	if clock > 2 {
+		cutoff = clock - 2
+	}
+
+	blocks, err := heap.Recover(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Pick, per uid, the newest version at or below the cutoff.
+	winner := make(map[uint64]ralloc.Block, len(blocks))
+	var maxUID uint64
+	for _, b := range blocks {
+		if b.Header.UID > maxUID {
+			maxUID = b.Header.UID
+		}
+		if b.Header.Epoch > cutoff {
+			continue
+		}
+		w, ok := winner[b.Header.UID]
+		if !ok || b.Header.Epoch > w.Header.Epoch ||
+			(b.Header.Epoch == w.Header.Epoch && b.Header.Typ == payload.Delete) {
+			winner[b.Header.UID] = b
+		}
+	}
+
+	sys := &System{cfg: cfg, dev: dev, heap: heap, clk: dev.Clock()}
+	sys.uid.Store(maxUID)
+
+	inUse := make(map[pmem.Addr]bool, len(winner))
+	var survivors []*PBlk
+	for _, b := range winner {
+		if b.Header.Typ == payload.Delete {
+			continue
+		}
+		inUse[b.Addr] = true
+		survivors = append(survivors, &PBlk{
+			sys:   sys,
+			addr:  b.Addr,
+			epoch: b.Header.Epoch,
+			uid:   b.Header.UID,
+			typ:   b.Header.Typ,
+			tag:   b.Header.Tag,
+			data:  b.Data,
+		})
+	}
+	for _, p := range survivors {
+		p.flushed.Store(true)
+	}
+
+	// Invalidate every decodable block that did not survive: newer than
+	// the cutoff, superseded by a newer version, nullified by an
+	// anti-payload, or an anti-payload itself. Order matters for crash
+	// atomicity of recovery itself: data blocks are invalidated before
+	// anti-payloads, so a crash mid-sweep can leave an orphan anti
+	// (harmless) but never a nullified version without its anti — which a
+	// re-run of recovery would otherwise resurrect.
+	var zero [8]byte
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range blocks {
+			if inUse[b.Addr] {
+				continue
+			}
+			isAnti := b.Header.Typ == payload.Delete
+			if (pass == 0) == isAnti {
+				continue // pass 0: data blocks; pass 1: anti-payloads
+			}
+			if err := dev.WriteDurable(b.Addr, zero[:]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	heap.FinishRecovery(inUse)
+
+	// Restart the clock strictly above its pre-crash value so epoch
+	// labels are never reused.
+	restart := clock + 1
+	if restart < epoch.FirstEpoch {
+		restart = epoch.FirstEpoch
+	}
+	sys.esys = epoch.NewAt(heap, cfg.Epoch, restart)
+
+	// Deterministic order helps tests and parallel rebuild partitioning.
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].uid < survivors[j].uid })
+	return sys, survivors, nil
+}
+
+// FilterByTag returns the payloads whose owning-structure tag equals
+// tag. When several structures share a System, each structure's rebuild
+// routine takes FilterByTag(survivors, itsTag).
+func FilterByTag(payloads []*PBlk, tag uint16) []*PBlk {
+	var out []*PBlk
+	for _, p := range payloads {
+		if p.tag == tag {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RecoverParallel splits the surviving payloads into k disjoint chunks,
+// mirroring the paper's k recovery iterators for parallel index rebuild.
+func RecoverParallel(dev *pmem.Device, cfg Config, workers int) (*System, [][]*PBlk, error) {
+	sys, survivors, err := Recover(dev, cfg, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := make([][]*PBlk, workers)
+	for i, p := range survivors {
+		chunks[i%workers] = append(chunks[i%workers], p)
+	}
+	return sys, chunks, nil
+}

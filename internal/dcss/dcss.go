@@ -1,0 +1,196 @@
+// Package dcss provides the epoch-verified atomic primitives Montage
+// offers to nonblocking data structures (paper Sections 3.2–3.3).
+//
+// A nonblocking operation must linearize in the epoch in which it created
+// its payloads. CASVerify makes that possible: it is a software
+// double-compare-single-swap (after Harris et al.) that atomically
+// (a) verifies the global epoch clock still reads the operation's epoch
+// and (b) swaps a pointer cell — so a successful linearizing CAS is
+// guaranteed to have happened in the right epoch. LoadVerify reads a cell
+// while helping any in-progress CASVerify complete; it performs no store
+// when no DCSS is in flight, so read-mostly traversals stay cache-clean
+// (the paper's load_verify2). LoadVerifyCount is the load_verify1
+// variant: a read-CAS that bumps an adjacent counter, for structures
+// whose reads must themselves linearize against epoch changes.
+//
+// Cells also carry a mark bit, the standard Harris-list tombstone, so the
+// same primitive supports lock-free lists with logical deletion.
+package dcss
+
+import (
+	"sync/atomic"
+
+	"montage/internal/epoch"
+)
+
+// state values for a descriptor.
+const (
+	undecided int32 = iota
+	succeeded
+	failed
+)
+
+// descriptor is an in-flight DCSS: swap c from old to new only if the
+// epoch clock still reads expect.
+type descriptor[T any] struct {
+	cell   *Cell[T]
+	old    *T
+	new    *T
+	mark   bool // mark bit to install alongside new on success
+	expect uint64
+	esys   *epoch.Sys
+	state  atomic.Int32
+}
+
+// entry is one immutable version of a cell's contents. Cells advance by
+// swapping entry pointers, which makes the (value, mark, count,
+// descriptor) tuple atomic.
+type entry[T any] struct {
+	val   *T
+	mark  bool
+	count uint64
+	desc  *descriptor[T]
+}
+
+// Cell is a pointer-sized location supporting epoch-verified CAS. The
+// zero value holds (nil, unmarked).
+type Cell[T any] struct {
+	p atomic.Pointer[entry[T]]
+}
+
+func (c *Cell[T]) load() *entry[T] {
+	e := c.p.Load()
+	if e == nil {
+		// Lazily treat an untouched cell as (nil, unmarked, 0).
+		return &entry[T]{}
+	}
+	return e
+}
+
+// Load returns the cell's value and mark, helping any in-progress DCSS
+// first (the paper's load_verify2: no store unless a DCSS is in flight).
+func (c *Cell[T]) Load() (*T, bool) {
+	for {
+		e := c.load()
+		if e.desc == nil {
+			return e.val, e.mark
+		}
+		e.desc.complete()
+		c.resolve(e)
+	}
+}
+
+// Value returns just the pointer (ignoring the mark).
+func (c *Cell[T]) Value() *T {
+	v, _ := c.Load()
+	return v
+}
+
+// LoadVerifyCount is the load_verify1 primitive: it returns the cell's
+// value while atomically bumping the adjacent counter, so that a
+// subsequent CAS by a slower writer from the pre-read entry must fail.
+// Reads that use it are ordered with epoch changes at the cost of a
+// store per read.
+func (c *Cell[T]) LoadVerifyCount() (*T, bool) {
+	for {
+		e := c.load()
+		if e.desc != nil {
+			e.desc.complete()
+			c.resolve(e)
+			continue
+		}
+		ne := &entry[T]{val: e.val, mark: e.mark, count: e.count + 1}
+		if c.cas(e, ne) {
+			return e.val, e.mark
+		}
+	}
+}
+
+// cas swaps the entry pointer, treating nil as the zero entry.
+func (c *Cell[T]) cas(old, new *entry[T]) bool {
+	if c.p.Load() == nil && old.val == nil && !old.mark && old.count == 0 && old.desc == nil {
+		return c.p.CompareAndSwap(nil, new)
+	}
+	return c.p.CompareAndSwap(old, new)
+}
+
+// resolve replaces a decided descriptor entry with its outcome.
+func (c *Cell[T]) resolve(e *entry[T]) {
+	d := e.desc
+	switch d.state.Load() {
+	case succeeded:
+		c.cas(e, &entry[T]{val: d.new, mark: d.mark, count: e.count + 1})
+	case failed:
+		c.cas(e, &entry[T]{val: d.old, mark: e.mark, count: e.count + 1})
+	}
+}
+
+// complete decides an undecided descriptor by checking the epoch clock.
+func (d *descriptor[T]) complete() {
+	if d.state.Load() != undecided {
+		return
+	}
+	outcome := failed
+	if d.esys.Epoch() == d.expect {
+		outcome = succeeded
+	}
+	d.state.CompareAndSwap(undecided, outcome)
+}
+
+// CAS performs a plain (non-epoch-verified) compare-and-swap from
+// (old, oldMark) to (new, newMark), helping descriptors as needed.
+func (c *Cell[T]) CAS(old *T, oldMark bool, new *T, newMark bool) bool {
+	for {
+		e := c.load()
+		if e.desc != nil {
+			e.desc.complete()
+			c.resolve(e)
+			continue
+		}
+		if e.val != old || e.mark != oldMark {
+			return false
+		}
+		if c.cas(e, &entry[T]{val: new, mark: newMark, count: e.count + 1}) {
+			return true
+		}
+	}
+}
+
+// CASVerify atomically swaps the cell from (old, oldMark) to
+// (new, newMark) provided the epoch clock still reads opEpoch at the
+// moment of the swap (the paper's CAS_verify2). It returns
+// (swapped, epochValid): swapped=false with epochValid=false means the
+// epoch moved and the caller should restart its operation in the new
+// epoch (the OldSeeNewException response); swapped=false with
+// epochValid=true means ordinary CAS failure (the cell changed).
+func CASVerify[T any](esys *epoch.Sys, opEpoch uint64, c *Cell[T], old *T, oldMark bool, new *T, newMark bool) (swapped, epochValid bool) {
+	for {
+		e := c.load()
+		if e.desc != nil {
+			e.desc.complete()
+			c.resolve(e)
+			continue
+		}
+		if e.val != old || e.mark != oldMark {
+			return false, true
+		}
+		d := &descriptor[T]{cell: c, old: old, new: new, mark: newMark, expect: opEpoch, esys: esys}
+		de := &entry[T]{val: old, mark: oldMark, count: e.count, desc: d}
+		if !c.cas(e, de) {
+			continue // cell moved under us; re-examine
+		}
+		d.complete()
+		c.resolve(de)
+		if d.state.Load() == succeeded {
+			return true, true
+		}
+		// The descriptor failed, which can only mean the epoch moved.
+		return false, false
+	}
+}
+
+// Store unconditionally sets the cell (initialization only; not safe
+// against concurrent CASVerify).
+func (c *Cell[T]) Store(v *T, mark bool) {
+	c.p.Store(&entry[T]{val: v, mark: mark})
+}

@@ -1,0 +1,251 @@
+package dcss
+
+import (
+	"sync"
+	"testing"
+
+	"montage/internal/epoch"
+	"montage/internal/pmem"
+	"montage/internal/ralloc"
+)
+
+func newEsys(t *testing.T) *epoch.Sys {
+	t.Helper()
+	dev := pmem.NewDevice(1<<20, 8, nil)
+	heap, err := ralloc.New(dev, 8, ralloc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epoch.New(heap, epoch.Config{MaxThreads: 8})
+}
+
+func TestCellZeroValue(t *testing.T) {
+	var c Cell[int]
+	v, marked := c.Load()
+	if v != nil || marked {
+		t.Fatal("zero cell must read (nil, unmarked)")
+	}
+}
+
+func TestCellStoreLoad(t *testing.T) {
+	var c Cell[int]
+	x := 42
+	c.Store(&x, true)
+	v, marked := c.Load()
+	if v != &x || !marked {
+		t.Fatal("Store/Load mismatch")
+	}
+}
+
+func TestPlainCAS(t *testing.T) {
+	var c Cell[int]
+	a, b := 1, 2
+	if !c.CAS(nil, false, &a, false) {
+		t.Fatal("CAS from zero failed")
+	}
+	if c.CAS(nil, false, &b, false) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if !c.CAS(&a, false, &a, true) {
+		t.Fatal("mark CAS failed")
+	}
+	if v, m := c.Load(); v != &a || !m {
+		t.Fatal("mark not installed")
+	}
+	if c.CAS(&a, false, &b, false) {
+		t.Fatal("CAS ignoring mark succeeded")
+	}
+}
+
+func TestCASVerifySucceedsInCurrentEpoch(t *testing.T) {
+	esys := newEsys(t)
+	var c Cell[int]
+	x := 7
+	e := esys.BeginOp(0)
+	swapped, ok := CASVerify(esys, e, &c, nil, false, &x, false)
+	esys.EndOp(0)
+	if !swapped || !ok {
+		t.Fatalf("CASVerify failed in current epoch: %v %v", swapped, ok)
+	}
+	if c.Value() != &x {
+		t.Fatal("value not installed")
+	}
+}
+
+func TestCASVerifyFailsAfterEpochAdvance(t *testing.T) {
+	esys := newEsys(t)
+	var c Cell[int]
+	x := 7
+	e := esys.BeginOp(0)
+	esys.EndOp(0)
+	esys.Advance()
+	swapped, ok := CASVerify(esys, e, &c, nil, false, &x, false)
+	if swapped || ok {
+		t.Fatalf("CASVerify in stale epoch: swapped=%v epochValid=%v", swapped, ok)
+	}
+	if c.Value() != nil {
+		t.Fatal("failed CASVerify mutated the cell")
+	}
+}
+
+func TestCASVerifyValueMismatch(t *testing.T) {
+	esys := newEsys(t)
+	var c Cell[int]
+	a, b, x := 1, 2, 3
+	c.Store(&a, false)
+	e := esys.BeginOp(0)
+	swapped, ok := CASVerify(esys, e, &c, &b, false, &x, false)
+	esys.EndOp(0)
+	if swapped || !ok {
+		t.Fatalf("value-mismatch CASVerify: swapped=%v epochValid=%v", swapped, ok)
+	}
+	if c.Value() != &a {
+		t.Fatal("cell changed on failed compare")
+	}
+}
+
+func TestLoadVerifyCountBlocksStaleCAS(t *testing.T) {
+	// After a LoadVerifyCount, a CAS prepared from the pre-read entry
+	// must fail — that is the point of load_verify1.
+	var c Cell[int]
+	a, b := 1, 2
+	c.Store(&a, false)
+	before := c.load()
+	c.LoadVerifyCount()
+	if c.cas(before, &entry[int]{val: &b}) {
+		t.Fatal("stale CAS succeeded despite LoadVerifyCount")
+	}
+	if c.Value() != &a {
+		t.Fatal("cell corrupted")
+	}
+}
+
+func TestConcurrentCASVerifyOnlyOneWins(t *testing.T) {
+	esys := newEsys(t)
+	var c Cell[int]
+	const threads = 8
+	vals := make([]int, threads)
+	wins := make([]bool, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			e := esys.BeginOp(tid)
+			defer esys.EndOp(tid)
+			swapped, _ := CASVerify(esys, e, &c, nil, false, &vals[tid], false)
+			wins[tid] = swapped
+		}(tid)
+	}
+	wg.Wait()
+	winners := 0
+	for tid, w := range wins {
+		if w {
+			winners++
+			if c.Value() != &vals[tid] {
+				t.Fatal("winner's value not installed")
+			}
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners, want exactly 1", winners)
+	}
+}
+
+func TestConcurrentCASVerifyChainConsistent(t *testing.T) {
+	// Many threads CAS a shared counter cell from its current value to
+	// current+1 under epoch verification while the epoch occasionally
+	// advances. Every successful CAS must be an exact +1 step.
+	esys := newEsys(t)
+	var c Cell[int]
+	zero := 0
+	c.Store(&zero, false)
+	const threads, opsPer = 6, 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				esys.Advance()
+			}
+		}
+	}()
+	total := make([]int, threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				for {
+					e := esys.BeginOp(tid)
+					cur := c.Value()
+					next := *cur + 1
+					swapped, _ := CASVerify(esys, e, &c, cur, false, &next, false)
+					esys.EndOp(tid)
+					if swapped {
+						total[tid]++
+						break
+					}
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	close(stop)
+	sum := 0
+	for _, n := range total {
+		sum += n
+	}
+	if got := *c.Value(); got != sum || sum != threads*opsPer {
+		t.Fatalf("final counter %d, want %d", got, sum)
+	}
+}
+
+func TestCASVerifyWithMarks(t *testing.T) {
+	// The mark bit participates in both the compare and the swap, the
+	// Harris-list use of CASVerify.
+	esys := newEsys(t)
+	var c Cell[int]
+	x := 5
+	c.Store(&x, false)
+	e := esys.BeginOp(0)
+	defer esys.EndOp(0)
+	// Expecting unmarked while marked -> value mismatch, epoch fine.
+	c.Store(&x, true)
+	swapped, ok := CASVerify(esys, e, &c, &x, false, &x, false)
+	if swapped || !ok {
+		t.Fatalf("mark-mismatch CAS: swapped=%v epochValid=%v", swapped, ok)
+	}
+	// Install the mark transition unmarked->marked on a fresh cell.
+	var c2 Cell[int]
+	c2.Store(&x, false)
+	swapped, ok = CASVerify(esys, e, &c2, &x, false, &x, true)
+	if !swapped || !ok {
+		t.Fatalf("marking CASVerify failed: %v %v", swapped, ok)
+	}
+	if _, marked := c2.Load(); !marked {
+		t.Fatal("mark not installed")
+	}
+}
+
+func TestLoadHelpsInFlightDescriptor(t *testing.T) {
+	// A descriptor left in a cell (e.g. by a stalled thread) must be
+	// completed by any reader.
+	esys := newEsys(t)
+	var c Cell[int]
+	a, b := 1, 2
+	c.Store(&a, false)
+	e := esys.BeginOp(0)
+	esys.EndOp(0)
+	// Manually install a descriptor as a stalled CASVerify would.
+	d := &descriptor[int]{cell: &c, old: &a, new: &b, expect: e, esys: esys}
+	c.p.Store(&entry[int]{val: &a, desc: d})
+	// A Load must resolve it (epoch still == e, so it succeeds).
+	v, _ := c.Load()
+	if v != &b {
+		t.Fatalf("reader did not help the descriptor: got %v", v)
+	}
+}

@@ -1,0 +1,269 @@
+package epoch
+
+import (
+	"runtime"
+	"time"
+
+	"montage/internal/simclock"
+)
+
+// Advance performs one epoch advance, charged to the background thread.
+// Tests and manually driven systems call it directly; benchmark
+// configurations trigger it from operation boundaries or a real-time
+// daemon.
+func (s *Sys) Advance() {
+	s.advMu.Lock()
+	s.advanceLocked(simclock.DaemonTID)
+	s.advMu.Unlock()
+}
+
+// advanceLocked implements the paper's advance_epoch: with the clock at
+// curr it (1) waits until no operation is active in epoch curr-1,
+// (2) reclaims payloads scheduled for epoch curr-2 (background
+// reclamation mode), (3) writes back all payloads of epoch curr-1,
+// (4) waits for the writes-back to complete, and (5) publishes and
+// persists the new clock value. Callers hold advMu.
+func (s *Sys) advanceLocked(chargeTid int) {
+	curr := s.epoch.Load()
+	if s.clk != nil && chargeTid == simclock.DaemonTID {
+		// The daemon wakes up "now": align its virtual clock with the
+		// workers before charging it for boundary work.
+		s.clk.SetAtLeast(simclock.DaemonTID, s.clk.Max())
+	}
+
+	// (1) Quiescence: no operation may still be active in epoch curr-1.
+	s.waitAll(curr - 1)
+
+	if !s.cfg.Transient {
+		// (2) Reclaim epoch curr-2's deleted payloads (unless workers do
+		// it themselves or the unsafe DirectFree mode is active).
+		if !s.cfg.LocalFree && !s.cfg.DirectFree && curr >= 2 {
+			for tid := range s.threads {
+				s.reclaimSlot(chargeTid, &s.threads[tid], curr-2)
+			}
+		}
+
+		// (3) Write back every remaining payload of epoch curr-1. The
+		// mindicator tells us, in O(1), whether any thread still holds
+		// unpersisted payloads that old; when none does (frequent under
+		// sync-heavy loads, where helping has already drained the
+		// buffers), the whole scan is skipped — the paper's use of the
+		// mindicator to keep sync cheap.
+		if oldest := s.mind.Min(); s.cfg.DisableMindicator || oldest <= int64(curr-1) {
+			// Scanning every thread's tracker slot and container labels is
+			// real work on the advancing thread — exactly the work the
+			// mindicator's O(1) answer avoids when nothing old is pending.
+			s.clk.ChargeDRAM(chargeTid, len(s.threads)*4*16)
+			for tid := range s.threads {
+				s.drainPersist(chargeTid, &s.threads[tid], tid, curr-1)
+			}
+		}
+
+		// (4) Wait for all write-backs — including incremental ones issued
+		// by the workers — to reach the persistence domain.
+		s.dev.Drain(chargeTid)
+	}
+
+	// (5) Publish and persist the new clock value. The volatile clock is
+	// published first so new operations start in the new epoch; a crash
+	// before the durable clock commits merely discards one more epoch.
+	s.epoch.Store(curr + 1)
+	if !s.cfg.Transient {
+		s.writeClock(chargeTid, curr+1)
+	}
+	if s.clk != nil {
+		s.lastAdvV.Store(s.clk.Max())
+	}
+	s.lastAdvOps.Store(s.opCount.Load())
+	s.lastAdvPls.Store(s.plCount.Load())
+	s.advances.Add(1)
+}
+
+// waitAll spins until no operation is active in any epoch <= e. A
+// stalled operation can delay this indefinitely — the paper accepts that
+// the persistence frontier is blocked by stalled threads — but cannot
+// block other workers' operations.
+func (s *Sys) waitAll(e uint64) {
+	if e == 0 {
+		return
+	}
+	for i := range s.threads {
+		for {
+			a := s.threads[i].active.Load()
+			if a == 0 || a > e {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// drainPersist writes back every queued payload of epoch e for thread
+// slot ts, charging chargeTid (the boundary writer: daemon, advancing
+// worker, or sync caller).
+func (s *Sys) drainPersist(chargeTid int, ts *threadState, owner int, e uint64) {
+	pb := &ts.persist[e%4]
+	pb.mu.Lock()
+	if pb.label != e || len(pb.entries) == 0 {
+		pb.mu.Unlock()
+		return
+	}
+	entries := pb.entries
+	pb.entries = nil
+	pb.mu.Unlock()
+	for _, p := range entries {
+		s.clk.ChargeDRAM(chargeTid, 16) // container entry bookkeeping
+		s.flushOne(chargeTid, p)
+	}
+	ts.mindMu.Lock()
+	if ts.pendEpoch[e%4] == e {
+		ts.pendCount[e%4] -= len(entries)
+		if ts.pendCount[e%4] < 0 {
+			ts.pendCount[e%4] = 0
+		}
+	}
+	s.updateMindLocked(ts, owner)
+	ts.mindMu.Unlock()
+}
+
+// reclaimSlot frees thread ts's to_free entries labeled epoch e. Before a
+// block is returned to the allocator its header is durably invalidated
+// (staged here, committed by the advance's Drain), so a freed payload can
+// never be resurrected by a later recovery sweep. The invalidation is
+// batched off the worker critical path, preserving Ralloc's fence-free
+// deallocation property where it matters.
+func (s *Sys) reclaimSlot(chargeTid int, ts *threadState, e uint64) {
+	if e == 0 {
+		return
+	}
+	fb := &ts.free[e%4]
+	fb.mu.Lock()
+	if fb.label != e || len(fb.addrs) == 0 {
+		fb.mu.Unlock()
+		return
+	}
+	addrs := fb.addrs
+	fb.addrs = nil
+	fb.mu.Unlock()
+	var zero [8]byte
+	for _, addr := range addrs {
+		if err := s.dev.WriteBack(chargeTid, addr, zero[:]); err != nil {
+			panic("epoch: header invalidation failed: " + err.Error())
+		}
+		s.heap.Free(chargeTid, addr)
+	}
+}
+
+// freeLocal is the worker-side reclamation path (Buf+LocalFree): at the
+// start of an operation in epoch e, the worker reclaims its own to_free
+// slots for every epoch <= e-2 (paper Figure 3, lines 28-31), then fences
+// the header invalidations.
+func (s *Sys) freeLocal(tid int, e uint64) {
+	if e < 2 {
+		return
+	}
+	ts := &s.threads[tid]
+	n := 0
+	for slot := 0; slot < 4; slot++ {
+		fb := &ts.free[slot]
+		fb.mu.Lock()
+		label := fb.label
+		ok := label != 0 && label <= e-2 && len(fb.addrs) > 0
+		fb.mu.Unlock()
+		if ok {
+			s.reclaimSlot(tid, ts, label)
+			n++
+		}
+	}
+	if n > 0 {
+		s.dev.Fence(tid)
+	}
+}
+
+// Sync implements the paper's sync operation: it requests and waits for a
+// two-epoch advance, so that every operation that completed before the
+// call is durable when Sync returns. The caller performs the advances
+// itself — helping write back its peers' buffers — which is what makes
+// Montage's sync fast. Sync must not be called between BeginOp and EndOp.
+func (s *Sys) Sync(tid int) {
+	if s.cfg.Transient {
+		return
+	}
+	s.syncActive.Add(1)
+	target := s.epoch.Load() + 2
+	for s.epoch.Load() < target {
+		s.advMu.Lock()
+		if s.epoch.Load() < target {
+			s.advanceLocked(tid)
+		}
+		s.advMu.Unlock()
+	}
+	s.syncActive.Add(-1)
+}
+
+// ResetVirtualTimer zeroes the virtual-time advance reference. The
+// benchmark harness calls it after resetting the virtual clock so that
+// worker-triggered advances keep firing on the new timeline.
+func (s *Sys) ResetVirtualTimer() { s.lastAdvV.Store(0) }
+
+// startDaemon launches the real-time epoch-advancing goroutine.
+func (s *Sys) startDaemon() {
+	s.daemonStop = make(chan struct{})
+	s.daemonDone = make(chan struct{})
+	go func() {
+		defer close(s.daemonDone)
+		t := time.NewTicker(s.cfg.EpochLength)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.daemonStop:
+				return
+			case <-t.C:
+				s.Advance()
+			}
+		}
+	}()
+}
+
+// Close stops the background daemon, if any, and performs two final
+// advances so that all completed work is durable — the shutdown analogue
+// of sync.
+func (s *Sys) Close() {
+	if s.daemonStop != nil {
+		close(s.daemonStop)
+		<-s.daemonDone
+		s.daemonStop = nil
+	}
+	if !s.cfg.Transient {
+		s.Advance()
+		s.Advance()
+	}
+}
+
+// DebugPending returns the number of queued (unpersisted) payloads for
+// thread tid across all epoch slots. Intended for tests.
+func (s *Sys) DebugPending(tid int) int {
+	ts := &s.threads[tid]
+	n := 0
+	for slot := 0; slot < 4; slot++ {
+		pb := &ts.persist[slot]
+		pb.mu.Lock()
+		n += len(pb.entries)
+		pb.mu.Unlock()
+	}
+	return n
+}
+
+// DebugFreeQueued returns the number of blocks awaiting reclamation for
+// thread tid. Intended for tests.
+func (s *Sys) DebugFreeQueued(tid int) int {
+	ts := &s.threads[tid]
+	n := 0
+	for slot := 0; slot < 4; slot++ {
+		fb := &ts.free[slot]
+		fb.mu.Lock()
+		n += len(fb.addrs)
+		fb.mu.Unlock()
+	}
+	return n
+}

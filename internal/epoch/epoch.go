@@ -1,0 +1,496 @@
+// Package epoch implements Montage's epoch system (EpochSys in the
+// paper's Figure 3): the global epoch clock, the per-thread operation
+// tracker, the to_persist and to_free containers for the most recent four
+// epochs, epoch advancing, and the sync operation.
+//
+// The system guarantees the three properties of paper Section 3.2:
+//
+//  1. all payloads created or modified by an operation carry the
+//     operation's epoch (enforced by the payload Set/PNew paths in
+//     internal/core, which consult BeginOp's epoch);
+//  2. all payloads of epoch e persist together when the clock ticks from
+//     e+1 to e+2 (enforced by Advance, which writes back to_persist[e]
+//     and waits for completion before publishing the new clock value);
+//  3. operations linearize in the epoch in which they created payloads
+//     (the responsibility of the data structure, assisted by CheckEpoch
+//     and the old-see-new check in internal/core).
+package epoch
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montage/internal/mindicator"
+	"montage/internal/pmem"
+	"montage/internal/ralloc"
+	"montage/internal/simclock"
+)
+
+// Policy selects when payload write-backs are issued.
+type Policy int
+
+const (
+	// PolicyBuffered is Montage's default: payloads accumulate in
+	// per-thread circular buffers; overflow triggers incremental
+	// write-back by the worker; the remainder is written back at the
+	// epoch boundary. (Montage (cb) in Figure 9.)
+	PolicyBuffered Policy = iota
+	// PolicyPerOp writes back and fences all of an operation's payloads
+	// at EndOp. (Montage (dw) in Figure 9.)
+	PolicyPerOp
+	// PolicyDirect writes back each payload immediately at set/PNew time
+	// and fences at EndOp. (The DirWB reference bars of Figures 4 and 5.)
+	PolicyDirect
+)
+
+// Config tunes the epoch system. The zero value gives the paper's
+// default configuration (64-entry buffers, background reclamation,
+// buffered write-back).
+type Config struct {
+	// MaxThreads is the number of worker thread ids (0..MaxThreads-1).
+	MaxThreads int
+	// BufferSize is the per-thread write-back buffer capacity (default 64).
+	BufferSize int
+	// Policy selects the write-back policy.
+	Policy Policy
+	// LocalFree moves payload reclamation from the background thread into
+	// the workers (the Buf=64+LocalFree configuration of Figures 4/5).
+	LocalFree bool
+	// DirectFree reclaims payloads immediately instead of delaying two
+	// epochs. This does NOT correctly implement persistence; it exists
+	// only as the Buf=64+DirFree reference configuration of Figures 4/5.
+	DirectFree bool
+	// Transient elides all persistence operations while still placing
+	// payloads in NVM: the Montage (T) reference configuration.
+	Transient bool
+	// EpochLengthV, when nonzero, is the virtual-time epoch length in
+	// nanoseconds: workers trigger an epoch advance at operation
+	// boundaries once the virtual clock has moved this far. Used by the
+	// benchmark harness.
+	EpochLengthV int64
+	// EpochOps, when nonzero, advances the epoch every EpochOps completed
+	// operations (system-wide): the paper's "measured in operations
+	// performed" alternative to a time-based epoch (Section 5.2).
+	EpochOps uint64
+	// EpochPayloads, when nonzero, advances the epoch every EpochPayloads
+	// payloads queued for write-back: the "payloads written" alternative.
+	EpochPayloads uint64
+	// EpochLength, when nonzero, starts a real-time background goroutine
+	// that advances the epoch at this period (the paper's default is
+	// 10ms). Used by examples and interactive tools.
+	EpochLength time.Duration
+	// WorkerAdvance charges epoch-advance work to the worker that
+	// triggered it rather than to the background thread. (Design question
+	// 1 of paper Section 5.2.)
+	WorkerAdvance bool
+	// DisableMindicator turns off the mindicator fast path at epoch
+	// boundaries, always scanning every thread's containers. Ablation
+	// only; the mindicator is the paper's mechanism for keeping sync
+	// cheap.
+	DisableMindicator bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 1
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 64
+	}
+	return c
+}
+
+// Persistable is a payload block that the epoch system can write back.
+// It is implemented by internal/core's PBlk; the indirection keeps this
+// package free of a dependency on the payload object model.
+type Persistable interface {
+	// PAddr returns the block's home address in the arena.
+	PAddr() pmem.Addr
+	// PEncodeTo serializes the block's current header and data.
+	PEncodeTo() []byte
+	// MarkBuffered attempts to transition the block into "queued for
+	// write-back" state; it returns false if the block is already queued.
+	MarkBuffered() bool
+	// ClearBuffered leaves the queued state (called after write-back).
+	ClearBuffered()
+	// MarkFlushed records that the block's bytes have been written back
+	// at least once (so they may exist durably).
+	MarkFlushed()
+	// PDead reports whether the block was logically cancelled before
+	// write-back (a same-epoch PNew+PDelete); dead blocks are skipped.
+	PDead() bool
+}
+
+// persistBuf is one thread's to_persist container for one epoch slot.
+type persistBuf struct {
+	mu      sync.Mutex
+	label   uint64
+	entries []Persistable
+}
+
+// freeBuf is one thread's to_free container for one epoch slot.
+type freeBuf struct {
+	mu    sync.Mutex
+	label uint64
+	addrs []pmem.Addr
+}
+
+// threadState is the operation tracker slot plus containers for one
+// worker thread.
+type threadState struct {
+	active    atomic.Uint64 // epoch of the active op, 0 if none
+	opEpoch   uint64        // owner-only cache of the active op's epoch
+	lastEpoch uint64        // owner-only: epoch of the last op
+
+	persist [4]persistBuf
+	free    [4]freeBuf
+
+	// pending mirrors the number of unpersisted entries per slot, guarded
+	// by mindMu, so the thread's mindicator leaf can be kept exact.
+	mindMu    sync.Mutex
+	pendCount [4]int
+	pendEpoch [4]uint64
+
+	_ [32]byte // reduce false sharing between tracker slots
+}
+
+// Sys is the epoch system.
+type Sys struct {
+	cfg  Config
+	heap *ralloc.Heap
+	dev  *pmem.Device
+	clk  *simclock.Clock
+
+	epoch   atomic.Uint64
+	advMu   sync.Mutex
+	threads []threadState
+	mind    *mindicator.Mindicator
+
+	lastAdvV   atomic.Int64  // virtual time of the last advance
+	opCount    atomic.Uint64 // completed operations (EpochOps trigger)
+	lastAdvOps atomic.Uint64 // opCount at the last advance
+	plCount    atomic.Uint64 // queued payloads (EpochPayloads trigger)
+	lastAdvPls atomic.Uint64 // plCount at the last advance
+	syncActive atomic.Int32  // number of in-flight Sync calls
+	advances   atomic.Uint64 // statistics: completed epoch advances
+
+	daemonStop chan struct{}
+	daemonDone chan struct{}
+}
+
+// FirstEpoch is the epoch the clock starts at on a fresh arena. Starting
+// above 2 keeps the arithmetic of "discard epochs e and e-1" simple and
+// matches the paper's convention that a crash in epoch e<=2 recovers the
+// initial (empty) state.
+const FirstEpoch = 3
+
+// New creates an epoch system over heap, formatting the persistent epoch
+// clock. Use NewAt to resume after recovery.
+func New(heap *ralloc.Heap, cfg Config) *Sys {
+	return NewAt(heap, cfg, FirstEpoch)
+}
+
+// NewAt creates an epoch system whose clock starts at start. The recovery
+// driver uses it to restart the clock strictly above the pre-crash value
+// so that epoch numbers are never reused.
+func NewAt(heap *ralloc.Heap, cfg Config, start uint64) *Sys {
+	cfg = cfg.withDefaults()
+	s := &Sys{
+		cfg:     cfg,
+		heap:    heap,
+		dev:     heap.Device(),
+		clk:     heap.Device().Clock(),
+		threads: make([]threadState, cfg.MaxThreads),
+		mind:    mindicator.New(cfg.MaxThreads),
+	}
+	s.epoch.Store(start)
+	s.writeClock(simclock.DaemonTID, start)
+	if cfg.EpochLength > 0 {
+		s.startDaemon()
+	}
+	return s
+}
+
+// writeClock persists the epoch clock value.
+func (s *Sys) writeClock(tid int, e uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e)
+	// The clock cell is inside the reserved meta region; errors are
+	// impossible by construction.
+	if err := s.dev.WriteBack(tid, ralloc.EpochClockAddr, b[:]); err != nil {
+		panic("epoch: clock write failed: " + err.Error())
+	}
+	s.dev.Fence(tid)
+}
+
+// ReadClock returns the durable epoch clock value from dev. It is what
+// recovery sees after a crash.
+func ReadClock(dev *pmem.Device) (uint64, error) {
+	var b [8]byte
+	if err := dev.Read(0, ralloc.EpochClockAddr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Epoch returns the current (volatile) epoch clock value.
+func (s *Sys) Epoch() uint64 { return s.epoch.Load() }
+
+// Advances returns the number of completed epoch advances (statistics).
+func (s *Sys) Advances() uint64 { return s.advances.Load() }
+
+// Config returns the system's configuration.
+func (s *Sys) Config() Config { return s.cfg }
+
+// Heap returns the underlying allocator.
+func (s *Sys) Heap() *ralloc.Heap { return s.heap }
+
+// BeginOp registers an operation for thread tid and returns the epoch it
+// runs in. It retries until the registration is consistent with the
+// clock, making the register-and-verify step atomic as in the paper's
+// Figure 3. The loop is lock-free: a retry implies the epoch advanced,
+// which implies system-wide progress.
+func (s *Sys) BeginOp(tid int) uint64 {
+	ts := &s.threads[tid]
+	var e uint64
+	for {
+		e = s.epoch.Load()
+		ts.active.Store(e)
+		if s.epoch.Load() == e {
+			break
+		}
+		ts.active.Store(0)
+	}
+	ts.opEpoch = e
+	if s.cfg.Transient {
+		ts.lastEpoch = e
+		return e
+	}
+	// Help any in-flight sync by persisting our own stale buffers: the
+	// paper's "a worker also helps to persist its payloads from the
+	// previous epoch if they are needed by any active sync".
+	if s.syncActive.Load() > 0 && s.mind.Get(tid) < int64(e) {
+		s.persistLocal(tid, e-1)
+		s.dev.Fence(tid)
+	}
+	// Worker-local reclamation (Buf+LocalFree configuration).
+	if s.cfg.LocalFree && e > ts.lastEpoch {
+		s.freeLocal(tid, e)
+	}
+	ts.lastEpoch = e
+	return e
+}
+
+// EndOp unregisters thread tid's operation and applies the per-operation
+// write-back policy.
+func (s *Sys) EndOp(tid int) {
+	ts := &s.threads[tid]
+	if !s.cfg.Transient {
+		switch s.cfg.Policy {
+		case PolicyPerOp:
+			s.persistLocal(tid, ts.opEpoch)
+			s.dev.Fence(tid)
+		case PolicyDirect:
+			s.dev.Fence(tid)
+		}
+	}
+	ts.opEpoch = 0
+	ts.active.Store(0)
+	if !s.cfg.Transient && s.cfg.EpochOps > 0 {
+		s.opCount.Add(1)
+	}
+	s.maybeAdvance(tid)
+}
+
+// CheckEpoch reports whether thread tid's active operation is still in
+// the current epoch. Nonblocking operations call it immediately before
+// their linearizing CAS (paper Section 3.2).
+func (s *Sys) CheckEpoch(tid int) bool {
+	return s.threads[tid].opEpoch == s.epoch.Load()
+}
+
+// OpEpoch returns the epoch of tid's active operation (0 if none).
+func (s *Sys) OpEpoch(tid int) uint64 { return s.threads[tid].opEpoch }
+
+// maybeAdvance triggers an epoch advance at an operation boundary when
+// any configured trigger has fired: elapsed virtual time (EpochLengthV),
+// completed operations (EpochOps), or queued payloads (EpochPayloads) —
+// the three ways Section 5.2 suggests an epoch could be measured.
+// Contending workers skip rather than queue.
+func (s *Sys) maybeAdvance(tid int) {
+	due := false
+	if s.cfg.EpochLengthV > 0 && s.clk != nil &&
+		s.clk.Now(tid)-s.lastAdvV.Load() >= s.cfg.EpochLengthV {
+		due = true
+	}
+	if !due && s.cfg.EpochOps > 0 &&
+		s.opCount.Load()-s.lastAdvOps.Load() >= s.cfg.EpochOps {
+		due = true
+	}
+	if !due && s.cfg.EpochPayloads > 0 &&
+		s.plCount.Load()-s.lastAdvPls.Load() >= s.cfg.EpochPayloads {
+		due = true
+	}
+	if !due || !s.advMu.TryLock() {
+		return
+	}
+	// Re-check under the lock (another worker may have just advanced).
+	due = false
+	if s.cfg.EpochLengthV > 0 && s.clk != nil &&
+		s.clk.Now(tid)-s.lastAdvV.Load() >= s.cfg.EpochLengthV {
+		due = true
+	}
+	if !due && s.cfg.EpochOps > 0 &&
+		s.opCount.Load()-s.lastAdvOps.Load() >= s.cfg.EpochOps {
+		due = true
+	}
+	if !due && s.cfg.EpochPayloads > 0 &&
+		s.plCount.Load()-s.lastAdvPls.Load() >= s.cfg.EpochPayloads {
+		due = true
+	}
+	if due {
+		chargeTid := simclock.DaemonTID
+		if s.cfg.WorkerAdvance {
+			chargeTid = tid
+		}
+		s.advanceLocked(chargeTid)
+	}
+	s.advMu.Unlock()
+}
+
+// AddToPersist queues payload p, created or modified in epoch e by thread
+// tid, for write-back at the epoch boundary. If the thread's buffer for
+// that epoch overflows, the oldest entry is written back incrementally by
+// the worker itself — the parallel write-back that Section 5.2 found
+// essential.
+func (s *Sys) AddToPersist(tid int, e uint64, p Persistable) {
+	if s.cfg.Transient {
+		return
+	}
+	if s.cfg.Policy == PolicyDirect {
+		s.flushOne(tid, p)
+		return
+	}
+	if !p.MarkBuffered() {
+		return // already queued in this epoch
+	}
+	if s.cfg.EpochPayloads > 0 {
+		s.plCount.Add(1)
+	}
+	ts := &s.threads[tid]
+	pb := &ts.persist[e%4]
+	var overflow Persistable
+	pb.mu.Lock()
+	if pb.label != e {
+		pb.label = e
+		pb.entries = pb.entries[:0]
+	}
+	pb.entries = append(pb.entries, p)
+	if s.cfg.Policy == PolicyBuffered && len(pb.entries) > s.cfg.BufferSize {
+		overflow = pb.entries[0]
+		pb.entries = pb.entries[1:]
+	}
+	pb.mu.Unlock()
+
+	ts.mindMu.Lock()
+	slot := e % 4
+	ts.pendEpoch[slot] = e
+	ts.pendCount[slot]++
+	if overflow != nil {
+		ts.pendCount[slot]--
+	}
+	s.updateMindLocked(ts, tid)
+	ts.mindMu.Unlock()
+
+	if overflow != nil {
+		s.flushOne(tid, overflow)
+	}
+}
+
+// AddToFree schedules the block at addr, deleted or superseded in epoch
+// e by thread tid, for reclamation once epoch e's work is durable and
+// can no longer be needed by recovery (the advance from e+2 to e+3).
+// Anti-payloads are passed with e+1 so they outlive their targets by one
+// epoch.
+func (s *Sys) AddToFree(tid int, e uint64, addr pmem.Addr) {
+	if s.cfg.Transient || s.cfg.DirectFree {
+		// Montage (T) and Buf+DirFree reclaim immediately. Neither
+		// correctly implements persistence; both exist as reference
+		// configurations.
+		s.heap.Free(tid, addr)
+		return
+	}
+	ts := &s.threads[tid]
+	fb := &ts.free[e%4]
+	fb.mu.Lock()
+	if fb.label != e {
+		fb.label = e
+		fb.addrs = fb.addrs[:0]
+	}
+	fb.addrs = append(fb.addrs, addr)
+	fb.mu.Unlock()
+}
+
+// flushOne writes back one payload, charged to tid. The write remains
+// staged until a fence (the worker's own, or the boundary Drain).
+func (s *Sys) flushOne(tid int, p Persistable) {
+	if p.PDead() {
+		p.ClearBuffered()
+		return
+	}
+	buf := p.PEncodeTo()
+	if err := s.dev.WriteBack(tid, p.PAddr(), buf); err != nil {
+		panic("epoch: payload write-back failed: " + err.Error())
+	}
+	p.MarkFlushed()
+	p.ClearBuffered()
+}
+
+// persistLocal drains thread tid's own buffers for all epochs <= maxE.
+// The caller is responsible for a subsequent fence.
+func (s *Sys) persistLocal(tid int, maxE uint64) {
+	ts := &s.threads[tid]
+	for slot := 0; slot < 4; slot++ {
+		pb := &ts.persist[slot]
+		pb.mu.Lock()
+		if pb.label == 0 || pb.label > maxE || len(pb.entries) == 0 {
+			pb.mu.Unlock()
+			continue
+		}
+		entries := pb.entries
+		pb.entries = nil
+		label := pb.label
+		pb.mu.Unlock()
+		for _, p := range entries {
+			s.flushOne(tid, p)
+		}
+		ts.mindMu.Lock()
+		if ts.pendEpoch[label%4] == label {
+			ts.pendCount[label%4] -= len(entries)
+			if ts.pendCount[label%4] < 0 {
+				ts.pendCount[label%4] = 0
+			}
+		}
+		s.updateMindLocked(ts, tid)
+		ts.mindMu.Unlock()
+	}
+}
+
+// updateMindLocked recomputes thread tid's mindicator leaf from the
+// pending-entry mirror. Callers hold ts.mindMu.
+func (s *Sys) updateMindLocked(ts *threadState, tid int) {
+	min := int64(mindicator.Empty)
+	for i := 0; i < 4; i++ {
+		if ts.pendCount[i] > 0 && int64(ts.pendEpoch[i]) < min {
+			min = int64(ts.pendEpoch[i])
+		}
+	}
+	s.mind.Set(tid, min)
+}
+
+// OldestUnpersisted returns the oldest epoch for which unpersisted
+// payloads exist, or mindicator.Empty. It is the paper's mindicator
+// query.
+func (s *Sys) OldestUnpersisted() int64 { return s.mind.Min() }

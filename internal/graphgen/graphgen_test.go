@@ -1,0 +1,90 @@
+package graphgen
+
+import (
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(Params{Vertices: 2000, AvgDegree: 16, Skew: 0.6, Seed: 1})
+	if g.Edges < 2000*16/2*8/10 {
+		t.Fatalf("too few edges: %d", g.Edges)
+	}
+	// Symmetry: every edge appears in both adjacency lists.
+	for v, nbs := range g.Adj {
+		for _, nb := range nbs {
+			found := false
+			for _, back := range g.Adj[nb] {
+				if back == uint64(v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge {%d,%d} not symmetric", v, nb)
+			}
+		}
+	}
+	// Skew: the max degree should far exceed the average.
+	if g.MaxDegree() < 4*16 {
+		t.Fatalf("degree distribution not skewed: max=%d", g.MaxDegree())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{Vertices: 500, AvgDegree: 8, Skew: 0.5, Seed: 9})
+	b := Generate(Params{Vertices: 500, AvgDegree: 8, Skew: 0.5, Seed: 9})
+	if a.Edges != b.Edges {
+		t.Fatal("same seed, different edge counts")
+	}
+	for v := range a.Adj {
+		if len(a.Adj[v]) != len(b.Adj[v]) {
+			t.Fatal("same seed, different adjacency")
+		}
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	g := Generate(Params{Vertices: 300, AvgDegree: 6, Skew: 0.4, Seed: 2})
+	dir := t.TempDir()
+	const k = 4
+	if err := g.WritePartitions(dir, k); err != nil {
+		t.Fatal(err)
+	}
+	if got := Partitions(dir); got != k {
+		t.Fatalf("Partitions = %d, want %d", got, k)
+	}
+	got := make([][]uint64, len(g.Adj))
+	seen := 0
+	for i := 0; i < k; i++ {
+		err := ReadPartition(dir, i, func(rec Record) error {
+			if int(rec.Vertex)%k != i {
+				t.Fatalf("vertex %d in wrong partition %d", rec.Vertex, i)
+			}
+			got[rec.Vertex] = rec.Neighbors
+			seen++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen != len(g.Adj) {
+		t.Fatalf("read %d records, want %d", seen, len(g.Adj))
+	}
+	for v := range g.Adj {
+		if len(got[v]) != len(g.Adj[v]) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", v, len(got[v]), len(g.Adj[v]))
+		}
+		for j := range got[v] {
+			if got[v][j] != g.Adj[v][j] {
+				t.Fatalf("vertex %d neighbor %d mismatch", v, j)
+			}
+		}
+	}
+}
+
+func TestReadMissingPartition(t *testing.T) {
+	if err := ReadPartition(t.TempDir(), 0, func(Record) error { return nil }); err == nil {
+		t.Fatal("expected error for missing partition")
+	}
+}

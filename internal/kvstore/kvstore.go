@@ -1,0 +1,250 @@
+// Package kvstore implements a memcached-like in-process key-value store
+// with pluggable backends, standing in for the protected-library
+// memcached variant (Kjellqvist et al., ICPP '20) that the paper uses to
+// validate its microbenchmark results in Section 6.2. Like that variant,
+// it links directly into the client application, dispensing with
+// socket-based communication, and its index always lives in DRAM while
+// item payloads live wherever the backend puts them: the Montage backend
+// gives a fully persistent, recoverable cache; the transient backends
+// give the DRAM (T) / NVM (T) reference lines of Figure 10.
+package kvstore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montage/internal/baselines"
+	"montage/internal/core"
+	"montage/internal/pds"
+)
+
+// Backend stores item payloads.
+type Backend interface {
+	// Get returns the value stored under key.
+	Get(tid int, key string) ([]byte, bool)
+	// Put inserts or updates key=val.
+	Put(tid int, key string, val []byte) error
+	// Delete removes key, reporting whether it was present.
+	Delete(tid int, key string) (bool, error)
+	// Keys lists the stored keys (not linearizable; admin use).
+	Keys(tid int) []string
+}
+
+// MontageBackend persists items in a Montage hashmap.
+type MontageBackend struct {
+	m *pds.HashMap
+}
+
+// NewMontageBackend wraps a Montage hashmap.
+func NewMontageBackend(m *pds.HashMap) *MontageBackend { return &MontageBackend{m: m} }
+
+// Get implements Backend.
+func (b *MontageBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
+
+// Put implements Backend.
+func (b *MontageBackend) Put(tid int, key string, val []byte) error {
+	_, err := b.m.Put(tid, key, val)
+	return err
+}
+
+// Delete implements Backend.
+func (b *MontageBackend) Delete(tid int, key string) (bool, error) { return b.m.Remove(tid, key) }
+
+// Keys implements Backend.
+func (b *MontageBackend) Keys(tid int) []string {
+	snap := b.m.Snapshot(tid)
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TransientBackend keeps items in a transient map (DRAM or NVM medium).
+type TransientBackend struct {
+	m *baselines.TransientMap
+}
+
+// NewTransientBackend wraps a transient map.
+func NewTransientBackend(m *baselines.TransientMap) *TransientBackend {
+	return &TransientBackend{m: m}
+}
+
+// Get implements Backend.
+func (b *TransientBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
+
+// Put implements Backend.
+func (b *TransientBackend) Put(tid int, key string, val []byte) error {
+	_, err := b.m.Put(tid, key, val)
+	return err
+}
+
+// Delete implements Backend.
+func (b *TransientBackend) Delete(tid int, key string) (bool, error) { return b.m.Remove(tid, key) }
+
+// Keys implements Backend.
+func (b *TransientBackend) Keys(tid int) []string { return b.m.Keys() }
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits        atomic.Uint64
+	Misses      atomic.Uint64
+	Sets        atomic.Uint64
+	Deletes     atomic.Uint64
+	Evictions   atomic.Uint64
+	Expirations atomic.Uint64
+}
+
+// encodeItem prefixes a value with its absolute expiry (unix
+// nanoseconds; 0 = never), memcached-style. The expiry persists with
+// the item, so TTLs survive crashes.
+func encodeItem(expiry int64, val []byte) []byte {
+	buf := make([]byte, 8+len(val))
+	binary.LittleEndian.PutUint64(buf, uint64(expiry))
+	copy(buf[8:], val)
+	return buf
+}
+
+func decodeItem(data []byte) (expiry int64, val []byte, ok bool) {
+	if len(data) < 8 {
+		return 0, nil, false
+	}
+	return int64(binary.LittleEndian.Uint64(data)), data[8:], true
+}
+
+// Store is the memcached-like cache.
+type Store struct {
+	backend Backend
+	stats   Stats
+	now     func() int64 // injectable clock for TTL tests
+
+	// capacity > 0 bounds the item count with LRU eviction, as memcached
+	// does when memory fills. capacity == 0 disables eviction (the
+	// benchmark configuration: 1M records, no pressure).
+	capacity int
+	lruMu    sync.Mutex
+	lru      *list.List               // front = most recent
+	items    map[string]*list.Element // key -> LRU node
+}
+
+// New creates a store over backend. capacity 0 means unbounded.
+func New(backend Backend, capacity int) *Store {
+	s := &Store{backend: backend, capacity: capacity, now: func() int64 { return time.Now().UnixNano() }}
+	if capacity > 0 {
+		s.lru = list.New()
+		s.items = make(map[string]*list.Element)
+	}
+	return s
+}
+
+// Stats returns the activity counters.
+func (s *Store) Stats() *Stats { return &s.stats }
+
+// Get returns the value for key. Expired items count as misses and are
+// lazily deleted, as in memcached.
+func (s *Store) Get(tid int, key string) ([]byte, bool) {
+	data, ok := s.backend.Get(tid, key)
+	if ok {
+		expiry, v, okd := decodeItem(data)
+		if okd && (expiry == 0 || expiry > s.now()) {
+			s.stats.Hits.Add(1)
+			s.touch(key)
+			return v, true
+		}
+		if okd {
+			// Lazy expiration.
+			s.stats.Expirations.Add(1)
+			s.backend.Delete(tid, key)
+		}
+	}
+	s.stats.Misses.Add(1)
+	return nil, false
+}
+
+// Set stores key=val with no expiry, evicting the least recently used
+// item if the capacity bound is hit.
+func (s *Store) Set(tid int, key string, val []byte) error {
+	return s.SetTTL(tid, key, val, 0)
+}
+
+// SetTTL stores key=val expiring after ttl (0 = never). The expiry
+// persists with the item and survives crashes.
+func (s *Store) SetTTL(tid int, key string, val []byte, ttl time.Duration) error {
+	var expiry int64
+	if ttl > 0 {
+		expiry = s.now() + int64(ttl)
+	}
+	if err := s.backend.Put(tid, key, encodeItem(expiry, val)); err != nil {
+		return err
+	}
+	s.stats.Sets.Add(1)
+	if s.capacity > 0 {
+		s.lruMu.Lock()
+		if el, ok := s.items[key]; ok {
+			s.lru.MoveToFront(el)
+		} else {
+			s.items[key] = s.lru.PushFront(key)
+		}
+		var victim string
+		if s.lru.Len() > s.capacity {
+			back := s.lru.Back()
+			victim = back.Value.(string)
+			s.lru.Remove(back)
+			delete(s.items, victim)
+		}
+		s.lruMu.Unlock()
+		if victim != "" {
+			if _, err := s.backend.Delete(tid, victim); err != nil {
+				return err
+			}
+			s.stats.Evictions.Add(1)
+		}
+	}
+	return nil
+}
+
+// Delete removes key.
+func (s *Store) Delete(tid int, key string) (bool, error) {
+	ok, err := s.backend.Delete(tid, key)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		s.stats.Deletes.Add(1)
+	}
+	if s.capacity > 0 {
+		s.lruMu.Lock()
+		if el, present := s.items[key]; present {
+			s.lru.Remove(el)
+			delete(s.items, key)
+		}
+		s.lruMu.Unlock()
+	}
+	return ok, nil
+}
+
+func (s *Store) touch(key string) {
+	if s.capacity == 0 {
+		return
+	}
+	s.lruMu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+	}
+	s.lruMu.Unlock()
+}
+
+// Keys lists the store's keys (admin/debug use; not linearizable).
+func (s *Store) Keys(tid int) []string { return s.backend.Keys(tid) }
+
+// RecoverMontageStore rebuilds a Montage-backed store after a crash.
+func RecoverMontageStore(sys *core.System, nBuckets int, chunks [][]*core.PBlk, capacity int) (*Store, error) {
+	m, err := pds.RecoverHashMap(sys, nBuckets, chunks)
+	if err != nil {
+		return nil, err
+	}
+	return New(NewMontageBackend(m), capacity), nil
+}

@@ -1,0 +1,98 @@
+// Package mindicator implements the "mindicator" of Liu, Luchangco, and
+// Spear (ICDCS '13): a scalable structure that tracks the minimum of a set
+// of per-thread values.
+//
+// Montage uses a mindicator to track, efficiently, the oldest epoch for
+// which unpersisted payloads still exist; sync consults it to decide how
+// much helping work remains. A thread announces the oldest epoch in its
+// write-back buffers with Set, and withdraws with Clear when its buffers
+// are empty. Min returns the global minimum.
+//
+// The structure is a complete binary tree with one leaf per thread;
+// internal nodes cache the minimum of their children and are repaired
+// bottom-up with CAS retry loops, so threads updating disjoint subtrees do
+// not contend.
+package mindicator
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Empty is the value a vacant slot reports; Min returns it when no thread
+// has announced a value.
+const Empty = int64(math.MaxInt64)
+
+// Mindicator tracks the minimum of per-thread announced values.
+type Mindicator struct {
+	leaves int // power of two >= number of threads
+	// nodes uses 1-based heap layout: nodes[1] is the root, leaves occupy
+	// nodes[leaves : 2*leaves).
+	nodes []atomic.Int64
+}
+
+// New creates a mindicator for n threads.
+func New(n int) *Mindicator {
+	if n < 1 {
+		n = 1
+	}
+	leaves := 1
+	for leaves < n {
+		leaves *= 2
+	}
+	m := &Mindicator{leaves: leaves, nodes: make([]atomic.Int64, 2*leaves)}
+	for i := 1; i < len(m.nodes); i++ {
+		m.nodes[i].Store(Empty)
+	}
+	return m
+}
+
+// Set announces value v for thread tid and repairs the path to the root.
+func (m *Mindicator) Set(tid int, v int64) {
+	i := m.leaves + tid
+	m.nodes[i].Store(v)
+	m.repair(i)
+}
+
+// Clear withdraws thread tid's announcement.
+func (m *Mindicator) Clear(tid int) {
+	m.Set(tid, Empty)
+}
+
+// Get returns thread tid's announced value (Empty if none).
+func (m *Mindicator) Get(tid int) int64 {
+	return m.nodes[m.leaves+tid].Load()
+}
+
+// Min returns the minimum announced value, or Empty.
+func (m *Mindicator) Min() int64 {
+	return m.nodes[1].Load()
+}
+
+// repair walks from node i up to the root, recomputing each internal
+// node as the min of its children. The double-read of children around
+// the CAS makes concurrent repairs converge: if a child changed while we
+// were updating, we retry the node.
+func (m *Mindicator) repair(i int) {
+	for i > 1 {
+		i /= 2
+		for {
+			l := m.nodes[2*i].Load()
+			r := m.nodes[2*i+1].Load()
+			want := l
+			if r < want {
+				want = r
+			}
+			cur := m.nodes[i].Load()
+			if cur != want && !m.nodes[i].CompareAndSwap(cur, want) {
+				continue // lost a race at this node; recompute
+			}
+			// Re-validate: if a child moved during our update, redo this
+			// node so a lowered child is never missed.
+			if m.nodes[2*i].Load() != l || m.nodes[2*i+1].Load() != r {
+				continue
+			}
+			break
+		}
+	}
+}

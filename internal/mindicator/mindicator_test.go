@@ -1,0 +1,140 @@
+package mindicator
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyMin(t *testing.T) {
+	m := New(8)
+	if m.Min() != Empty {
+		t.Fatalf("empty mindicator Min = %d", m.Min())
+	}
+}
+
+func TestSetAndMin(t *testing.T) {
+	m := New(4)
+	m.Set(0, 10)
+	m.Set(1, 5)
+	m.Set(2, 20)
+	if got := m.Min(); got != 5 {
+		t.Fatalf("Min = %d, want 5", got)
+	}
+	if got := m.Get(2); got != 20 {
+		t.Fatalf("Get(2) = %d, want 20", got)
+	}
+}
+
+func TestClearRestoresMin(t *testing.T) {
+	m := New(4)
+	m.Set(0, 10)
+	m.Set(1, 5)
+	m.Clear(1)
+	if got := m.Min(); got != 10 {
+		t.Fatalf("Min after Clear = %d, want 10", got)
+	}
+	m.Clear(0)
+	if got := m.Min(); got != Empty {
+		t.Fatalf("Min after all cleared = %d, want Empty", got)
+	}
+}
+
+func TestNonPowerOfTwoThreads(t *testing.T) {
+	m := New(5)
+	for tid := 0; tid < 5; tid++ {
+		m.Set(tid, int64(100-tid))
+	}
+	if got := m.Min(); got != 96 {
+		t.Fatalf("Min = %d, want 96", got)
+	}
+}
+
+func TestSingleThread(t *testing.T) {
+	m := New(1)
+	m.Set(0, 7)
+	if m.Min() != 7 {
+		t.Fatal("single-thread mindicator broken")
+	}
+}
+
+func TestRaiseValue(t *testing.T) {
+	m := New(2)
+	m.Set(0, 3)
+	m.Set(0, 9) // thread raises its own announcement
+	if got := m.Min(); got != 9 {
+		t.Fatalf("Min = %d, want 9", got)
+	}
+}
+
+func TestConcurrentSetClearQuiescentMin(t *testing.T) {
+	const threads = 8
+	m := New(threads)
+	var wg sync.WaitGroup
+	finals := make([]int64, threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(tid)))
+			var last int64 = Empty
+			for i := 0; i < 2000; i++ {
+				if r.Intn(4) == 0 {
+					m.Clear(tid)
+					last = Empty
+				} else {
+					v := int64(r.Intn(1000))
+					m.Set(tid, v)
+					last = v
+				}
+			}
+			finals[tid] = last
+		}(tid)
+	}
+	wg.Wait()
+	want := int64(Empty)
+	for _, v := range finals {
+		if v < want {
+			want = v
+		}
+	}
+	if got := m.Min(); got != want {
+		t.Fatalf("quiescent Min = %d, want %d", got, want)
+	}
+}
+
+func TestPropertyMinMatchesNaive(t *testing.T) {
+	f := func(ops []struct {
+		TID uint8
+		Val int16
+		Clr bool
+	}) bool {
+		const n = 6
+		m := New(n)
+		naive := make([]int64, n)
+		for i := range naive {
+			naive[i] = Empty
+		}
+		for _, op := range ops {
+			tid := int(op.TID) % n
+			if op.Clr {
+				m.Clear(tid)
+				naive[tid] = Empty
+			} else {
+				m.Set(tid, int64(op.Val))
+				naive[tid] = int64(op.Val)
+			}
+		}
+		want := int64(Empty)
+		for _, v := range naive {
+			if v < want {
+				want = v
+			}
+		}
+		return m.Min() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

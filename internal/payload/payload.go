@@ -1,0 +1,133 @@
+// Package payload defines the on-media format of Montage payload blocks.
+//
+// A payload block is the only kind of data Montage ever persists (besides
+// the epoch clock). Its header carries the epoch in which it was created
+// or last modified, a uid shared between all versions of the same logical
+// payload (including the anti-payload that marks its deletion), and a
+// type tag distinguishing freshly allocated blocks (ALLOC), copies made
+// because an older block could not be updated in place (UPDATE), and
+// anti-payloads (DELETE). A checksum over header and data lets the
+// recovery sweep reject torn or stale blocks.
+package payload
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Type tags a payload block.
+type Type uint8
+
+const (
+	// Alloc marks a payload created by PNew.
+	Alloc Type = 1
+	// Update marks a copied payload that replaces an older version.
+	Update Type = 2
+	// Delete marks an anti-payload: a tombstone whose uid nullifies every
+	// older version of the payload during recovery.
+	Delete Type = 3
+)
+
+// String names the payload type for logs and tests.
+func (t Type) String() string {
+	switch t {
+	case Alloc:
+		return "ALLOC"
+	case Update:
+		return "UPDATE"
+	case Delete:
+		return "DELETE"
+	default:
+		return "INVALID"
+	}
+}
+
+// HeaderSize is the size in bytes of the serialized block header.
+const HeaderSize = 32
+
+// magic identifies a serialized Montage payload block.
+const magic uint32 = 0x4d4f4e54 // "MONT"
+
+// Header is the persistent metadata of one payload block.
+type Header struct {
+	Epoch uint64
+	UID   uint64
+	Typ   Type
+	Tag   uint16 // owning-structure tag: lets several structures share a system
+	Size  uint32 // length of the data section in bytes
+}
+
+// Valid reports whether the header's type tag is one of the defined
+// payload types.
+func (h Header) Valid() bool {
+	return h.Typ == Alloc || h.Typ == Update || h.Typ == Delete
+}
+
+// EncodedSize returns the total on-media size of a block with n data
+// bytes.
+func EncodedSize(n int) int { return HeaderSize + n }
+
+// Encode serializes a block (header + data + checksum) into buf, which
+// must be at least EncodedSize(len(data)) bytes. It returns the number of
+// bytes written.
+//
+// Layout:
+//
+//	[0:4)   magic
+//	[4:8)   crc32(bytes 8:32+size)
+//	[8:16)  epoch
+//	[16:24) uid
+//	[24:25) type
+//	[25:26) zero padding
+//	[26:28) structure tag
+//	[28:32) data size
+//	[32:)   data
+func Encode(buf []byte, h Header, data []byte) int {
+	n := EncodedSize(len(data))
+	if len(buf) < n {
+		panic("payload: encode buffer too small")
+	}
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint64(buf[8:], h.Epoch)
+	binary.LittleEndian.PutUint64(buf[16:], h.UID)
+	buf[24] = byte(h.Typ)
+	buf[25] = 0
+	binary.LittleEndian.PutUint16(buf[26:], h.Tag)
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(data)))
+	copy(buf[HeaderSize:], data)
+	crc := crc32.ChecksumIEEE(buf[8:n])
+	binary.LittleEndian.PutUint32(buf[4:], crc)
+	return n
+}
+
+// Decode parses a block from buf. It returns the header, the data section
+// (aliasing buf), and whether the block is a valid, untorn Montage
+// payload. A block whose magic, type, size, or checksum does not match is
+// reported invalid; the recovery sweep treats such blocks as free space.
+func Decode(buf []byte) (Header, []byte, bool) {
+	if len(buf) < HeaderSize {
+		return Header{}, nil, false
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return Header{}, nil, false
+	}
+	h := Header{
+		Epoch: binary.LittleEndian.Uint64(buf[8:]),
+		UID:   binary.LittleEndian.Uint64(buf[16:]),
+		Typ:   Type(buf[24]),
+		Tag:   binary.LittleEndian.Uint16(buf[26:]),
+		Size:  binary.LittleEndian.Uint32(buf[28:]),
+	}
+	if !h.Valid() {
+		return Header{}, nil, false
+	}
+	n := EncodedSize(int(h.Size))
+	if n > len(buf) {
+		return Header{}, nil, false
+	}
+	want := binary.LittleEndian.Uint32(buf[4:])
+	if crc32.ChecksumIEEE(buf[8:n]) != want {
+		return Header{}, nil, false
+	}
+	return h, buf[HeaderSize:n], true
+}

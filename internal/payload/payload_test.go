@@ -1,0 +1,130 @@
+package payload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data := []byte("some payload contents")
+	h := Header{Epoch: 42, UID: 7, Typ: Update}
+	buf := make([]byte, EncodedSize(len(data)))
+	n := Encode(buf, h, data)
+	if n != EncodedSize(len(data)) {
+		t.Fatalf("Encode returned %d, want %d", n, EncodedSize(len(data)))
+	}
+	got, gotData, ok := Decode(buf)
+	if !ok {
+		t.Fatal("Decode rejected a valid block")
+	}
+	if got.Epoch != 42 || got.UID != 7 || got.Typ != Update || int(got.Size) != len(data) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(gotData, data) {
+		t.Fatalf("data mismatch: %q", gotData)
+	}
+}
+
+func TestDecodeRejectsZeroes(t *testing.T) {
+	if _, _, ok := Decode(make([]byte, 256)); ok {
+		t.Fatal("Decode accepted an all-zero block")
+	}
+}
+
+func TestDecodeRejectsShortBuffer(t *testing.T) {
+	if _, _, ok := Decode(make([]byte, HeaderSize-1)); ok {
+		t.Fatal("Decode accepted a truncated header")
+	}
+}
+
+func TestDecodeRejectsTruncatedData(t *testing.T) {
+	data := make([]byte, 100)
+	buf := make([]byte, EncodedSize(len(data)))
+	Encode(buf, Header{Epoch: 1, UID: 1, Typ: Alloc}, data)
+	if _, _, ok := Decode(buf[:HeaderSize+50]); ok {
+		t.Fatal("Decode accepted a block whose data section is cut off")
+	}
+}
+
+func TestDecodeRejectsBadType(t *testing.T) {
+	buf := make([]byte, EncodedSize(4))
+	Encode(buf, Header{Epoch: 1, UID: 1, Typ: Alloc}, []byte{1, 2, 3, 4})
+	buf[24] = 99 // corrupt the type tag
+	if _, _, ok := Decode(buf); ok {
+		t.Fatal("Decode accepted an invalid type tag")
+	}
+}
+
+func TestDecodeDetectsTornWrite(t *testing.T) {
+	data := make([]byte, 200)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	buf := make([]byte, EncodedSize(len(data)))
+	Encode(buf, Header{Epoch: 3, UID: 9, Typ: Alloc}, data)
+	buf[HeaderSize+100] ^= 0xFF // flip one data byte: torn line
+	if _, _, ok := Decode(buf); ok {
+		t.Fatal("Decode accepted a torn block")
+	}
+}
+
+func TestDecodeDetectsHeaderCorruption(t *testing.T) {
+	buf := make([]byte, EncodedSize(8))
+	Encode(buf, Header{Epoch: 5, UID: 1, Typ: Delete}, make([]byte, 8))
+	buf[10] ^= 1 // corrupt epoch
+	if _, _, ok := Decode(buf); ok {
+		t.Fatal("Decode accepted a block with corrupted epoch")
+	}
+}
+
+func TestEncodePanicsOnSmallBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(make([]byte, 10), Header{Typ: Alloc}, []byte{1})
+}
+
+func TestEmptyData(t *testing.T) {
+	buf := make([]byte, EncodedSize(0))
+	Encode(buf, Header{Epoch: 1, UID: 2, Typ: Delete}, nil)
+	h, data, ok := Decode(buf)
+	if !ok || h.Typ != Delete || len(data) != 0 {
+		t.Fatalf("empty-data round trip failed: %+v ok=%v", h, ok)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Alloc.String() != "ALLOC" || Update.String() != "UPDATE" || Delete.String() != "DELETE" || Type(0).String() != "INVALID" {
+		t.Fatal("Type.String mismatch")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(epoch, uid uint64, typSel uint8, data []byte) bool {
+		typ := []Type{Alloc, Update, Delete}[int(typSel)%3]
+		buf := make([]byte, EncodedSize(len(data)))
+		Encode(buf, Header{Epoch: epoch, UID: uid, Typ: typ}, data)
+		h, d, ok := Decode(buf)
+		return ok && h.Epoch == epoch && h.UID == uid && h.Typ == typ && bytes.Equal(d, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySingleBitFlipDetected(t *testing.T) {
+	f := func(data []byte, flipAt uint16) bool {
+		buf := make([]byte, EncodedSize(len(data)))
+		n := Encode(buf, Header{Epoch: 1, UID: 1, Typ: Alloc}, data)
+		pos := 4 + int(flipAt)%(n-4) // anywhere except magic
+		buf[pos] ^= 0x01
+		_, _, ok := Decode(buf)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

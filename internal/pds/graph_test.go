@@ -1,0 +1,285 @@
+package pds
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"montage/internal/core"
+	"montage/internal/pmem"
+)
+
+func TestGraphVertexEdgeBasics(t *testing.T) {
+	g := NewGraph(newSys(t), 16)
+	if ok, err := g.AddVertex(0, 1, []byte("v1"), nil); err != nil || !ok {
+		t.Fatalf("AddVertex: %v %v", ok, err)
+	}
+	if ok, _ := g.AddVertex(0, 1, []byte("dup"), nil); ok {
+		t.Fatal("duplicate vertex accepted")
+	}
+	if ok, err := g.AddVertex(0, 2, []byte("v2"), nil); err != nil || !ok {
+		t.Fatal(err)
+	}
+	if ok, err := g.AddEdge(0, 1, 2, []byte("e12")); err != nil || !ok {
+		t.Fatalf("AddEdge: %v %v", ok, err)
+	}
+	if ok, _ := g.AddEdge(0, 1, 2, nil); ok {
+		t.Fatal("duplicate edge accepted")
+	}
+	if ok, _ := g.AddEdge(0, 2, 1, nil); ok {
+		t.Fatal("reverse duplicate edge accepted")
+	}
+	if ok, _ := g.AddEdge(0, 1, 99, nil); ok {
+		t.Fatal("edge to missing vertex accepted")
+	}
+	if ok, _ := g.AddEdge(0, 3, 3, nil); ok {
+		t.Fatal("self loop accepted")
+	}
+	if !g.HasEdge(0, 1, 2) || !g.HasEdge(0, 2, 1) {
+		t.Fatal("edge not visible from both endpoints")
+	}
+	if g.Order() != 2 || g.SizeEdges() != 1 {
+		t.Fatalf("order=%d edges=%d", g.Order(), g.SizeEdges())
+	}
+	if ok, err := g.RemoveEdge(0, 2, 1); err != nil || !ok {
+		t.Fatalf("RemoveEdge: %v %v", ok, err)
+	}
+	if g.HasEdge(0, 1, 2) {
+		t.Fatal("edge survived removal")
+	}
+	if ok, _ := g.RemoveEdge(0, 1, 2); ok {
+		t.Fatal("double edge removal reported true")
+	}
+}
+
+func TestGraphAddVertexWithNeighbors(t *testing.T) {
+	g := NewGraph(newSys(t), 8)
+	for id := uint64(1); id <= 5; id++ {
+		if _, err := g.AddVertex(0, id, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Vertex 10 connects to 1..5 and to a missing vertex 77 (skipped).
+	if ok, err := g.AddVertex(0, 10, []byte("hub"), []uint64{1, 2, 3, 4, 5, 77}); err != nil || !ok {
+		t.Fatal(err)
+	}
+	nbs := g.Neighbors(0, 10)
+	if len(nbs) != 5 {
+		t.Fatalf("neighbors = %v", nbs)
+	}
+	for _, nb := range nbs {
+		if !g.HasEdge(0, nb, 10) {
+			t.Fatalf("edge %d-10 not symmetric", nb)
+		}
+	}
+}
+
+func TestGraphRemoveVertexClearsEdges(t *testing.T) {
+	g := NewGraph(newSys(t), 8)
+	for id := uint64(1); id <= 4; id++ {
+		g.AddVertex(0, id, nil, nil)
+	}
+	g.AddVertex(0, 5, nil, []uint64{1, 2, 3, 4})
+	if ok, err := g.RemoveVertex(0, 5); err != nil || !ok {
+		t.Fatalf("RemoveVertex: %v %v", ok, err)
+	}
+	if g.HasVertex(0, 5) {
+		t.Fatal("vertex survived removal")
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if len(g.Neighbors(0, id)) != 0 {
+			t.Fatalf("vertex %d still has edges to removed vertex", id)
+		}
+	}
+	if g.SizeEdges() != 0 {
+		t.Fatalf("edges = %d", g.SizeEdges())
+	}
+	if ok, _ := g.RemoveVertex(0, 5); ok {
+		t.Fatal("double vertex removal reported true")
+	}
+}
+
+func TestGraphSetEdgeAttr(t *testing.T) {
+	sys := newSys(t)
+	g := NewGraph(sys, 8)
+	g.AddVertex(0, 1, nil, nil)
+	g.AddVertex(0, 2, nil, nil)
+	g.AddEdge(0, 1, 2, []byte("old"))
+	sys.Advance() // force the cross-epoch copying path
+	if ok, err := g.SetEdgeAttr(0, 2, 1, []byte("new")); err != nil || !ok {
+		t.Fatalf("SetEdgeAttr: %v %v", ok, err)
+	}
+	// Both endpoints must see the SAME (replaced) payload.
+	sv := g.stripe(1).vertices[1]
+	dv := g.stripe(2).vertices[2]
+	if sv.edges[2].payload != dv.edges[1].payload {
+		t.Fatal("endpoints disagree on edge payload after Set")
+	}
+	_, _, attr, ok := decodeEdge(sys.Read(0, sv.edges[2].payload))
+	if !ok || string(attr) != "new" {
+		t.Fatalf("edge attr = %q", attr)
+	}
+}
+
+func TestGraphConcurrentMixed(t *testing.T) {
+	sys := newSys(t)
+	g := NewGraph(sys, 32)
+	for id := uint64(0); id < 50; id++ {
+		g.AddVertex(0, id, nil, nil)
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < 6; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(tid)))
+			for i := 0; i < 300; i++ {
+				a, b := uint64(r.Intn(50)), uint64(r.Intn(50))
+				switch r.Intn(4) {
+				case 0:
+					g.AddEdge(tid, a, b, nil)
+				case 1:
+					g.RemoveEdge(tid, a, b)
+				case 2:
+					g.HasEdge(tid, a, b)
+				case 3:
+					g.Neighbors(tid, a)
+				}
+			}
+		}(tid)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			// Symmetry invariant: every adjacency entry has its mirror and
+			// the shared payload.
+			for i := range g.stripes {
+				for _, v := range g.stripes[i].vertices {
+					for nb, ref := range v.edges {
+						mirror := g.stripe(nb).vertices[nb]
+						if mirror == nil || mirror.edges[v.id] != ref {
+							t.Fatalf("asymmetric edge %d-%d", v.id, nb)
+						}
+					}
+				}
+			}
+			return
+		default:
+			sys.Advance()
+		}
+	}
+}
+
+func recoverGraphFrom(t *testing.T, dev *pmem.Device, workers int) *Graph {
+	t.Helper()
+	sys2, chunks, err := core.RecoverParallel(dev, core.Config{ArenaSize: 1 << 24, MaxThreads: 8}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RecoverGraph(sys2, 32, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2
+}
+
+func TestGraphCrashRecovery(t *testing.T) {
+	sys := newSys(t)
+	g := NewGraph(sys, 32)
+	r := rand.New(rand.NewSource(7))
+	for id := uint64(0); id < 40; id++ {
+		g.AddVertex(0, id, []byte(fmt.Sprintf("attr%d", id)), nil)
+	}
+	for i := 0; i < 200; i++ {
+		g.AddEdge(0, uint64(r.Intn(40)), uint64(r.Intn(40)), []byte{byte(i)})
+	}
+	g.RemoveVertex(0, 3)
+	g.RemoveEdge(0, 10, 11)
+	sys.Sync(0)
+	wantOrder, wantEdges := g.Order(), g.SizeEdges()
+	wantAdj := map[uint64][]uint64{}
+	for i := range g.stripes {
+		for id := range g.stripes[i].vertices {
+			wantAdj[id] = g.Neighbors(0, id)
+		}
+	}
+	// Unsynced tail that must vanish.
+	g.AddVertex(0, 1000, nil, []uint64{1, 2})
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	for _, workers := range []int{1, 4} {
+		g2 := recoverGraphFrom(t, sys.Device(), workers)
+		if g2.Order() != wantOrder || g2.SizeEdges() != wantEdges {
+			t.Fatalf("workers=%d: recovered order=%d edges=%d, want %d/%d",
+				workers, g2.Order(), g2.SizeEdges(), wantOrder, wantEdges)
+		}
+		if g2.HasVertex(0, 1000) {
+			t.Fatal("unsynced vertex survived crash")
+		}
+		for id, nbs := range wantAdj {
+			got := g2.Neighbors(0, id)
+			if len(got) != len(nbs) {
+				t.Fatalf("vertex %d: neighbors %v, want %v", id, got, nbs)
+			}
+			for i := range got {
+				if got[i] != nbs[i] {
+					t.Fatalf("vertex %d: neighbors %v, want %v", id, got, nbs)
+				}
+			}
+		}
+	}
+}
+
+func TestGraphCrashRecoveryRemovedVertexStaysDead(t *testing.T) {
+	sys := newSys(t)
+	g := NewGraph(sys, 8)
+	g.AddVertex(0, 1, nil, nil)
+	g.AddVertex(0, 2, nil, nil)
+	g.AddEdge(0, 1, 2, nil)
+	sys.Sync(0)
+	g.RemoveVertex(0, 1)
+	sys.Sync(0) // deletion durable
+	sys.Device().Crash(pmem.CrashDropAll)
+	g2 := recoverGraphFrom(t, sys.Device(), 2)
+	if g2.HasVertex(0, 1) {
+		t.Fatal("durably removed vertex resurrected")
+	}
+	if g2.HasEdge(0, 1, 2) || g2.HasEdge(0, 2, 1) {
+		t.Fatal("edge of removed vertex resurrected")
+	}
+	if !g2.HasVertex(0, 2) {
+		t.Fatal("unrelated vertex lost")
+	}
+}
+
+func TestGraphVertexAttr(t *testing.T) {
+	sys := newSys(t)
+	g := NewGraph(sys, 8)
+	g.AddVertex(0, 1, []byte("old"), nil)
+	if attr, ok := g.VertexAttr(0, 1); !ok || string(attr) != "old" {
+		t.Fatalf("VertexAttr = %q %v", attr, ok)
+	}
+	sys.Advance() // force the copying path
+	if ok, err := g.SetVertexAttr(0, 1, []byte("new")); err != nil || !ok {
+		t.Fatalf("SetVertexAttr: %v %v", ok, err)
+	}
+	if attr, _ := g.VertexAttr(0, 1); string(attr) != "new" {
+		t.Fatalf("attr = %q", attr)
+	}
+	if ok, _ := g.SetVertexAttr(0, 99, nil); ok {
+		t.Fatal("SetVertexAttr on missing vertex")
+	}
+	if _, ok := g.VertexAttr(0, 99); ok {
+		t.Fatal("VertexAttr on missing vertex")
+	}
+	// The updated attribute survives a crash.
+	sys.Sync(0)
+	sys.Device().Crash(pmem.CrashDropAll)
+	g2 := recoverGraphFrom(t, sys.Device(), 1)
+	if attr, ok := g2.VertexAttr(0, 1); !ok || string(attr) != "new" {
+		t.Fatalf("recovered attr = %q %v", attr, ok)
+	}
+}

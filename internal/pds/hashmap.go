@@ -1,0 +1,286 @@
+package pds
+
+import (
+	"sync"
+
+	"montage/internal/core"
+)
+
+// HashMap is the Montage hashmap of the paper's Figure 2: a lock per
+// bucket, each bucket a sorted transient linked list whose nodes hold the
+// only pointer to a key-value payload. Only the payloads (a bag of
+// key-value pairs) are persistent; the whole bucket array is rebuilt on
+// recovery from that bag — the hashmap's recovery routine is the
+// "less than 50 LOC" the paper brags about.
+type HashMap struct {
+	sys     *core.System
+	tag     uint16
+	buckets []bucket
+	mask    uint64
+}
+
+type bucket struct {
+	mu   sync.Mutex
+	head *mapNode // sentinel-free: head is the first real node
+}
+
+// mapNode is the transient index node (the paper's ListNode): it owns
+// the single transient-to-persistent pointer for its pair, so a payload
+// replaced by Set has exactly one pointer to rewrite (constraint 4).
+type mapNode struct {
+	key     string
+	payload *core.PBlk
+	next    *mapNode
+}
+
+// NewHashMap creates a map with nBuckets buckets (rounded up to a power
+// of two) carrying the default TagHashMap.
+func NewHashMap(sys *core.System, nBuckets int) *HashMap {
+	return NewHashMapTagged(sys, nBuckets, TagHashMap)
+}
+
+// NewHashMapTagged creates a map whose payloads carry tag, allowing
+// several maps (or other structures) to share one system.
+func NewHashMapTagged(sys *core.System, nBuckets int, tag uint16) *HashMap {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	return &HashMap{sys: sys, tag: tag, buckets: make([]bucket, n), mask: uint64(n - 1)}
+}
+
+// RecoverHashMap rebuilds a map from the payloads of a recovered system.
+// chunks may come from core.RecoverParallel; they are inserted by
+// workers goroutines in parallel.
+func RecoverHashMap(sys *core.System, nBuckets int, chunks [][]*core.PBlk) (*HashMap, error) {
+	return RecoverHashMapTagged(sys, nBuckets, chunks, TagHashMap)
+}
+
+// RecoverHashMapTagged rebuilds a map from the payloads carrying tag.
+func RecoverHashMapTagged(sys *core.System, nBuckets int, chunks [][]*core.PBlk, tag uint16) (*HashMap, error) {
+	m := NewHashMapTagged(sys, nBuckets, tag)
+	filtered := make([][]*core.PBlk, len(chunks))
+	for i, c := range chunks {
+		filtered[i] = core.FilterByTag(c, tag)
+	}
+	chunks = filtered
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for w, chunk := range chunks {
+		wg.Add(1)
+		go func(w int, chunk []*core.PBlk) {
+			defer wg.Done()
+			for _, p := range chunk {
+				key, _, ok := decodeKV(sys.Read(w, p))
+				if !ok {
+					errs[w] = ErrCorruptPayload
+					return
+				}
+				b := m.bucketFor(key)
+				b.mu.Lock()
+				b.insertNode(&mapNode{key: key, payload: p})
+				b.mu.Unlock()
+			}
+		}(w, chunk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *HashMap) bucketFor(key string) *bucket {
+	return &m.buckets[fnv1a(key)&m.mask]
+}
+
+// insertNode links n into the bucket's sorted list. Caller holds the
+// bucket lock; the key must not be present.
+func (b *bucket) insertNode(n *mapNode) {
+	prev := (*mapNode)(nil)
+	curr := b.head
+	for curr != nil && curr.key < n.key {
+		prev, curr = curr, curr.next
+	}
+	n.next = curr
+	if prev == nil {
+		b.head = n
+	} else {
+		prev.next = n
+	}
+}
+
+// Get returns a copy of the value stored under key. Read-only
+// operations need no BeginOp/EndOp: gets are invisible to recovery
+// (paper Section 3.1); the bucket lock is the required transient
+// synchronization.
+func (m *HashMap) Get(tid int, key string) ([]byte, bool) {
+	clk := m.sys.Clock()
+	clk.ChargeOp(tid)
+	b := m.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for curr := b.head; curr != nil && curr.key <= key; curr = curr.next {
+		clk.ChargeDRAM(tid, 16) // index node hop
+		if curr.key == key {
+			_, v, ok := decodeKV(m.sys.Read(tid, curr.payload))
+			if !ok {
+				return nil, false
+			}
+			return append([]byte(nil), v...), true
+		}
+	}
+	return nil, false
+}
+
+// Put inserts key=val, or updates the value if the key exists, returning
+// the previous value if any. The operation begins after the bucket lock
+// is acquired (as in Figure 2), which guarantees the old-see-new
+// exception cannot arise: every payload in the bucket was created by an
+// operation that held the lock earlier and therefore in an epoch no newer
+// than ours.
+func (m *HashMap) Put(tid int, key string, val []byte) (prev []byte, err error) {
+	clk := m.sys.Clock()
+	clk.ChargeOp(tid)
+	b := m.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err = m.sys.DoOp(tid, func(op core.Op) error {
+		var prevNode *mapNode
+		curr := b.head
+		for curr != nil && curr.key < key {
+			clk.ChargeDRAM(tid, 16)
+			prevNode, curr = curr, curr.next
+		}
+		if curr != nil && curr.key == key {
+			data, gerr := op.Get(curr.payload)
+			if gerr != nil {
+				return gerr
+			}
+			_, v, ok := decodeKV(data)
+			if !ok {
+				return ErrCorruptPayload
+			}
+			prev = append([]byte(nil), v...)
+			np, serr := op.Set(curr.payload, encodeKV(key, val))
+			if serr != nil {
+				return serr
+			}
+			curr.payload = np // rewrite the (single) pointer to the payload
+			return nil
+		}
+		p, perr := op.PNewTagged(m.tag, encodeKV(key, val))
+		if perr != nil {
+			return perr
+		}
+		n := &mapNode{key: key, payload: p, next: curr}
+		if prevNode == nil {
+			b.head = n
+		} else {
+			prevNode.next = n
+		}
+		return nil
+	})
+	return prev, err
+}
+
+// Insert adds key=val only if the key is absent; it reports whether it
+// inserted. (The benchmark workloads use insert/remove, never update,
+// for comparability with SOFT, which does not support atomic update.)
+func (m *HashMap) Insert(tid int, key string, val []byte) (inserted bool, err error) {
+	clk := m.sys.Clock()
+	clk.ChargeOp(tid)
+	b := m.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err = m.sys.DoOp(tid, func(op core.Op) error {
+		var prevNode *mapNode
+		curr := b.head
+		for curr != nil && curr.key < key {
+			clk.ChargeDRAM(tid, 16)
+			prevNode, curr = curr, curr.next
+		}
+		if curr != nil && curr.key == key {
+			return nil // present: no-op
+		}
+		p, perr := op.PNewTagged(m.tag, encodeKV(key, val))
+		if perr != nil {
+			return perr
+		}
+		n := &mapNode{key: key, payload: p, next: curr}
+		if prevNode == nil {
+			b.head = n
+		} else {
+			prevNode.next = n
+		}
+		inserted = true
+		return nil
+	})
+	return inserted, err
+}
+
+// Remove deletes key, reporting whether it was present.
+func (m *HashMap) Remove(tid int, key string) (removed bool, err error) {
+	clk := m.sys.Clock()
+	clk.ChargeOp(tid)
+	b := m.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err = m.sys.DoOp(tid, func(op core.Op) error {
+		var prevNode *mapNode
+		curr := b.head
+		for curr != nil && curr.key < key {
+			clk.ChargeDRAM(tid, 16)
+			prevNode, curr = curr, curr.next
+		}
+		if curr == nil || curr.key != key {
+			return nil
+		}
+		if derr := op.PDelete(curr.payload); derr != nil {
+			return derr
+		}
+		if prevNode == nil {
+			b.head = curr.next
+		} else {
+			prevNode.next = curr.next
+		}
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// Len counts the stored pairs (O(n); for tests and statistics).
+func (m *HashMap) Len() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for curr := b.head; curr != nil; curr = curr.next {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns the map's contents as a Go map. Intended for tests
+// and recovery verification; not linearizable against concurrent
+// updates.
+func (m *HashMap) Snapshot(tid int) map[string][]byte {
+	out := make(map[string][]byte)
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for curr := b.head; curr != nil; curr = curr.next {
+			_, v, ok := decodeKV(m.sys.Read(tid, curr.payload))
+			if ok {
+				out[curr.key] = append([]byte(nil), v...)
+			}
+		}
+		b.mu.Unlock()
+	}
+	return out
+}

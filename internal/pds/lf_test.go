@@ -1,0 +1,285 @@
+package pds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"montage/internal/core"
+	"montage/internal/pmem"
+)
+
+func TestLFQueueFIFO(t *testing.T) {
+	q := NewLFQueue(newSys(t))
+	for i := 0; i < 80; i++ {
+		if err := q.Enqueue(0, []byte(fmt.Sprintf("x%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 80 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 80; i++ {
+		v, ok, err := q.Dequeue(0)
+		if err != nil || !ok || string(v) != fmt.Sprintf("x%d", i) {
+			t.Fatalf("Dequeue %d = %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if _, ok, _ := q.Dequeue(0); ok {
+		t.Fatal("empty dequeue returned ok")
+	}
+}
+
+func TestLFQueueConcurrentWithEpochAdvances(t *testing.T) {
+	sys := newSys(t)
+	q := NewLFQueue(sys)
+	const producers, perProducer = 4, 150
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sys.Advance()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Enqueue(p, []byte(fmt.Sprintf("%d-%d", p, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	lastSeen := map[int]int{}
+	count := 0
+	for {
+		v, ok, err := q.Dequeue(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		var p, i int
+		fmt.Sscanf(string(v), "%d-%d", &p, &i)
+		if last, seen := lastSeen[p]; seen && i <= last {
+			t.Fatalf("producer %d order violated", p)
+		}
+		lastSeen[p] = i
+	}
+	if count != producers*perProducer {
+		t.Fatalf("dequeued %d items, want %d", count, producers*perProducer)
+	}
+}
+
+func TestLFQueueCrashRecovery(t *testing.T) {
+	sys := newSys(t)
+	q := NewLFQueue(sys)
+	for i := 0; i < 40; i++ {
+		if err := q.Enqueue(0, []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		if _, ok, err := q.Dequeue(0); !ok || err != nil {
+			t.Fatal("dequeue failed")
+		}
+	}
+	sys.Sync(0)
+	q.Enqueue(0, []byte("doomed")) // unsynced
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	sys2, payloads, err := core.Recover(sys.Device(), core.Config{ArenaSize: 1 << 24, MaxThreads: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := RecoverLFQueue(sys2, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q2.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("recovered %d items, want 25", len(got))
+	}
+	for i, v := range got {
+		if string(v) != fmt.Sprintf("v%02d", i+15) {
+			t.Fatalf("item %d = %q", i, v)
+		}
+	}
+	// The recovered queue must keep working.
+	if err := q2.Enqueue(0, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 26 {
+		t.Fatalf("post-recovery Len = %d", q2.Len())
+	}
+}
+
+func TestLFSetBasics(t *testing.T) {
+	s := NewLFSet(newSys(t))
+	if s.Contains(0, "a") {
+		t.Fatal("empty set contains a")
+	}
+	if ins, err := s.Insert(0, "a", []byte("1")); err != nil || !ins {
+		t.Fatalf("Insert: %v %v", ins, err)
+	}
+	if ins, _ := s.Insert(0, "a", []byte("2")); ins {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if v, ok := s.Get(0, "a"); !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if rm, err := s.Remove(0, "a"); err != nil || !rm {
+		t.Fatalf("Remove: %v %v", rm, err)
+	}
+	if s.Contains(0, "a") {
+		t.Fatal("removed key still present")
+	}
+	if rm, _ := s.Remove(0, "a"); rm {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestLFSetSortedTraversal(t *testing.T) {
+	s := NewLFSet(newSys(t))
+	keys := []string{"m", "c", "z", "a", "q"}
+	for _, k := range keys {
+		if _, err := s.Insert(0, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev string
+	curr, _ := s.head.next.Load()
+	for curr != nil {
+		if curr.key <= prev {
+			t.Fatalf("list unsorted: %q after %q", curr.key, prev)
+		}
+		prev = curr.key
+		curr, _ = curr.next.Load()
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestLFSetConcurrentMatchesModel(t *testing.T) {
+	sys := newSys(t)
+	s := NewLFSet(sys)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sys.Advance()
+			}
+		}
+	}()
+	// Each thread owns a key range, so a per-thread model is exact.
+	const threads = 4
+	models := make([]map[string]bool, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			model := map[string]bool{}
+			r := rand.New(rand.NewSource(int64(tid)))
+			for i := 0; i < 400; i++ {
+				key := fmt.Sprintf("t%d-%02d", tid, r.Intn(30))
+				if r.Intn(2) == 0 {
+					ins, err := s.Insert(tid, key, []byte("v"))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ins == model[key] {
+						t.Errorf("insert(%q)=%v but model says present=%v", key, ins, model[key])
+						return
+					}
+					model[key] = true
+				} else {
+					rm, err := s.Remove(tid, key)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if rm != model[key] {
+						t.Errorf("remove(%q)=%v but model says present=%v", key, rm, model[key])
+						return
+					}
+					delete(model, key)
+				}
+			}
+			models[tid] = model
+		}(tid)
+	}
+	wg.Wait()
+	close(stop)
+	for tid, model := range models {
+		for key := range model {
+			if !s.Contains(tid, key) {
+				t.Fatalf("key %q missing", key)
+			}
+		}
+	}
+}
+
+func TestLFSetCrashRecovery(t *testing.T) {
+	sys := newSys(t)
+	s := NewLFSet(sys)
+	want := map[string][]byte{}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		v := []byte(fmt.Sprintf("v%d", i))
+		if _, err := s.Insert(0, k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if _, err := s.Remove(0, k); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	sys.Sync(0)
+	s.Insert(0, "unsynced", []byte("x"))
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	sys2, chunks, err := core.RecoverParallel(sys.Device(), core.Config{ArenaSize: 1 << 24, MaxThreads: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RecoverLFSet(sys2, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.Snapshot(0)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package pds
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"montage/internal/core"
+	"montage/internal/pmem"
+)
+
+func TestLFSkipListBasics(t *testing.T) {
+	m := NewLFSkipList(newSys(t))
+	if _, ok := m.Get(0, "x"); ok {
+		t.Fatal("empty Get")
+	}
+	if ins, err := m.Insert(0, "x", []byte("1")); err != nil || !ins {
+		t.Fatal(err)
+	}
+	if ins, _ := m.Insert(0, "x", []byte("2")); ins {
+		t.Fatal("duplicate insert")
+	}
+	if v, ok := m.Get(0, "x"); !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if !m.Contains(0, "x") || m.Len() != 1 {
+		t.Fatal("metadata wrong")
+	}
+	if rm, err := m.Remove(0, "x"); err != nil || !rm {
+		t.Fatal(err)
+	}
+	if m.Contains(0, "x") || m.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	if rm, _ := m.Remove(0, "x"); rm {
+		t.Fatal("double remove")
+	}
+}
+
+func TestLFSkipListOrderedScan(t *testing.T) {
+	m := NewLFSkipList(newSys(t))
+	var want []string
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key%03d", r.Intn(600))
+		if ins, err := m.Insert(0, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		} else if ins {
+			want = append(want, k)
+		}
+	}
+	sort.Strings(want)
+	keys, vals := m.RangeScan(0, "", "")
+	if len(keys) != len(want) {
+		t.Fatalf("scan %d keys, want %d", len(keys), len(want))
+	}
+	for i := range keys {
+		if keys[i] != want[i] || string(vals[i]) != want[i] {
+			t.Fatalf("scan[%d] = %q/%q, want %q", i, keys[i], vals[i], want[i])
+		}
+	}
+	keys, _ = m.RangeScan(0, "key100", "key300")
+	for _, k := range keys {
+		if k < "key100" || k >= "key300" {
+			t.Fatalf("key %q outside bounds", k)
+		}
+	}
+}
+
+func TestLFSkipListMatchesModel(t *testing.T) {
+	sys := newSys(t)
+	m := NewLFSkipList(sys)
+	model := map[string][]byte{}
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%02d", r.Intn(70))
+		switch r.Intn(3) {
+		case 0:
+			v := []byte(fmt.Sprintf("v%d", i))
+			ins, err := m.Insert(0, k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, present := model[k]; ins == present {
+				t.Fatalf("insert(%q)=%v disagrees with model", k, ins)
+			}
+			if ins {
+				model[k] = v
+			}
+		case 1:
+			rm, err := m.Remove(0, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, present := model[k]; rm != present {
+				t.Fatalf("remove(%q)=%v disagrees with model", k, rm)
+			}
+			delete(model, k)
+		default:
+			_, ok := m.Get(0, k)
+			if _, present := model[k]; ok != present {
+				t.Fatalf("get(%q)=%v disagrees with model", k, ok)
+			}
+		}
+		if i%251 == 0 {
+			sys.Advance()
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", m.Len(), len(model))
+	}
+}
+
+func TestLFSkipListConcurrent(t *testing.T) {
+	sys := newSys(t)
+	m := NewLFSkipList(sys)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sys.Advance()
+			}
+		}
+	}()
+	const threads = 4
+	var wg sync.WaitGroup
+	liveCounts := make([]int, threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(tid)))
+			live := map[string]bool{}
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("t%d-%02d", tid, r.Intn(40))
+				if r.Intn(2) == 0 {
+					ins, err := m.Insert(tid, key, []byte("v"))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ins == live[key] {
+						t.Errorf("insert(%q) disagreement", key)
+						return
+					}
+					live[key] = true
+				} else {
+					rm, err := m.Remove(tid, key)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if rm != live[key] {
+						t.Errorf("remove(%q) disagreement", key)
+						return
+					}
+					delete(live, key)
+				}
+			}
+			liveCounts[tid] = len(live)
+		}(tid)
+	}
+	wg.Wait()
+	close(stop)
+	want := 0
+	for _, c := range liveCounts {
+		want += c
+	}
+	if m.Len() != want {
+		t.Fatalf("Len=%d want %d", m.Len(), want)
+	}
+	// Bottom-level order invariant.
+	keys, _ := m.RangeScan(0, "", "")
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("bottom level unsorted")
+	}
+}
+
+func TestLFSkipListCrashRecovery(t *testing.T) {
+	sys := newSys(t)
+	m := NewLFSkipList(sys)
+	for i := 0; i < 60; i++ {
+		if _, err := m.Insert(0, fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		m.Remove(0, fmt.Sprintf("k%03d", i))
+	}
+	sys.Sync(0)
+	m.Insert(0, "doomed", []byte("x"))
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	sys2, chunks, err := core.RecoverParallel(sys.Device(), core.Config{ArenaSize: 1 << 24, MaxThreads: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := RecoverLFSkipList(sys2, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 40 {
+		t.Fatalf("recovered %d keys, want 40", m2.Len())
+	}
+	keys, _ := m2.RangeScan(0, "", "")
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("recovered index unsorted")
+	}
+	if m2.Contains(0, "doomed") {
+		t.Fatal("unsynced key recovered")
+	}
+	// Recovered structure keeps working.
+	if ins, err := m2.Insert(0, "after", []byte("ok")); err != nil || !ins {
+		t.Fatal("post-recovery insert failed")
+	}
+}
+
+func TestCrashFuzzLFSkipList(t *testing.T) {
+	for seed := int64(0); seed < fuzzSeeds; seed++ {
+		f := newFuzzEnv(t, seed)
+		m := NewLFSkipList(f.sys)
+		model := map[string][]byte{}
+		states := []string{mapState(model)}
+		ops := 400 + f.rng.Intn(300)
+		for i := 0; i < ops; i++ {
+			key := fmt.Sprintf("k%02d", f.rng.Intn(40))
+			if f.rng.Intn(2) == 0 {
+				val := []byte(fmt.Sprintf("v%d", i))
+				ins, err := m.Insert(0, key, val)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ins {
+					model[key] = val
+				}
+			} else {
+				if _, err := m.Remove(0, key); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, key)
+			}
+			states = append(states, mapState(model))
+			f.maybeTick(i)
+		}
+		f.sys.Device().Crash(f.crashMode())
+		sys2, payloads, err := core.Recover(f.sys.Device(), f.cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := RecoverLFSkipList(sys2, [][]*core.PBlk{payloads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stateInPrefixes(mapState(m2.Snapshot(0)), states) < 0 {
+			t.Fatalf("lfskiplist seed %d: recovered state is not a prefix state", seed)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package pds
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"montage/internal/core"
+	"montage/internal/pmem"
+)
+
+func TestLFStackLIFO(t *testing.T) {
+	s := NewLFStack(newSys(t))
+	for i := 0; i < 40; i++ {
+		if err := s.Push(0, []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 40 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if v, ok := s.Peek(0); !ok || string(v) != "v39" {
+		t.Fatalf("Peek = %q %v", v, ok)
+	}
+	for i := 39; i >= 0; i-- {
+		v, ok, err := s.Pop(0)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("Pop = %q ok=%v err=%v, want v%02d", v, ok, err, i)
+		}
+	}
+	if _, ok, _ := s.Pop(0); ok {
+		t.Fatal("empty pop")
+	}
+	if _, ok := s.Peek(0); ok {
+		t.Fatal("empty peek")
+	}
+}
+
+func TestLFStackConcurrent(t *testing.T) {
+	sys := newSys(t)
+	s := NewLFStack(sys)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sys.Advance()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	pushed := make([]int, 4)
+	popped := make([]int, 4)
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if i%3 == 2 {
+					if _, ok, err := s.Pop(tid); err != nil {
+						t.Error(err)
+						return
+					} else if ok {
+						popped[tid]++
+					}
+				} else {
+					if err := s.Push(tid, []byte{byte(tid), byte(i)}); err != nil {
+						t.Error(err)
+						return
+					}
+					pushed[tid]++
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	close(stop)
+	want := 0
+	for tid := 0; tid < 4; tid++ {
+		want += pushed[tid] - popped[tid]
+	}
+	if s.Len() != want {
+		t.Fatalf("Len=%d want %d", s.Len(), want)
+	}
+	// Depth labels strictly decrease top-down.
+	node, _ := s.top.Load()
+	prev := uint64(1 << 62)
+	for node != nil {
+		if node.depth >= prev {
+			t.Fatalf("depth %d not decreasing (prev %d)", node.depth, prev)
+		}
+		prev = node.depth
+		node = node.next
+	}
+}
+
+func TestLFStackCrashRecovery(t *testing.T) {
+	sys := newSys(t)
+	s := NewLFStack(sys)
+	for i := 0; i < 30; i++ {
+		if err := s.Push(0, []byte(fmt.Sprintf("s%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if _, ok, err := s.Pop(0); !ok || err != nil {
+			t.Fatal("pop failed")
+		}
+	}
+	sys.Sync(0)
+	s.Push(0, []byte("doomed"))
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	sys2, payloads, err := core.Recover(sys.Device(), core.Config{ArenaSize: 1 << 24, MaxThreads: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RecoverLFStack(sys2, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.DrainTopDown(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 18 {
+		t.Fatalf("recovered %d items, want 18", len(got))
+	}
+	for i, v := range got {
+		if string(v) != fmt.Sprintf("s%02d", 17-i) {
+			t.Fatalf("item %d = %q, LIFO violated", i, v)
+		}
+	}
+	// The recovered stack keeps working.
+	if err := s2.Push(0, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := s2.Pop(0); string(v) != "post" {
+		t.Fatalf("post-recovery pop = %q", v)
+	}
+}
+
+func TestCrashFuzzLFStack(t *testing.T) {
+	for seed := int64(0); seed < fuzzSeeds; seed++ {
+		f := newFuzzEnv(t, seed)
+		s := NewLFStack(f.sys)
+		var model [][]byte
+		states := []string{queueState(model)}
+		ops := 300 + f.rng.Intn(300)
+		for i := 0; i < ops; i++ {
+			if f.rng.Intn(3) != 0 {
+				v := []byte(fmt.Sprintf("v%d", i))
+				if err := s.Push(0, v); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model, v)
+			} else {
+				_, ok, err := s.Pop(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					model = model[:len(model)-1]
+				}
+			}
+			states = append(states, queueState(model))
+			f.maybeTick(i)
+		}
+		f.sys.Device().Crash(f.crashMode())
+		sys2, payloads, err := core.Recover(f.sys.Device(), f.cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := RecoverLFStack(sys2, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := s2.DrainTopDown(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bottomUp := make([][]byte, len(top))
+		for i, v := range top {
+			bottomUp[len(top)-1-i] = v
+		}
+		if stateInPrefixes(queueState(bottomUp), states) < 0 {
+			t.Fatalf("lfstack seed %d: recovered state is not a prefix state", seed)
+		}
+	}
+}

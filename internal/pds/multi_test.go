@@ -1,0 +1,146 @@
+package pds
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"montage/internal/core"
+	"montage/internal/pmem"
+)
+
+// TestMultipleStructuresShareOneSystem exercises the paper's claim that
+// Montage "manages persistent payload blocks on behalf of one or more
+// concurrent data structures": a queue, a hashmap, a graph, and a second
+// (custom-tagged) hashmap all live on one system, crash together, and
+// recover independently by filtering on their payload tags.
+func TestMultipleStructuresShareOneSystem(t *testing.T) {
+	cfg := core.Config{ArenaSize: 1 << 24, MaxThreads: 4}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(sys)
+	m := NewHashMap(sys, 64)
+	g := NewGraph(sys, 16)
+	const customTag uint16 = 1000
+	m2 := NewHashMapTagged(sys, 64, customTag)
+
+	for i := 0; i < 20; i++ {
+		if err := q.Enqueue(0, []byte(fmt.Sprintf("q%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Put(1, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("m1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Put(2, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("m2-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.AddVertex(3, uint64(i), []byte("v"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 20; i++ {
+		if _, err := g.AddEdge(3, 0, uint64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Sync(0)
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	sys2, payloads, err := core.Recover(sys.Device(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]*core.PBlk{payloads}
+
+	q2, err := RecoverQueue(sys2, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 20 {
+		t.Fatalf("queue recovered %d items, want 20", q2.Len())
+	}
+	items, _ := q2.Drain(0)
+	for i, v := range items {
+		if string(v) != fmt.Sprintf("q%d", i) {
+			t.Fatalf("queue item %d = %q", i, v)
+		}
+	}
+
+	r1, err := RecoverHashMap(sys2, 64, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RecoverHashMapTagged(sys2, 64, chunks, customTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != 20 || r2.Len() != 20 {
+		t.Fatalf("maps recovered %d/%d pairs, want 20/20", r1.Len(), r2.Len())
+	}
+	// The two maps used the same keys: tags must keep their values apart.
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("k%d", i)
+		v1, _ := r1.Get(0, k)
+		v2, _ := r2.Get(0, k)
+		if !bytes.Equal(v1, []byte(fmt.Sprintf("m1-%d", i))) {
+			t.Fatalf("map1 %q = %q", k, v1)
+		}
+		if !bytes.Equal(v2, []byte(fmt.Sprintf("m2-%d", i))) {
+			t.Fatalf("map2 %q = %q", k, v2)
+		}
+	}
+
+	g2, err := RecoverGraph(sys2, 16, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Order() != 20 || g2.SizeEdges() != 19 {
+		t.Fatalf("graph recovered %d vertices / %d edges, want 20/19", g2.Order(), g2.SizeEdges())
+	}
+}
+
+// TestTagIsolationAcrossVersionsAndDeletes checks that UPDATE copies and
+// anti-payloads inherit the creator's tag, so per-structure filtering
+// stays correct across the whole payload lifecycle.
+func TestTagIsolationAcrossVersionsAndDeletes(t *testing.T) {
+	cfg := core.Config{ArenaSize: 1 << 22, MaxThreads: 2}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewHashMapTagged(sys, 16, 7)
+	b := NewHashMapTagged(sys, 16, 8)
+	a.Put(0, "x", []byte("a1"))
+	b.Put(0, "x", []byte("b1"))
+	sys.Advance()               // force the next updates onto the copying path
+	a.Put(0, "x", []byte("a2")) // UPDATE copy, tag 7
+	b.Remove(0, "x")            // anti-payload, tag 8
+	b.Put(0, "y", []byte("b2")) // fresh, tag 8
+	sys.Sync(0)
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	sys2, payloads, err := core.Recover(sys.Device(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]*core.PBlk{payloads}
+	ra, err := RecoverHashMapTagged(sys2, 16, chunks, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RecoverHashMapTagged(sys2, 16, chunks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ra.Get(0, "x"); !ok || string(v) != "a2" {
+		t.Fatalf("map a: x = %q,%v", v, ok)
+	}
+	if _, ok := rb.Get(0, "x"); ok {
+		t.Fatal("map b: deleted x resurrected")
+	}
+	if v, ok := rb.Get(0, "y"); !ok || string(v) != "b2" {
+		t.Fatalf("map b: y = %q,%v", v, ok)
+	}
+}

@@ -1,0 +1,164 @@
+package pds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"montage/internal/core"
+	"montage/internal/pmem"
+)
+
+func TestSkipListBasics(t *testing.T) {
+	m := NewSkipListMap(newSys(t))
+	if _, ok := m.Get(0, "x"); ok {
+		t.Fatal("empty map Get")
+	}
+	if prev, err := m.Put(0, "x", []byte("1")); err != nil || prev != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get(0, "x"); !ok || string(v) != "1" {
+		t.Fatalf("Get = %q", v)
+	}
+	if prev, err := m.Put(0, "x", []byte("2")); err != nil || string(prev) != "1" {
+		t.Fatalf("update prev = %q err=%v", prev, err)
+	}
+	if rm, err := m.Remove(0, "x"); err != nil || !rm {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestSkipListOrderAndRange(t *testing.T) {
+	m := NewSkipListMap(newSys(t))
+	var want []string
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key%03d", r.Intn(500))
+		if _, err := m.Put(0, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	dedup := want[:0]
+	for i, k := range want {
+		if i == 0 || want[i-1] != k {
+			dedup = append(dedup, k)
+		}
+	}
+	keys, vals := m.RangeScan(0, "", "")
+	if len(keys) != len(dedup) {
+		t.Fatalf("scan %d keys, want %d", len(keys), len(dedup))
+	}
+	for i, k := range keys {
+		if k != dedup[i] || string(vals[i]) != k {
+			t.Fatalf("scan[%d] = %q/%q, want %q", i, k, vals[i], dedup[i])
+		}
+	}
+	// Bounded range.
+	keys, _ = m.RangeScan(0, "key100", "key200")
+	for _, k := range keys {
+		if k < "key100" || k >= "key200" {
+			t.Fatalf("key %q outside range", k)
+		}
+	}
+}
+
+func TestSkipListMatchesModel(t *testing.T) {
+	sys := newSys(t)
+	m := NewSkipListMap(sys)
+	model := map[string][]byte{}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("k%02d", r.Intn(60))
+		switch r.Intn(3) {
+		case 0:
+			v := []byte(fmt.Sprintf("v%d", i))
+			if _, err := m.Put(0, k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 1:
+			if _, err := m.Remove(0, k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		default:
+			v, ok := m.Get(0, k)
+			mv, mok := model[k]
+			if ok != mok || (ok && !bytes.Equal(v, mv)) {
+				t.Fatalf("Get(%q) mismatch", k)
+			}
+		}
+		if i%311 == 0 {
+			sys.Advance()
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", m.Len(), len(model))
+	}
+}
+
+func TestSkipListConcurrentReaders(t *testing.T) {
+	sys := newSys(t)
+	m := NewSkipListMap(sys)
+	for i := 0; i < 100; i++ {
+		m.Put(0, fmt.Sprintf("k%03d", i), []byte("v"))
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if _, ok := m.Get(tid, fmt.Sprintf("k%03d", i%100)); !ok {
+					t.Error("key lost during concurrent reads")
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestSkipListCrashRecovery(t *testing.T) {
+	sys := newSys(t)
+	m := NewSkipListMap(sys)
+	for i := 0; i < 50; i++ {
+		if _, err := m.Put(0, fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Remove(0, "k010")
+	sys.Sync(0)
+	m.Put(0, "doomed", []byte("x"))
+	sys.Device().Crash(pmem.CrashDropAll)
+
+	sys2, payloads, err := core.Recover(sys.Device(), core.Config{ArenaSize: 1 << 24, MaxThreads: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := RecoverSkipListMap(sys2, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 49 {
+		t.Fatalf("recovered %d keys, want 49", m2.Len())
+	}
+	if _, ok := m2.Get(0, "k010"); ok {
+		t.Fatal("removed key recovered")
+	}
+	if _, ok := m2.Get(0, "doomed"); ok {
+		t.Fatal("unsynced key recovered")
+	}
+	keys, _ := m2.RangeScan(0, "", "")
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("recovered index not ordered")
+	}
+}

@@ -1,0 +1,159 @@
+package pds
+
+import (
+	"sort"
+	"sync"
+
+	"montage/internal/core"
+	"montage/internal/simclock"
+)
+
+// TagStack is the default tag of Stack payloads.
+const TagStack uint16 = 7
+
+// Stack is a Montage LIFO stack: the dual of the queue, included for the
+// same reason MOD builds stacks — persistence needs only the items and
+// their order, here encoded as monotone depth labels in the payloads.
+// The transient index is a slice guarded by one lock.
+type Stack struct {
+	sys *core.System
+	tag uint16
+
+	mu    sync.Mutex
+	vlock simclock.Resource
+	items []*core.PBlk // items[len-1] is the top
+	next  uint64       // next depth label
+}
+
+// NewStack creates an empty stack with the default TagStack.
+func NewStack(sys *core.System) *Stack { return NewStackTagged(sys, TagStack) }
+
+// NewStackTagged creates an empty stack whose payloads carry tag.
+func NewStackTagged(sys *core.System, tag uint16) *Stack {
+	s := &Stack{sys: sys, tag: tag, next: 1}
+	sys.Clock().Register(&s.vlock)
+	return s
+}
+
+// RecoverStack rebuilds a stack from recovered payloads carrying
+// TagStack.
+func RecoverStack(sys *core.System, payloads []*core.PBlk) (*Stack, error) {
+	return RecoverStackTagged(sys, payloads, TagStack)
+}
+
+// RecoverStackTagged rebuilds a stack from the payloads carrying tag.
+func RecoverStackTagged(sys *core.System, payloads []*core.PBlk, tag uint16) (*Stack, error) {
+	payloads = core.FilterByTag(payloads, tag)
+	type rec struct {
+		depth uint64
+		p     *core.PBlk
+	}
+	recs := make([]rec, 0, len(payloads))
+	for _, p := range payloads {
+		d, _, ok := decodeSeqVal(sys.Read(0, p))
+		if !ok {
+			return nil, ErrCorruptPayload
+		}
+		recs = append(recs, rec{d, p})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].depth < recs[j].depth })
+	s := &Stack{sys: sys, tag: tag, next: 1}
+	sys.Clock().Register(&s.vlock)
+	for _, r := range recs {
+		s.items = append(s.items, r.p)
+		s.next = r.depth + 1
+	}
+	return s, nil
+}
+
+// Push places val on top of the stack.
+func (s *Stack) Push(tid int, val []byte) error {
+	clk := s.sys.Clock()
+	clk.ChargeOp(tid)
+	s.mu.Lock()
+	s.vlock.Acquire(clk, tid)
+	defer func() {
+		s.vlock.Release(clk, tid)
+		s.mu.Unlock()
+	}()
+	return s.sys.DoOp(tid, func(op core.Op) error {
+		p, err := op.PNewTagged(s.tag, encodeSeqVal(s.next, val))
+		if err != nil {
+			return err
+		}
+		s.items = append(s.items, p)
+		s.next++
+		return nil
+	})
+}
+
+// Pop removes and returns the top value; ok is false on an empty stack.
+func (s *Stack) Pop(tid int) (val []byte, ok bool, err error) {
+	clk := s.sys.Clock()
+	clk.ChargeOp(tid)
+	s.mu.Lock()
+	s.vlock.Acquire(clk, tid)
+	defer func() {
+		s.vlock.Release(clk, tid)
+		s.mu.Unlock()
+	}()
+	if len(s.items) == 0 {
+		return nil, false, nil
+	}
+	err = s.sys.DoOp(tid, func(op core.Op) error {
+		p := s.items[len(s.items)-1]
+		data, gerr := op.Get(p)
+		if gerr != nil {
+			return gerr
+		}
+		_, v, okd := decodeSeqVal(data)
+		if !okd {
+			return ErrCorruptPayload
+		}
+		val = append([]byte(nil), v...)
+		if derr := op.PDelete(p); derr != nil {
+			return derr
+		}
+		s.items = s.items[:len(s.items)-1]
+		ok = true
+		return nil
+	})
+	return val, ok, err
+}
+
+// Peek returns the top value without removing it.
+func (s *Stack) Peek(tid int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return nil, false
+	}
+	_, v, ok := decodeSeqVal(s.sys.Read(tid, s.items[len(s.items)-1]))
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of items.
+func (s *Stack) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// DrainTopDown returns all values from top to bottom without removing
+// them (tests only).
+func (s *Stack) DrainTopDown(tid int) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, 0, len(s.items))
+	for i := len(s.items) - 1; i >= 0; i-- {
+		_, v, ok := decodeSeqVal(s.sys.Read(tid, s.items[i]))
+		if !ok {
+			return nil, ErrCorruptPayload
+		}
+		out = append(out, append([]byte(nil), v...))
+	}
+	return out, nil
+}

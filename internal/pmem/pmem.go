@@ -1,0 +1,286 @@
+// Package pmem simulates a byte-addressable nonvolatile memory device with
+// the failure semantics that Montage is designed against.
+//
+// On real hardware, a store to persistent memory lands in the volatile CPU
+// cache; a clwb-style write-back pushes the line toward the DIMM, and a
+// store fence guarantees that previously written-back lines have reached
+// the persistence domain. A power failure loses everything that has not
+// crossed that boundary, and lines may also be evicted (and thus persist)
+// out of program order.
+//
+// This package models exactly that boundary. The Device owns a durable
+// byte arena (the "media"). Mutations are staged per thread by WriteBack
+// and only reach the arena on Fence. Crash discards staged writes — or,
+// under a seeded fuzz mode, commits a random subset of them, modeling
+// out-of-order cacheline eviction — after which only the arena contents
+// are visible to recovery, just as after a real power failure.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"montage/internal/simclock"
+)
+
+// Addr is an offset into the device arena. 0 is reserved as the nil
+// address; valid allocations never start at 0.
+type Addr uint64
+
+// NilAddr is the zero Addr, used as a null persistent pointer.
+const NilAddr Addr = 0
+
+// ErrOutOfRange reports an access outside the device arena.
+var ErrOutOfRange = errors.New("pmem: access out of range")
+
+type stagedWrite struct {
+	addr Addr
+	data []byte
+	seq  uint64
+}
+
+type threadBuf struct {
+	mu     sync.Mutex
+	staged []stagedWrite
+}
+
+// Device is a simulated NVM DIMM set.
+//
+// The device is per-address coherent, as real cache hierarchies are: every
+// write (staged or durable) is stamped with a global sequence number, and
+// a staged write only commits to the media if no newer write to the same
+// address has already committed. Without this, a stale write-back sitting
+// in one thread's staging buffer could clobber a block that was freed,
+// reallocated, and rewritten by another thread — something cache coherence
+// makes impossible on real hardware.
+type Device struct {
+	mu      sync.RWMutex // guards durable + lastSeq for concurrent fence/commit
+	durable []byte
+	lastSeq map[Addr]uint64 // last committed sequence per write address
+
+	seq     atomic.Uint64
+	threads []threadBuf
+	clk     *simclock.Clock
+
+	crashRNG *rand.Rand
+	rngMu    sync.Mutex
+}
+
+// NewDevice creates a device with the given arena size in bytes, serving
+// up to maxThreads worker threads plus the background daemon. clk may be
+// nil, in which case no virtual-time costs are charged.
+func NewDevice(size int, maxThreads int, clk *simclock.Clock) *Device {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	return &Device{
+		durable: make([]byte, size),
+		lastSeq: make(map[Addr]uint64),
+		threads: make([]threadBuf, maxThreads+1), // +1 for daemon
+		clk:     clk,
+	}
+}
+
+// commitLocked applies a staged write unless a newer write to the same
+// address has already committed. Callers hold d.mu.
+func (d *Device) commitLocked(w stagedWrite) {
+	if d.lastSeq[w.addr] > w.seq {
+		return
+	}
+	d.lastSeq[w.addr] = w.seq
+	copy(d.durable[w.addr:], w.data)
+}
+
+// Size returns the arena size in bytes.
+func (d *Device) Size() int { return len(d.durable) }
+
+// Clock returns the virtual clock attached to the device (may be nil).
+func (d *Device) Clock() *simclock.Clock { return d.clk }
+
+func (d *Device) buf(tid int) *threadBuf {
+	if tid == simclock.DaemonTID {
+		return &d.threads[len(d.threads)-1]
+	}
+	return &d.threads[tid]
+}
+
+func (d *Device) check(addr Addr, n int) error {
+	if addr == NilAddr || int(addr)+n > len(d.durable) {
+		return fmt.Errorf("%w: addr=%d len=%d size=%d", ErrOutOfRange, addr, n, len(d.durable))
+	}
+	return nil
+}
+
+// WriteBack stages data for persistence at addr, charging tid the
+// write-back cost. The data does not become durable until the next Fence
+// by the same thread. The slice is copied.
+func (d *Device) WriteBack(tid int, addr Addr, data []byte) error {
+	if err := d.check(addr, len(data)); err != nil {
+		return err
+	}
+	b := d.buf(tid)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	b.staged = append(b.staged, stagedWrite{addr, cp, d.seq.Add(1)})
+	b.mu.Unlock()
+	d.clk.ChargeNVMWrite(tid, len(data))
+	d.clk.ChargeWriteBack(tid, len(data))
+	return nil
+}
+
+// Fence commits all writes staged by tid to the durable arena, charging
+// the fence cost. After Fence returns, those writes survive Crash.
+func (d *Device) Fence(tid int) {
+	b := d.buf(tid)
+	b.mu.Lock()
+	staged := b.staged
+	b.staged = nil
+	b.mu.Unlock()
+	if len(staged) > 0 {
+		d.mu.Lock()
+		for _, w := range staged {
+			d.commitLocked(w)
+		}
+		d.mu.Unlock()
+	}
+	d.clk.ChargeFence(tid)
+}
+
+// Drain commits every staged write from every thread, in global write
+// order. It models the epoch daemon waiting for all outstanding
+// write-backs — including those issued incrementally by worker threads —
+// to reach the persistence domain before advancing the epoch clock.
+func (d *Device) Drain(tid int) {
+	var all []stagedWrite
+	for i := range d.threads {
+		b := &d.threads[i]
+		b.mu.Lock()
+		all = append(all, b.staged...)
+		b.staged = nil
+		b.mu.Unlock()
+	}
+	if len(all) > 0 {
+		d.mu.Lock()
+		for _, w := range all {
+			d.commitLocked(w)
+		}
+		d.mu.Unlock()
+	}
+	d.clk.ChargeFenceAll(tid)
+}
+
+// PendingWrites returns the number of staged (not yet fenced) writes for
+// tid. Intended for tests.
+func (d *Device) PendingWrites(tid int) int {
+	b := d.buf(tid)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.staged)
+}
+
+// Read copies durable bytes at addr into dst, charging the NVM read cost.
+// It observes only fenced data; this is the view recovery code gets.
+func (d *Device) Read(tid int, addr Addr, dst []byte) error {
+	if err := d.check(addr, len(dst)); err != nil {
+		return err
+	}
+	d.mu.RLock()
+	copy(dst, d.durable[addr:])
+	d.mu.RUnlock()
+	d.clk.ChargeNVMRead(tid, len(dst))
+	return nil
+}
+
+// WriteDurable writes data directly to the arena, bypassing staging. It
+// models initialization-time writes (formatting, superblock headers) that
+// are fenced before the system is declared open.
+func (d *Device) WriteDurable(addr Addr, data []byte) error {
+	if err := d.check(addr, len(data)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.commitLocked(stagedWrite{addr, data, d.seq.Add(1)})
+	d.mu.Unlock()
+	return nil
+}
+
+// CrashMode selects what happens to staged writes on a crash.
+type CrashMode int
+
+const (
+	// CrashDropAll loses every staged write: the conservative power-failure
+	// model.
+	CrashDropAll CrashMode = iota
+	// CrashPartial commits a random subset of staged writes, modeling
+	// cache lines that were evicted (and therefore persisted) out of
+	// program order before the failure. Requires SeedCrashRNG.
+	CrashPartial
+)
+
+// SeedCrashRNG seeds the RNG used by CrashPartial so crash fuzz tests are
+// reproducible.
+func (d *Device) SeedCrashRNG(seed int64) {
+	d.rngMu.Lock()
+	d.crashRNG = rand.New(rand.NewSource(seed))
+	d.rngMu.Unlock()
+}
+
+// Crash simulates a power failure: staged writes are dropped (or, in
+// CrashPartial mode, each staged write independently persists with
+// probability 1/2, modeling out-of-order eviction). After Crash the
+// durable arena is all that remains; the caller is expected to discard
+// every volatile structure and run recovery.
+func (d *Device) Crash(mode CrashMode) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.threads {
+		b := &d.threads[i]
+		b.mu.Lock()
+		if mode == CrashPartial && d.crashRNG != nil {
+			d.rngMu.Lock()
+			for _, w := range b.staged {
+				if d.crashRNG.Intn(2) == 0 {
+					d.commitLocked(w)
+				}
+			}
+			d.rngMu.Unlock()
+		}
+		b.staged = nil
+		b.mu.Unlock()
+	}
+}
+
+// Snapshot returns a copy of the durable arena. Intended for tests that
+// compare post-crash media images.
+func (d *Device) Snapshot() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	cp := make([]byte, len(d.durable))
+	copy(cp, d.durable)
+	return cp
+}
+
+// Save writes the durable arena image to path, allowing a later process
+// (or a later NewDeviceFromFile in the same process) to reopen it — the
+// moral equivalent of a DAX-mapped file surviving a reboot.
+func (d *Device) Save(path string) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return os.WriteFile(path, d.durable, 0o644)
+}
+
+// NewDeviceFromFile reopens a device image saved with Save.
+func NewDeviceFromFile(path string, maxThreads int, clk *simclock.Clock) (*Device, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDevice(0, maxThreads, clk)
+	d.durable = img
+	return d, nil
+}

@@ -1,0 +1,357 @@
+package pmem
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"montage/internal/simclock"
+)
+
+func newDev(t *testing.T) *Device {
+	t.Helper()
+	return NewDevice(1<<16, 4, nil)
+}
+
+func TestWriteBackNotDurableUntilFence(t *testing.T) {
+	d := newDev(t)
+	data := []byte("hello montage")
+	if err := d.WriteBack(0, 64, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, len(data))) {
+		t.Fatalf("staged write visible before fence: %q", got)
+	}
+	d.Fence(0)
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("after fence got %q, want %q", got, data)
+	}
+}
+
+func TestCrashDropsStagedWrites(t *testing.T) {
+	d := newDev(t)
+	if err := d.WriteBack(1, 128, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash(CrashDropAll)
+	got := make([]byte, 3)
+	if err := d.Read(0, 128, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatalf("staged write survived crash: %v", got)
+	}
+	if d.PendingWrites(1) != 0 {
+		t.Fatal("staged buffer not cleared by crash")
+	}
+}
+
+func TestFencedWritesSurviveCrash(t *testing.T) {
+	d := newDev(t)
+	if err := d.WriteBack(2, 256, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence(2)
+	d.Crash(CrashDropAll)
+	got := make([]byte, 2)
+	if err := d.Read(0, 256, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{9, 9}) {
+		t.Fatalf("fenced write lost in crash: %v", got)
+	}
+}
+
+func TestCrashPartialDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		d := newDev(t)
+		d.SeedCrashRNG(seed)
+		for i := 0; i < 32; i++ {
+			if err := d.WriteBack(0, Addr(64+i*8), []byte{byte(i + 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Crash(CrashPartial)
+		return d.Snapshot()
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("CrashPartial with equal seeds produced different media images")
+	}
+	c := run(43)
+	if bytes.Equal(a, c) {
+		t.Log("different seeds gave the same image (possible but unlikely)")
+	}
+}
+
+func TestCrashPartialCommitsSubset(t *testing.T) {
+	d := newDev(t)
+	d.SeedCrashRNG(7)
+	n := 64
+	for i := 0; i < n; i++ {
+		if err := d.WriteBack(0, Addr(64+i), []byte{0xFF}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Crash(CrashPartial)
+	img := d.Snapshot()
+	committed := 0
+	for i := 0; i < n; i++ {
+		if img[64+i] == 0xFF {
+			committed++
+		}
+	}
+	if committed == 0 || committed == n {
+		t.Fatalf("partial crash committed %d/%d writes; expected a strict subset", committed, n)
+	}
+}
+
+func TestPerThreadFenceIsolation(t *testing.T) {
+	d := newDev(t)
+	if err := d.WriteBack(0, 64, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBack(1, 72, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence(0) // must not commit thread 1's write
+	got := make([]byte, 1)
+	if err := d.Read(0, 72, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("Fence(0) committed thread 1's staged write")
+	}
+	if d.PendingWrites(1) != 1 {
+		t.Fatal("thread 1 staged write disappeared")
+	}
+}
+
+func TestDaemonThreadBuffer(t *testing.T) {
+	d := newDev(t)
+	if err := d.WriteBack(simclock.DaemonTID, 64, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence(simclock.DaemonTID)
+	got := make([]byte, 1)
+	if err := d.Read(simclock.DaemonTID, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatal("daemon write-back/fence failed")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := NewDevice(128, 1, nil)
+	if err := d.WriteBack(0, 120, make([]byte, 16)); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := d.Read(0, NilAddr, make([]byte, 1)); err == nil {
+		t.Fatal("expected error reading nil address")
+	}
+	if err := d.WriteDurable(1000, []byte{1}); err == nil {
+		t.Fatal("expected out-of-range error on WriteDurable")
+	}
+}
+
+func TestWriteDurableImmediate(t *testing.T) {
+	d := newDev(t)
+	if err := d.WriteDurable(64, []byte{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash(CrashDropAll)
+	got := make([]byte, 2)
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 7 {
+		t.Fatal("WriteDurable content lost")
+	}
+}
+
+func TestSaveAndReopen(t *testing.T) {
+	d := newDev(t)
+	if err := d.WriteBack(0, 64, []byte("persist me")); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence(0)
+	path := filepath.Join(t.TempDir(), "pool.img")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDeviceFromFile(path, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	if err := d2.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persist me" {
+		t.Fatalf("reopened image corrupt: %q", got)
+	}
+	if _, err := NewDeviceFromFile(filepath.Join(t.TempDir(), "missing"), 1, nil); !os.IsNotExist(err) {
+		t.Fatalf("expected not-exist error, got %v", err)
+	}
+}
+
+func TestChargesVirtualTime(t *testing.T) {
+	clk := simclock.New(2, simclock.DefaultCosts())
+	d := NewDevice(1<<12, 2, clk)
+	if err := d.WriteBack(0, 64, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now(0) == 0 {
+		t.Fatal("WriteBack charged no virtual time")
+	}
+	before := clk.Now(0)
+	d.Fence(0)
+	if clk.Now(0) <= before {
+		t.Fatal("Fence charged no virtual time")
+	}
+	before = clk.Now(1)
+	if err := d.Read(1, 64, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now(1) <= before {
+		t.Fatal("Read charged no virtual time")
+	}
+}
+
+func TestConcurrentWriteBackFence(t *testing.T) {
+	d := NewDevice(1<<20, 8, nil)
+	var wg sync.WaitGroup
+	for tid := 0; tid < 8; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			base := Addr(4096 * (tid + 1))
+			for i := 0; i < 200; i++ {
+				if err := d.WriteBack(tid, base+Addr(i%64)*8, []byte{byte(tid), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 9 {
+					d.Fence(tid)
+				}
+			}
+			d.Fence(tid)
+		}(tid)
+	}
+	wg.Wait()
+	for tid := 0; tid < 8; tid++ {
+		got := make([]byte, 2)
+		base := Addr(4096 * (tid + 1))
+		if err := d.Read(0, base, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(tid) {
+			t.Fatalf("thread %d data corrupt: %v", tid, got)
+		}
+	}
+}
+
+func TestPropertyFencedDataAlwaysReadable(t *testing.T) {
+	// Any sequence of (addr, value) writes that is fenced must be exactly
+	// readable afterward, regardless of interleaved staged writes.
+	f := func(vals []byte) bool {
+		d := NewDevice(1<<14, 1, nil)
+		for i, v := range vals {
+			addr := Addr(64 + (i%1000)*8)
+			if err := d.WriteBack(0, addr, []byte{v}); err != nil {
+				return false
+			}
+		}
+		d.Fence(0)
+		// Last write to each address wins.
+		want := map[Addr]byte{}
+		for i, v := range vals {
+			want[Addr(64+(i%1000)*8)] = v
+		}
+		for addr, v := range want {
+			got := make([]byte, 1)
+			if err := d.Read(0, addr, got); err != nil || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherenceStaleWriteCannotClobber(t *testing.T) {
+	// Thread 0 stages a write, thread 1 later writes and fences the same
+	// address. When thread 0's stale write finally commits (via Drain),
+	// it must not overwrite thread 1's newer data.
+	d := newDev(t)
+	if err := d.WriteBack(0, 64, []byte{1}); err != nil { // stale
+		t.Fatal(err)
+	}
+	if err := d.WriteBack(1, 64, []byte{2}); err != nil { // newer
+		t.Fatal(err)
+	}
+	d.Fence(1)
+	d.Drain(0) // commits thread 0's stale write attempt
+	got := make([]byte, 1)
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("stale staged write clobbered newer data: got %d, want 2", got[0])
+	}
+}
+
+func TestDrainCommitsAllThreads(t *testing.T) {
+	d := newDev(t)
+	for tid := 0; tid < 4; tid++ {
+		if err := d.WriteBack(tid, Addr(64+tid*8), []byte{byte(tid + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Drain(simclock.DaemonTID)
+	for tid := 0; tid < 4; tid++ {
+		got := make([]byte, 1)
+		if err := d.Read(0, Addr(64+tid*8), got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(tid+1) {
+			t.Fatalf("thread %d write not drained", tid)
+		}
+	}
+	for tid := 0; tid < 4; tid++ {
+		if d.PendingWrites(tid) != 0 {
+			t.Fatalf("thread %d still has staged writes after Drain", tid)
+		}
+	}
+}
+
+func TestCoherenceWriteDurableOrdersAgainstStaged(t *testing.T) {
+	d := newDev(t)
+	if err := d.WriteBack(0, 64, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteDurable(64, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence(0) // stale staged write must lose to the durable write
+	got := make([]byte, 1)
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("stale staged write clobbered WriteDurable: got %d", got[0])
+	}
+}

@@ -1,0 +1,316 @@
+// Package ralloc implements a persistent-memory block allocator modeled on
+// Ralloc (Cai et al., ISMM '20), the lock-free allocator Montage is built
+// on.
+//
+// Like Ralloc, almost all metadata is transient: free lists and per-thread
+// caches live in ordinary Go memory and are rebuilt after a crash by a
+// garbage-collection-style sweep of the arena. The only persistent
+// metadata is a small per-superblock header recording the superblock's
+// size class, written (and made durable) once when the superblock is first
+// carved. Allocation and deallocation therefore perform no write-backs and
+// no fences — the property that makes Ralloc fast and that Montage's
+// two-epoch reclamation discipline depends on.
+//
+// The arena is divided into fixed-size superblocks; each superblock serves
+// blocks of a single size class. The recovery sweep walks every
+// initialized superblock, decodes each block slot as a Montage payload,
+// and reports the valid ones to the caller (Montage's epoch system), which
+// decides which survive; everything else is returned to the free lists.
+package ralloc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"montage/internal/payload"
+	"montage/internal/pmem"
+	"montage/internal/simclock"
+)
+
+// MetaRegionSize is the number of bytes reserved at the start of the
+// arena for system metadata (the persistent epoch clock and pool header).
+// Superblocks start immediately after it.
+const MetaRegionSize = 4096
+
+// EpochClockAddr is the fixed arena offset of the persistent epoch clock
+// (8 bytes, little endian).
+const EpochClockAddr pmem.Addr = 64
+
+// sbHeaderSize is the persisted header at the start of every superblock.
+const sbHeaderSize = 64
+
+// sbMagic marks an initialized superblock header.
+const sbMagic uint32 = 0x53424c4b // "SBLK"
+
+// DefaultSuperblockSize is the default superblock size in bytes.
+const DefaultSuperblockSize = 64 << 10
+
+// sizeClasses are the supported block sizes (header + data), in bytes.
+// They must each divide into a superblock (after its header) at least
+// once, and must be multiples of 8.
+var sizeClasses = []int{
+	64, 96, 128, 192, 256, 384, 512, 768,
+	1024, 1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384,
+}
+
+// ErrOutOfMemory reports arena exhaustion.
+var ErrOutOfMemory = errors.New("ralloc: out of persistent memory")
+
+// ErrTooLarge reports an allocation request above the largest size class.
+var ErrTooLarge = errors.New("ralloc: allocation exceeds largest size class")
+
+// classFor returns the index of the smallest size class that can hold n
+// bytes, or -1.
+func classFor(n int) int {
+	for i, c := range sizeClasses {
+		if c >= n {
+			return i
+		}
+	}
+	return -1
+}
+
+// threadCacheMax is how many free blocks a per-thread cache holds per
+// class before spilling half to the central list.
+const threadCacheMax = 64
+
+type centralList struct {
+	mu   sync.Mutex
+	free []pmem.Addr
+}
+
+type threadCache struct {
+	classes [][]pmem.Addr // one stack per size class
+	_       [40]byte      // avoid false sharing between caches
+}
+
+// Heap is the allocator over one pmem.Device.
+type Heap struct {
+	dev    *pmem.Device
+	clk    *simclock.Clock
+	sbSize int
+
+	numSB   int
+	nextSB  atomic.Int64 // next never-carved superblock index
+	sbClass []atomic.Int32
+
+	central []centralList // per size class
+	caches  []threadCache // per thread (+1 daemon)
+
+	allocated atomic.Int64 // live blocks, for stats/tests
+}
+
+// Options configures heap construction.
+type Options struct {
+	// SuperblockSize overrides DefaultSuperblockSize.
+	SuperblockSize int
+}
+
+// New creates a heap managing dev's arena for up to maxThreads workers.
+// The arena below MetaRegionSize is left to the caller (epoch clock).
+func New(dev *pmem.Device, maxThreads int, opts Options) (*Heap, error) {
+	sbSize := opts.SuperblockSize
+	if sbSize == 0 {
+		sbSize = DefaultSuperblockSize
+	}
+	if sbSize <= sbHeaderSize+sizeClasses[0] {
+		return nil, fmt.Errorf("ralloc: superblock size %d too small", sbSize)
+	}
+	usable := dev.Size() - MetaRegionSize
+	if usable < sbSize {
+		return nil, fmt.Errorf("ralloc: arena too small for one superblock")
+	}
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	h := &Heap{
+		dev:     dev,
+		clk:     dev.Clock(),
+		sbSize:  sbSize,
+		numSB:   usable / sbSize,
+		central: make([]centralList, len(sizeClasses)),
+		caches:  make([]threadCache, maxThreads+1),
+	}
+	h.sbClass = make([]atomic.Int32, h.numSB)
+	for i := range h.sbClass {
+		h.sbClass[i].Store(-1)
+	}
+	for i := range h.caches {
+		h.caches[i].classes = make([][]pmem.Addr, len(sizeClasses))
+	}
+	return h, nil
+}
+
+// Device returns the underlying device.
+func (h *Heap) Device() *pmem.Device { return h.dev }
+
+// MaxBlockSize returns the data capacity of the largest size class.
+func (h *Heap) MaxBlockSize() int {
+	max := sizeClasses[len(sizeClasses)-1]
+	if max > h.sbSize-sbHeaderSize {
+		// Largest class that fits this superblock size.
+		for i := len(sizeClasses) - 1; i >= 0; i-- {
+			if sizeClasses[i] <= h.sbSize-sbHeaderSize {
+				return sizeClasses[i] - payload.HeaderSize
+			}
+		}
+	}
+	return max - payload.HeaderSize
+}
+
+// Live returns the number of currently allocated blocks.
+func (h *Heap) Live() int64 { return h.allocated.Load() }
+
+func (h *Heap) sbAddr(idx int) pmem.Addr {
+	return pmem.Addr(MetaRegionSize + idx*h.sbSize)
+}
+
+func (h *Heap) sbIndex(addr pmem.Addr) int {
+	return (int(addr) - MetaRegionSize) / h.sbSize
+}
+
+// BlockSize returns the full block size (header + data capacity) of the
+// block at addr.
+func (h *Heap) BlockSize(addr pmem.Addr) int {
+	cls := h.sbClass[h.sbIndex(addr)].Load()
+	return sizeClasses[cls]
+}
+
+// DataCapacity returns the data capacity of the block at addr.
+func (h *Heap) DataCapacity(addr pmem.Addr) int {
+	return h.BlockSize(addr) - payload.HeaderSize
+}
+
+func (h *Heap) cache(tid int) *threadCache {
+	if tid == simclock.DaemonTID {
+		return &h.caches[len(h.caches)-1]
+	}
+	return &h.caches[tid]
+}
+
+// Alloc returns a block whose data capacity is at least dataSize bytes.
+// No persistence work is performed: the block's contents become durable
+// only when the epoch system writes the payload back.
+func (h *Heap) Alloc(tid int, dataSize int) (pmem.Addr, error) {
+	need := payload.EncodedSize(dataSize)
+	cls := classFor(need)
+	if cls < 0 || sizeClasses[cls] > h.sbSize-sbHeaderSize {
+		return pmem.NilAddr, fmt.Errorf("%w: %d bytes", ErrTooLarge, dataSize)
+	}
+	h.clk.ChargeAlloc(tid)
+
+	tc := h.cache(tid)
+	if s := tc.classes[cls]; len(s) > 0 {
+		addr := s[len(s)-1]
+		tc.classes[cls] = s[:len(s)-1]
+		h.allocated.Add(1)
+		return addr, nil
+	}
+
+	// Refill from the central list.
+	cl := &h.central[cls]
+	cl.mu.Lock()
+	if n := len(cl.free); n > 0 {
+		take := threadCacheMax / 2
+		if take > n {
+			take = n
+		}
+		tc.classes[cls] = append(tc.classes[cls], cl.free[n-take:]...)
+		cl.free = cl.free[:n-take]
+		cl.mu.Unlock()
+		s := tc.classes[cls]
+		addr := s[len(s)-1]
+		tc.classes[cls] = s[:len(s)-1]
+		h.allocated.Add(1)
+		return addr, nil
+	}
+	cl.mu.Unlock()
+
+	// Carve a fresh superblock.
+	if err := h.carve(cls); err != nil {
+		return pmem.NilAddr, err
+	}
+	return h.Alloc(tid, dataSize)
+}
+
+// carve initializes the next free superblock for size class cls and
+// pushes its blocks onto the central free list.
+func (h *Heap) carve(cls int) error {
+	idx := int(h.nextSB.Add(1)) - 1
+	if idx >= h.numSB {
+		return ErrOutOfMemory
+	}
+	base := h.sbAddr(idx)
+	var hdr [sbHeaderSize]byte
+	putU32(hdr[0:], sbMagic)
+	putU32(hdr[4:], uint32(cls))
+	// The header is persisted eagerly (one write-back + fence per
+	// superblock lifetime, amortized over thousands of allocations).
+	if err := h.dev.WriteDurable(base, hdr[:]); err != nil {
+		return err
+	}
+	h.sbClass[idx].Store(int32(cls))
+
+	bs := sizeClasses[cls]
+	n := (h.sbSize - sbHeaderSize) / bs
+	blocks := make([]pmem.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		blocks = append(blocks, base+pmem.Addr(sbHeaderSize+i*bs))
+	}
+	cl := &h.central[cls]
+	cl.mu.Lock()
+	cl.free = append(cl.free, blocks...)
+	cl.mu.Unlock()
+	return nil
+}
+
+// Free returns a block to the allocator. Callers (the Montage epoch
+// system) must only free blocks whose contents are no longer needed for
+// recovery; the two-epoch reclamation delay guarantees this.
+func (h *Heap) Free(tid int, addr pmem.Addr) {
+	cls := int(h.sbClass[h.sbIndex(addr)].Load())
+	h.clk.ChargeAlloc(tid)
+	tc := h.cache(tid)
+	tc.classes[cls] = append(tc.classes[cls], addr)
+	h.allocated.Add(-1)
+	if len(tc.classes[cls]) > threadCacheMax {
+		spill := tc.classes[cls][:threadCacheMax/2]
+		rest := tc.classes[cls][threadCacheMax/2:]
+		cl := &h.central[cls]
+		cl.mu.Lock()
+		cl.free = append(cl.free, spill...)
+		cl.mu.Unlock()
+		tc.classes[cls] = append([]pmem.Addr(nil), rest...)
+	}
+}
+
+// FreeCount reports the total number of blocks on free lists (central +
+// all caches). Intended for tests; not linearizable against concurrent
+// allocation.
+func (h *Heap) FreeCount() int {
+	n := 0
+	for i := range h.central {
+		h.central[i].mu.Lock()
+		n += len(h.central[i].free)
+		h.central[i].mu.Unlock()
+	}
+	for i := range h.caches {
+		for _, s := range h.caches[i].classes {
+			n += len(s)
+		}
+	}
+	return n
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

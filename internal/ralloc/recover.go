@@ -1,0 +1,136 @@
+package ralloc
+
+import (
+	"sync"
+
+	"montage/internal/payload"
+	"montage/internal/pmem"
+)
+
+// Block describes one valid payload block found by the recovery sweep.
+type Block struct {
+	Addr   pmem.Addr
+	Header payload.Header
+	Data   []byte // copy of the data section
+}
+
+// Recover rebuilds the heap's transient metadata from the durable arena
+// after a crash and returns every block that decodes as a valid, untorn
+// payload — including blocks from epochs the caller will discard. Torn
+// and never-written blocks are treated as free space.
+//
+// workers parallelizes the sweep across superblocks (the paper's k
+// recovery iterators). The caller (Montage's epoch system) then applies
+// the two-epoch cutoff, picks the newest version per uid, filters
+// anti-payloads, durably invalidates the losers, and calls FinishRecovery
+// with the survivors' addresses to rebuild the free lists.
+func (h *Heap) Recover(workers int) ([]Block, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	// Phase 1: rebuild superblock class map from persisted headers.
+	hdr := make([]byte, sbHeaderSize)
+	initialized := 0
+	for i := 0; i < h.numSB; i++ {
+		if err := h.dev.Read(0, h.sbAddr(i), hdr); err != nil {
+			return nil, err
+		}
+		if getU32(hdr[0:]) == sbMagic {
+			cls := int32(getU32(hdr[4:]))
+			if int(cls) < len(sizeClasses) {
+				h.sbClass[i].Store(cls)
+				initialized++
+				if i >= int(h.nextSB.Load()) {
+					h.nextSB.Store(int64(i + 1))
+				}
+			}
+		} else {
+			h.sbClass[i].Store(-1)
+		}
+	}
+
+	// Phase 2: sweep blocks in parallel, cyclically distributing
+	// superblocks among workers.
+	results := make([][]Block, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, h.sbSize)
+			for i := w; i < h.numSB; i += workers {
+				cls := h.sbClass[i].Load()
+				if cls < 0 {
+					continue
+				}
+				tid := w
+				if err := h.dev.Read(tid, h.sbAddr(i), buf[:h.sbSize]); err != nil {
+					errs[w] = err
+					return
+				}
+				bs := sizeClasses[cls]
+				n := (h.sbSize - sbHeaderSize) / bs
+				for b := 0; b < n; b++ {
+					off := sbHeaderSize + b*bs
+					ph, data, ok := payload.Decode(buf[off : off+bs])
+					if !ok {
+						continue
+					}
+					cp := make([]byte, len(data))
+					copy(cp, data)
+					results[w] = append(results[w], Block{
+						Addr:   h.sbAddr(i) + pmem.Addr(off),
+						Header: ph,
+						Data:   cp,
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []Block
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all, nil
+}
+
+// FinishRecovery rebuilds the free lists: every block slot in every
+// initialized superblock whose address is not in inUse becomes free.
+// It also resets the live-block counter.
+func (h *Heap) FinishRecovery(inUse map[pmem.Addr]bool) {
+	for i := range h.central {
+		h.central[i].mu.Lock()
+		h.central[i].free = h.central[i].free[:0]
+		h.central[i].mu.Unlock()
+	}
+	for i := range h.caches {
+		for c := range h.caches[i].classes {
+			h.caches[i].classes[c] = nil
+		}
+	}
+	for i := 0; i < h.numSB; i++ {
+		cls := h.sbClass[i].Load()
+		if cls < 0 {
+			continue
+		}
+		bs := sizeClasses[cls]
+		n := (h.sbSize - sbHeaderSize) / bs
+		cl := &h.central[cls]
+		cl.mu.Lock()
+		for b := 0; b < n; b++ {
+			addr := h.sbAddr(i) + pmem.Addr(sbHeaderSize+b*bs)
+			if !inUse[addr] {
+				cl.free = append(cl.free, addr)
+			}
+		}
+		cl.mu.Unlock()
+	}
+	h.allocated.Store(int64(len(inUse)))
+}

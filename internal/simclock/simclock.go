@@ -1,0 +1,436 @@
+// Package simclock provides virtual-time accounting for the Montage
+// benchmark harness.
+//
+// The paper's evaluation ran on an 80-hyperthread machine with real Optane
+// DIMMs. This reproduction runs on commodity hardware (possibly a single
+// core), so wall-clock throughput cannot reproduce the paper's scaling
+// curves. Instead, every worker thread carries a virtual clock that is
+// advanced by an explicit cost model: so many nanoseconds per DRAM access,
+// per NVM access, per cacheline write-back, per fence, and so on. Shared
+// hardware resources — most importantly the NVM write-combining buffer,
+// whose saturation explains the 12–20 thread plateau in Figures 6 and 7 —
+// are modeled as contended Resources that serialize virtual time.
+//
+// Throughput for an experiment is then (total operations) / (maximum
+// per-thread virtual time), which depends only on the cost model and the
+// synchronization structure of the code under test, not on how many real
+// cores the host happens to have.
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed size, in bytes, of one cache line. Costs for
+// bulk data are charged per line.
+const cacheLine = 64
+
+// Costs holds the per-event virtual-time costs, in nanoseconds. The
+// defaults reflect the published Optane measurements the paper cites
+// (Izraelevitz et al. [22]): NVM read latency about 3x DRAM, an extra
+// ~100ns per cacheline write-back, and a write-combining buffer that
+// becomes a bottleneck once more than a dozen threads flush concurrently.
+type Costs struct {
+	// DRAMLine is the cost of touching one cache line in DRAM.
+	DRAMLine int64
+	// NVMReadLine is the cost of reading one cache line from NVM.
+	NVMReadLine int64
+	// NVMWriteLine is the cost of storing one cache line to NVM (into the
+	// volatile on-DIMM buffer; durability requires a write-back + fence).
+	NVMWriteLine int64
+	// WriteBack is the fixed cost of one clwb-style write-back instruction,
+	// excluding write-combining contention.
+	WriteBack int64
+	// Fence is the cost of one store fence: the round trip that
+	// guarantees previously written-back lines have been accepted into
+	// the ADR persistence domain (the iMC write-pending queue). Media
+	// drain beyond that point is asynchronous and only matters through
+	// WCBacklog backpressure.
+	Fence int64
+	// Alloc is the cost of one allocator fast-path operation.
+	Alloc int64
+	// OpBase is the fixed bookkeeping cost of one data structure operation
+	// (hash computation, branch overhead, and so on).
+	OpBase int64
+	// WCSlots is the number of write-combining buffer slots; concurrent
+	// flushes beyond this degree serialize on the slots.
+	WCSlots int
+	// WCService is the occupancy, per flushed line, of a write-combining
+	// slot: the reciprocal of per-slot drain bandwidth.
+	WCService int64
+	// WCBacklog is how far (in virtual ns of queued service) a thread's
+	// outstanding write-backs may run ahead of the draining slot before
+	// the issuer stalls — the write-pending-queue backpressure that caps
+	// aggregate flush bandwidth.
+	WCBacklog int64
+}
+
+// DefaultCosts returns the cost model used throughout the benchmark
+// harness. The absolute values are nominal; the experiment shapes depend
+// on their ratios.
+func DefaultCosts() Costs {
+	return Costs{
+		DRAMLine:     8,
+		NVMReadLine:  24,
+		NVMWriteLine: 16,
+		WriteBack:    100,
+		Fence:        300,
+		Alloc:        20,
+		OpBase:       60,
+		WCSlots:      12,
+		WCService:    80,
+		WCBacklog:    3000,
+	}
+}
+
+// Lines returns the number of cache lines needed to hold n bytes
+// (minimum 1).
+func Lines(n int) int64 {
+	if n <= 0 {
+		return 1
+	}
+	return int64((n + cacheLine - 1) / cacheLine)
+}
+
+// pad separates hot per-thread counters onto distinct cache lines.
+type paddedClock struct {
+	t atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Clock tracks one virtual-time counter per worker thread plus one for the
+// background (epoch daemon) thread. A nil *Clock is valid and all its
+// methods are no-ops with zero cost, so production (non-benchmark) use of
+// the library pays nothing for instrumentation.
+type Clock struct {
+	costs   Costs
+	threads []paddedClock
+	pending []paddedClock // per-thread end time of outstanding write-backs
+	wc      []Resource    // write-combining buffer slots
+
+	regMu      sync.Mutex
+	registered []*Resource // user Resources cleared by Reset
+}
+
+// DaemonTID is the pseudo thread id used to charge background-thread work.
+const DaemonTID = -1
+
+// New creates a Clock for maxThreads worker threads using the given cost
+// model.
+func New(maxThreads int, costs Costs) *Clock {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	slots := costs.WCSlots
+	if slots < 1 {
+		slots = 1
+	}
+	return &Clock{
+		costs:   costs,
+		threads: make([]paddedClock, maxThreads+1), // +1 for daemon
+		pending: make([]paddedClock, maxThreads+1),
+		wc:      make([]Resource, slots),
+	}
+}
+
+// Costs returns the cost model. A nil Clock returns the zero Costs.
+func (c *Clock) Costs() Costs {
+	if c == nil {
+		return Costs{}
+	}
+	return c.costs
+}
+
+func (c *Clock) slot(tid int) *atomic.Int64 {
+	if tid == DaemonTID {
+		return &c.threads[len(c.threads)-1].t
+	}
+	return &c.threads[tid].t
+}
+
+func (c *Clock) pendingSlot(tid int) *atomic.Int64 {
+	if tid == DaemonTID {
+		return &c.pending[len(c.pending)-1].t
+	}
+	return &c.pending[tid].t
+}
+
+func maxAtomic(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Advance adds ns virtual nanoseconds to thread tid's clock.
+func (c *Clock) Advance(tid int, ns int64) {
+	if c == nil || ns == 0 {
+		return
+	}
+	c.slot(tid).Add(ns)
+}
+
+// Now returns thread tid's current virtual time.
+func (c *Clock) Now(tid int) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.slot(tid).Load()
+}
+
+// SetAtLeast raises thread tid's clock to at least t.
+func (c *Clock) SetAtLeast(tid int, t int64) {
+	if c == nil {
+		return
+	}
+	s := c.slot(tid)
+	for {
+		cur := s.Load()
+		if cur >= t || s.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Max returns the maximum virtual time across all worker threads (the
+// daemon thread is excluded: it runs concurrently with the workers and
+// does not gate workload completion).
+func (c *Clock) Max() int64 {
+	if c == nil {
+		return 0
+	}
+	var m int64
+	for i := 0; i < len(c.threads)-1; i++ {
+		if t := c.threads[i].t.Load(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Min returns the minimum virtual time across the worker threads whose ids
+// are in use (first n threads).
+func (c *Clock) Min(n int) int64 {
+	if c == nil {
+		return 0
+	}
+	if n > len(c.threads)-1 {
+		n = len(c.threads) - 1
+	}
+	var m int64 = 1<<63 - 1
+	for i := 0; i < n; i++ {
+		if t := c.threads[i].t.Load(); t < m {
+			m = t
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return m
+}
+
+// Register attaches a user-created Resource (a virtual lock, a shared
+// tracker) to the clock so that Reset clears its occupancy along with
+// the thread clocks. Nil-safe.
+func (c *Clock) Register(r *Resource) {
+	if c == nil {
+		return
+	}
+	c.regMu.Lock()
+	c.registered = append(c.registered, r)
+	c.regMu.Unlock()
+}
+
+// Reset zeroes all per-thread clocks, pending write-backs, and resource
+// occupancy (built-in write-combining slots and registered Resources).
+func (c *Clock) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.threads {
+		c.threads[i].t.Store(0)
+	}
+	for i := range c.pending {
+		c.pending[i].t.Store(0)
+	}
+	for i := range c.wc {
+		c.wc[i].freeAt.Store(0)
+	}
+	c.regMu.Lock()
+	for _, r := range c.registered {
+		r.freeAt.Store(0)
+	}
+	c.regMu.Unlock()
+}
+
+// ChargeDRAM charges tid for touching n bytes of DRAM.
+func (c *Clock) ChargeDRAM(tid, n int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, Lines(n)*c.costs.DRAMLine)
+}
+
+// ChargeNVMRead charges tid for reading n bytes from NVM.
+func (c *Clock) ChargeNVMRead(tid, n int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, Lines(n)*c.costs.NVMReadLine)
+}
+
+// ChargeNVMWrite charges tid for storing n bytes to NVM (volatile store;
+// no durability implied).
+func (c *Clock) ChargeNVMWrite(tid, n int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, Lines(n)*c.costs.NVMWriteLine)
+}
+
+// ChargeOp charges tid the fixed per-operation overhead.
+func (c *Clock) ChargeOp(tid int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, c.costs.OpBase)
+}
+
+// ChargeAlloc charges tid one allocator fast-path operation.
+func (c *Clock) ChargeAlloc(tid int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, c.costs.Alloc)
+}
+
+// ChargeFence charges tid one store fence. On ADR hardware a fence
+// guarantees acceptance into the persistence domain, not media
+// completion, so its latency is a fixed round trip; queue-full stalls
+// are charged at write-back issue time (WCBacklog).
+func (c *Clock) ChargeFence(tid int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, c.costs.Fence)
+}
+
+// ChargeFenceAll is the epoch daemon's boundary fence ("wait for all
+// writes-back to complete"). Under the ADR model it has the same fixed
+// cost as an ordinary fence; every write-back it covers was already
+// accepted by its issuer's fence or backlog stall.
+func (c *Clock) ChargeFenceAll(tid int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, c.costs.Fence)
+}
+
+// PendingEnd returns the virtual time at which tid's outstanding
+// write-backs will have fully drained to media (diagnostics).
+func (c *Clock) PendingEnd(tid int) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.pendingSlot(tid).Load()
+}
+
+// ChargeWriteBack charges tid for writing back n bytes. Like a real
+// clwb, the write-back is asynchronous: the issuer pays only the issue
+// cost, while the lines occupy a write-combining slot that drains in the
+// background; a later fence waits for completion. If the issuer's queued
+// service runs further ahead of the slot than WCBacklog, it stalls —
+// write-pending-queue backpressure — which is the mechanism that caps
+// aggregate flush bandwidth and reproduces the multi-thread plateau of
+// Figures 6 and 7.
+func (c *Clock) ChargeWriteBack(tid, n int) {
+	if c == nil {
+		return
+	}
+	c.Advance(tid, c.costs.WriteBack)
+	lines := Lines(n)
+	slot := &c.wc[c.pickWC(tid)]
+	end := slot.EnqueueAsync(c.Now(tid), lines*c.costs.WCService)
+	maxAtomic(c.pendingSlot(tid), end)
+	if backlog := c.costs.WCBacklog; backlog > 0 {
+		if stallUntil := end - backlog; stallUntil > c.Now(tid) {
+			c.SetAtLeast(tid, stallUntil)
+		}
+	}
+}
+
+func (c *Clock) pickWC(tid int) int {
+	if tid == DaemonTID {
+		tid = len(c.threads) - 1
+	}
+	return tid % len(c.wc)
+}
+
+// Resource models a serially reusable hardware or software resource in
+// virtual time: a lock, a write-combining slot, a memory channel. A
+// thread that uses the resource first waits (by advancing its own clock)
+// until the resource's last release time, then holds it for the service
+// duration.
+type Resource struct {
+	mu     sync.Mutex
+	freeAt atomic.Int64
+}
+
+// Occupy makes tid wait for the resource and then hold it for service
+// virtual nanoseconds (synchronous use: the caller blocks until done).
+func (r *Resource) Occupy(c *Clock, tid int, service int64) {
+	if c == nil {
+		return
+	}
+	end := r.EnqueueAsync(c.Now(tid), service)
+	c.SetAtLeast(tid, end)
+}
+
+// EnqueueAsync appends service virtual nanoseconds of work to the
+// resource's queue starting no earlier than now, returning the
+// completion time. The caller does not wait.
+func (r *Resource) EnqueueAsync(now, service int64) int64 {
+	r.mu.Lock()
+	if f := r.freeAt.Load(); f > now {
+		now = f
+	}
+	end := now + service
+	r.freeAt.Store(end)
+	r.mu.Unlock()
+	return end
+}
+
+// Acquire blocks tid's virtual clock until the resource is free and marks
+// it held; the caller must Release after advancing its own clock through
+// the critical section. Acquire/Release model a lock whose critical
+// section length varies (unlike Occupy's fixed service time).
+//
+// Acquire does not provide mutual exclusion in real time — callers
+// protect real shared state with their own sync.Mutex and use
+// Acquire/Release only to account for serialization in virtual time.
+func (r *Resource) Acquire(c *Clock, tid int) {
+	if c == nil {
+		return
+	}
+	if f := r.freeAt.Load(); f > c.Now(tid) {
+		c.SetAtLeast(tid, f)
+	}
+}
+
+// Release records that tid released the resource at its current virtual
+// time.
+func (r *Resource) Release(c *Clock, tid int) {
+	if c == nil {
+		return
+	}
+	now := c.Now(tid)
+	for {
+		f := r.freeAt.Load()
+		if f >= now || r.freeAt.CompareAndSwap(f, now) {
+			return
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilClockIsNoop(t *testing.T) {
+	var c *Clock
+	c.Advance(0, 100)
+	c.ChargeDRAM(0, 64)
+	c.ChargeNVMRead(0, 64)
+	c.ChargeNVMWrite(0, 64)
+	c.ChargeWriteBack(0, 64)
+	c.ChargeFence(0)
+	c.ChargeOp(0)
+	c.ChargeAlloc(0)
+	c.SetAtLeast(0, 5)
+	c.Reset()
+	if c.Now(0) != 0 || c.Max() != 0 || c.Min(1) != 0 {
+		t.Fatal("nil clock must read zero")
+	}
+	if c.Costs() != (Costs{}) {
+		t.Fatal("nil clock costs must be zero")
+	}
+}
+
+func TestAdvanceAndNow(t *testing.T) {
+	c := New(4, DefaultCosts())
+	c.Advance(2, 100)
+	c.Advance(2, 50)
+	if got := c.Now(2); got != 150 {
+		t.Fatalf("Now(2) = %d, want 150", got)
+	}
+	if got := c.Now(0); got != 0 {
+		t.Fatalf("Now(0) = %d, want 0", got)
+	}
+}
+
+func TestDaemonClockSeparate(t *testing.T) {
+	c := New(2, DefaultCosts())
+	c.Advance(DaemonTID, 1000)
+	if got := c.Max(); got != 0 {
+		t.Fatalf("Max() = %d; daemon time must not count toward worker max", got)
+	}
+	if got := c.Now(DaemonTID); got != 1000 {
+		t.Fatalf("daemon Now = %d, want 1000", got)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	c := New(3, DefaultCosts())
+	c.Advance(0, 10)
+	c.Advance(1, 30)
+	c.Advance(2, 20)
+	if got := c.Max(); got != 30 {
+		t.Fatalf("Max = %d, want 30", got)
+	}
+	if got := c.Min(3); got != 10 {
+		t.Fatalf("Min = %d, want 10", got)
+	}
+	if got := c.Min(2); got != 10 {
+		t.Fatalf("Min(2) = %d, want 10", got)
+	}
+}
+
+func TestSetAtLeast(t *testing.T) {
+	c := New(1, DefaultCosts())
+	c.SetAtLeast(0, 500)
+	if got := c.Now(0); got != 500 {
+		t.Fatalf("Now = %d, want 500", got)
+	}
+	c.SetAtLeast(0, 100) // must not go backward
+	if got := c.Now(0); got != 500 {
+		t.Fatalf("Now = %d after lower SetAtLeast, want 500", got)
+	}
+}
+
+func TestLines(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{{0, 1}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {-5, 1}}
+	for _, tc := range cases {
+		if got := Lines(tc.n); got != tc.want {
+			t.Errorf("Lines(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestChargeDRAMCharges(t *testing.T) {
+	costs := DefaultCosts()
+	c := New(1, costs)
+	c.ChargeDRAM(0, 200) // 4 lines
+	if got, want := c.Now(0), 4*costs.DRAMLine; got != want {
+		t.Fatalf("Now = %d, want %d", got, want)
+	}
+}
+
+func TestWriteBackIsAsynchronous(t *testing.T) {
+	// A single flush must only cost its issue time; the service happens
+	// in the background until a fence waits for it.
+	costs := DefaultCosts()
+	c := New(1, costs)
+	c.ChargeWriteBack(0, 1024)
+	if got := c.Now(0); got != costs.WriteBack {
+		t.Fatalf("issuer charged %d, want only the issue cost %d", got, costs.WriteBack)
+	}
+	c.ChargeFence(0)
+	// Fence is a fixed-cost acceptance round trip (ADR model); it does
+	// not wait for media drain.
+	want := costs.WriteBack + costs.Fence
+	if got := c.Now(0); got != want {
+		t.Fatalf("fence cost %d, want %d", got, want)
+	}
+	if c.PendingEnd(0) < Lines(1024)*costs.WCService {
+		t.Fatal("pending drain time not tracked")
+	}
+}
+
+func TestWriteBackContentionQueuesOnSlot(t *testing.T) {
+	// With one WC slot, two threads' flushes queue: the slot's drain
+	// completion (pending end) reflects both services back to back.
+	costs := DefaultCosts()
+	costs.WCSlots = 1
+	c := New(2, costs)
+	c.ChargeWriteBack(0, 64)
+	c.ChargeWriteBack(1, 64)
+	later := c.PendingEnd(0)
+	if p := c.PendingEnd(1); p > later {
+		later = p
+	}
+	if later < 2*costs.WCService {
+		t.Fatalf("flushes did not queue on the single slot: last drain at %d", later)
+	}
+}
+
+func TestWriteBackParallelSlots(t *testing.T) {
+	// With 2 slots, threads 0 and 1 hit distinct slots and their
+	// services overlap fully.
+	costs := DefaultCosts()
+	costs.WCSlots = 2
+	c := New(2, costs)
+	c.ChargeWriteBack(0, 64)
+	c.ChargeWriteBack(1, 64)
+	want := costs.WriteBack + costs.WCService // drain starts after issue
+	if c.PendingEnd(0) != want || c.PendingEnd(1) != want {
+		t.Fatalf("parallel drains %d,%d, want both %d", c.PendingEnd(0), c.PendingEnd(1), want)
+	}
+}
+
+func TestWriteBackBackpressure(t *testing.T) {
+	// Issuing far more queued service than WCBacklog must stall the
+	// issuer to roughly the slot drain rate.
+	costs := DefaultCosts()
+	costs.WCSlots = 1
+	c := New(1, costs)
+	const flushes = 100
+	for i := 0; i < flushes; i++ {
+		c.ChargeWriteBack(0, 1024) // 16 lines * 80ns = 1280ns service each
+	}
+	service := Lines(1024) * costs.WCService
+	minTime := flushes*service - costs.WCBacklog
+	if got := c.Now(0); got < minTime {
+		t.Fatalf("no backpressure: issuer at %d after %d big flushes (want >= %d)", got, flushes, minTime)
+	}
+}
+
+func TestChargeFenceAllFixedCost(t *testing.T) {
+	costs := DefaultCosts()
+	c := New(3, costs)
+	c.ChargeWriteBack(0, 4096)
+	c.ChargeWriteBack(1, 4096)
+	c.ChargeFenceAll(2)
+	if got := c.Now(2); got != costs.Fence {
+		t.Fatalf("ChargeFenceAll cost %d, want fixed %d", got, costs.Fence)
+	}
+}
+
+func TestResourceAcquireRelease(t *testing.T) {
+	c := New(2, DefaultCosts())
+	var r Resource
+	r.Acquire(c, 0)
+	c.Advance(0, 100) // critical section
+	r.Release(c, 0)
+
+	r.Acquire(c, 1) // thread 1 at time 0 must wait until 100
+	if got := c.Now(1); got != 100 {
+		t.Fatalf("thread 1 acquired at %d, want 100", got)
+	}
+	c.Advance(1, 50)
+	r.Release(c, 1)
+
+	c.SetAtLeast(0, 1000)
+	r.Acquire(c, 0) // free since 150 < 1000: no wait
+	if got := c.Now(0); got != 1000 {
+		t.Fatalf("thread 0 waited unnecessarily: %d", got)
+	}
+}
+
+func TestResourceOccupyMonotonic(t *testing.T) {
+	c := New(1, DefaultCosts())
+	var r Resource
+	r.Occupy(c, 0, 10)
+	r.Occupy(c, 0, 10)
+	if got := c.Now(0); got != 20 {
+		t.Fatalf("Now = %d, want 20", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(2, DefaultCosts())
+	c.Advance(0, 10)
+	c.Advance(DaemonTID, 10)
+	c.ChargeWriteBack(1, 64)
+	c.Reset()
+	if c.Now(0) != 0 || c.Now(1) != 0 || c.Now(DaemonTID) != 0 {
+		t.Fatal("Reset did not zero clocks")
+	}
+	c.ChargeWriteBack(0, 64)
+	want := c.costs.WriteBack + c.costs.WCService
+	if got := c.PendingEnd(0); got != want {
+		t.Fatalf("post-reset drain end %d, want %d (stale WC occupancy?)", got, want)
+	}
+}
+
+func TestConcurrentAdvanceRace(t *testing.T) {
+	c := New(4, DefaultCosts())
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(tid, 1)
+				c.ChargeWriteBack(tid, 64)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	for tid := 0; tid < 4; tid++ {
+		if c.Now(tid) < 1000 {
+			t.Fatalf("thread %d lost updates: %d", tid, c.Now(tid))
+		}
+	}
+}
+
+func TestPropertyAdvanceAccumulates(t *testing.T) {
+	f := func(incs []uint16) bool {
+		c := New(1, DefaultCosts())
+		var sum int64
+		for _, v := range incs {
+			c.Advance(0, int64(v))
+			sum += int64(v)
+		}
+		return c.Now(0) == sum && c.Max() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyResourceNeverOverlaps(t *testing.T) {
+	// For any sequence of Occupy calls from any threads, each occupancy
+	// interval on a single-slot resource must not overlap: total busy time
+	// equals the sum of services and the final freeAt is their sum when
+	// all start at zero.
+	f := func(services []uint8) bool {
+		c := New(3, DefaultCosts())
+		var r Resource
+		var sum int64
+		for i, s := range services {
+			tid := i % 3
+			r.Occupy(c, tid, int64(s))
+			sum += int64(s)
+		}
+		return r.freeAt.Load() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

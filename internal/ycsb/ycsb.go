@@ -1,0 +1,118 @@
+// Package ycsb generates YCSB-style workloads (Cooper et al. [10]) for
+// the memcached validation experiment of paper Section 6.2. Workload A —
+// the one the paper uses — is a 50/50 mix of reads and updates over a
+// zipfian-skewed key space.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is a workload operation type.
+type OpKind int
+
+const (
+	// Read looks a key up.
+	Read OpKind = iota
+	// Update overwrites an existing key's value.
+	Update
+	// Insert adds a new key.
+	Insert
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  string
+}
+
+// Zipfian draws integers in [0, n) with the standard YCSB zipfian
+// distribution (skew theta), using the Gray et al. rejection-free
+// formula that YCSB itself implements.
+type Zipfian struct {
+	n          uint64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	eta        float64
+	zeta2theta float64
+	rng        *rand.Rand
+}
+
+// NewZipfian creates a generator over [0, n) with skew theta (YCSB's
+// default is 0.99).
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zeta2theta = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.zetan = zeta(n, theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next zipfian value.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Workload generates a YCSB operation mix.
+type Workload struct {
+	readFrac   float64
+	updateFrac float64
+	keys       uint64
+	zipf       *Zipfian
+	rng        *rand.Rand
+}
+
+// NewWorkloadA creates the paper's YCSB-A configuration: 50% reads, 50%
+// updates, zipfian over records keys.
+func NewWorkloadA(records uint64, seed int64) *Workload {
+	return &Workload{
+		readFrac:   0.5,
+		updateFrac: 0.5,
+		keys:       records,
+		zipf:       NewZipfian(records, 0.99, seed),
+		rng:        rand.New(rand.NewSource(seed ^ 0x9e3779b9)),
+	}
+}
+
+// NewWorkload creates a custom read/update mix.
+func NewWorkload(records uint64, readFrac float64, seed int64) *Workload {
+	return &Workload{
+		readFrac:   readFrac,
+		updateFrac: 1 - readFrac,
+		keys:       records,
+		zipf:       NewZipfian(records, 0.99, seed),
+		rng:        rand.New(rand.NewSource(seed ^ 0x9e3779b9)),
+	}
+}
+
+// Key renders record i as a YCSB-style key string.
+func Key(i uint64) string { return fmt.Sprintf("user%012d", i) }
+
+// Next generates the next operation.
+func (w *Workload) Next() Op {
+	k := Key(w.zipf.Next() % w.keys)
+	if w.rng.Float64() < w.readFrac {
+		return Op{Kind: Read, Key: k}
+	}
+	return Op{Kind: Update, Key: k}
+}

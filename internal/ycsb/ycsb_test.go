@@ -1,0 +1,87 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(n, 0.99, 1)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank-0 must be dramatically more popular than the median rank.
+	if counts[0] < counts[n/2]*10 {
+		t.Fatalf("distribution not skewed: rank0=%d median=%d", counts[0], counts[n/2])
+	}
+	// Head mass: top 10% of keys should draw well over half the accesses
+	// at theta=0.99.
+	head := 0
+	for i := 0; i < n/10; i++ {
+		head += counts[i]
+	}
+	if float64(head) < 0.5*draws {
+		t.Fatalf("head mass only %.2f", float64(head)/draws)
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a, b := NewZipfian(100, 0.99, 42), NewZipfian(100, 0.99, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestWorkloadAMix(t *testing.T) {
+	w := NewWorkloadA(1000, 7)
+	reads, updates := 0, 0
+	const ops = 100000
+	for i := 0; i < ops; i++ {
+		op := w.Next()
+		switch op.Kind {
+		case Read:
+			reads++
+		case Update:
+			updates++
+		default:
+			t.Fatalf("unexpected kind %v", op.Kind)
+		}
+		if len(op.Key) == 0 {
+			t.Fatal("empty key")
+		}
+	}
+	frac := float64(reads) / ops
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("read fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestCustomWorkloadMix(t *testing.T) {
+	w := NewWorkload(100, 0.9, 3)
+	reads := 0
+	const ops = 50000
+	for i := 0; i < ops; i++ {
+		if w.Next().Kind == Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / ops
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("read fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key(42) != "user000000000042" {
+		t.Fatalf("Key(42) = %q", Key(42))
+	}
+}
