@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the observability recorder
+# (hammered from every worker), the epoch system, and the data
+# structures.
+race:
+	$(GO) test -race ./internal/obs ./internal/epoch ./internal/pds
+
+vet:
+	$(GO) vet ./...
+
+# Quick-scale figure regeneration with a runtime-stats stream.
+bench:
+	$(GO) run ./cmd/montage-bench -figure 6 -scale quick -stats-file stats_quick.json
+
+clean:
+	rm -f stats_quick.json

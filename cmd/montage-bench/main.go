@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,22 @@ import (
 	"time"
 
 	"montage/internal/bench"
+	"montage/internal/obs"
 )
+
+// rowRecord is one benchmark data point in the -stats-file JSONL stream:
+// the figure coordinates plus the runtime counters accumulated while
+// that point ran (nil stats for uninstrumented baseline systems).
+type rowRecord struct {
+	Kind   string        `json:"kind"`
+	Figure string        `json:"figure"`
+	Series string        `json:"series"`
+	Label  string        `json:"label"`
+	X      float64       `json:"x"`
+	Value  float64       `json:"value"`
+	Unit   string        `json:"unit"`
+	Stats  *obs.Snapshot `json:"stats,omitempty"`
+}
 
 func main() {
 	var (
@@ -33,6 +49,10 @@ func main() {
 		ops     = flag.Int("ops", 0, "operations per thread (default: scale's value)")
 		dataDir = flag.String("datadir", "", "directory for the figure-12 dataset (default: temp)")
 		csvPath = flag.String("csv", "", "also append results as CSV to this file")
+
+		statsOut      = flag.Bool("stats", false, "print a final runtime-stats snapshot as JSON on stdout")
+		statsFile     = flag.String("stats-file", "", "write a JSONL runtime-stats stream (periodic samples, per-row stats, final snapshot) to this file")
+		statsInterval = flag.Duration("stats-interval", time.Second, "periodic sample interval for -stats-file (0 disables periodic samples)")
 	)
 	flag.Parse()
 
@@ -67,6 +87,27 @@ func main() {
 		for _, tok := range strings.Split(*systems, ",") {
 			sysList = append(sysList, strings.TrimSpace(tok))
 		}
+	}
+
+	// One recorder is shared by every Montage system the harness builds,
+	// so the stats stream and final snapshot cover the whole run. Thread
+	// ids beyond its capacity clamp to the last cell (the default scale
+	// sweeps up to 80 threads).
+	var rec *obs.Recorder
+	var sampler *obs.Sampler
+	if *statsOut || *statsFile != "" {
+		rec = obs.New(128)
+		sc.Recorder = rec
+		obs.PublishExpvar("montage", rec)
+	}
+	if *statsFile != "" {
+		f, err := os.Create(*statsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stats-file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sampler = obs.NewSampler(rec, f, *statsInterval)
 	}
 
 	figures := []string{*figure}
@@ -112,6 +153,19 @@ func main() {
 			os.Exit(1)
 		}
 		bench.PrintResults(os.Stdout, rs)
+		if sampler != nil {
+			for _, r := range rs {
+				unit := r.Unit
+				if unit == "" {
+					unit = "Mops/s"
+				}
+				sampler.Record(rowRecord{
+					Kind: "row", Figure: r.Figure, Series: r.Series,
+					Label: r.Label, X: r.X, Value: r.Mops, Unit: unit,
+					Stats: r.Stats,
+				})
+			}
+		}
 		if *csvPath != "" {
 			f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 			if err != nil {
@@ -122,5 +176,20 @@ func main() {
 			f.Close()
 		}
 		fmt.Printf("(figure %s regenerated in %v wall time)\n\n", fig, time.Since(start).Round(time.Millisecond))
+	}
+
+	if sampler != nil {
+		if err := sampler.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "stats-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *statsOut {
+		b, err := json.MarshalIndent(rec.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", b)
 	}
 }

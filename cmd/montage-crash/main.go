@@ -9,6 +9,12 @@
 // Usage:
 //
 //	montage-crash -ops 5000 -trials 10 -seed 1 -partial
+//
+// After each injected crash the tool dumps the runtime's view of what
+// happened — device write-back/commit/discard counters and the tail of
+// the epoch-lifecycle trace ring — so a failing trial shows which epoch
+// boundaries and syncs preceded the crash (on success the dump prints
+// unless -q).
 package main
 
 import (
@@ -29,12 +35,13 @@ func main() {
 		keys    = flag.Int("keys", 200, "distinct keys")
 		partial = flag.Bool("partial", false, "use partial (out-of-order) crash commits")
 		quiet   = flag.Bool("q", false, "only print the verdict")
+		traceN  = flag.Int("trace", 16, "epoch-lifecycle trace events to dump after each crash")
 	)
 	flag.Parse()
 
 	failures := 0
 	for trial := 0; trial < *trials; trial++ {
-		if err := runTrial(*seed+int64(trial), *ops, *keys, *partial, *quiet); err != nil {
+		if err := runTrial(*seed+int64(trial), *ops, *keys, *partial, *quiet, *traceN); err != nil {
 			fmt.Fprintf(os.Stderr, "trial %d FAILED: %v\n", trial, err)
 			failures++
 		}
@@ -46,8 +53,11 @@ func main() {
 	fmt.Printf("OK: %d trials, every recovered state was a consistent prefix of its history\n", *trials)
 }
 
-func runTrial(seed int64, ops, keys int, partial, quiet bool) error {
-	cfg := montage.Config{ArenaSize: 64 << 20, MaxThreads: 2}
+func runTrial(seed int64, ops, keys int, partial, quiet bool, traceN int) error {
+	// The trial's recorder is shared across crash and recovery (via
+	// cfg.Recorder), so the post-crash dump sees the whole lifecycle.
+	rec := montage.NewRecorder(2)
+	cfg := montage.Config{ArenaSize: 64 << 20, MaxThreads: 2, Recorder: rec}
 	sys, err := montage.NewSystem(cfg)
 	if err != nil {
 		return err
@@ -94,10 +104,12 @@ func runTrial(seed int64, ops, keys int, partial, quiet bool) error {
 
 	sys2, chunks, err := montage.RecoverParallel(sys.Device(), cfg, 2)
 	if err != nil {
+		dumpObs(os.Stderr, rec, traceN)
 		return err
 	}
 	m2, err := montage.RecoverHashMap(sys2, 1024, chunks)
 	if err != nil {
+		dumpObs(os.Stderr, rec, traceN)
 		return err
 	}
 	got := m2.Snapshot(0)
@@ -106,11 +118,36 @@ func runTrial(seed int64, ops, keys int, partial, quiet bool) error {
 			if !quiet {
 				fmt.Printf("seed %d: crashed after %d ops, recovered prefix of length %d (%d keys)\n",
 					seed, crashAt, i, len(got))
+				dumpObs(os.Stdout, rec, traceN)
 			}
 			return nil
 		}
 	}
+	dumpObs(os.Stderr, rec, traceN)
 	return fmt.Errorf("recovered state (%d keys) matches no prefix of the %d-op history", len(got), crashAt)
+}
+
+// dumpObs prints the device's crash accounting and the tail of the
+// epoch-lifecycle trace ring.
+func dumpObs(w *os.File, rec *montage.Recorder, traceN int) {
+	st := rec.Snapshot()
+	d := st.Device
+	fmt.Fprintf(w, "  device: write_backs=%d (%dB) fences=%d drains=%d commits=%d (%dB)\n",
+		d.WriteBacks, d.WriteBackBytes, d.Fences, d.Drains, d.Commits, d.CommitBytes)
+	fmt.Fprintf(w, "  crash:  discarded=%d writes (%dB), committed-at-crash=%d writes (%dB)\n",
+		d.CrashDiscarded, d.CrashDiscBytes, d.CrashKept, d.CrashKeptBytes)
+	fmt.Fprintf(w, "  epoch:  advances=%d syncs=%d persist_queued=%d written_back=%d recoveries=%d survivors=%d\n",
+		st.Epoch.Advances, st.Epoch.Syncs, st.Epoch.PersistQueued,
+		st.Epoch.PersistBoundary+st.Epoch.PersistOverflow+st.Epoch.PersistWorker+st.Epoch.PersistDirect,
+		st.Runtime.Recoveries, st.Runtime.RecoveredSurvivors)
+	evs := rec.TraceEvents()
+	if traceN >= 0 && len(evs) > traceN {
+		evs = evs[len(evs)-traceN:]
+	}
+	for _, e := range evs {
+		fmt.Fprintf(w, "  trace[%d] %-13s tid=%d epoch=%d arg=%d\n",
+			e.Seq, e.Kind, e.TID, e.Epoch, e.Arg)
+	}
 }
 
 func clone(m map[string][]byte) map[string][]byte {

@@ -17,9 +17,14 @@
 //	keys                     list keys
 //	sync                     force durability now (like fsync)
 //	crash                    power failure: lose unsynced work, recover
-//	stats                    hit/miss/set counters
+//	stats                    hit/miss/set counters + runtime counters
 //	save                     write the pool image (requires -pool)
 //	quit                     save (if -pool) and exit
+//
+// With -stats-file, the shell also streams periodic runtime-stats
+// snapshots (epoch advances, write-backs, fences, allocator usage) as
+// JSONL; the recorder survives the crash command, so counters keep
+// accumulating across recoveries.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 
 	"montage"
 	"montage/internal/kvstore"
+	"montage/internal/obs"
 	"montage/internal/pds"
 	"montage/internal/pmem"
 )
@@ -43,12 +49,30 @@ const buckets = 4096
 func main() {
 	pool := flag.String("pool", "", "pool image path (empty: in-memory only)")
 	arena := flag.Int("arena", 64<<20, "arena size in bytes")
+	statsFile := flag.String("stats-file", "", "stream runtime-stats snapshots as JSONL to this file")
+	statsInterval := flag.Duration("stats-interval", time.Second, "sample interval for -stats-file (0: only a final snapshot)")
 	flag.Parse()
 
+	// One recorder for the whole process: the crash command replaces the
+	// System but keeps the recorder, so counters span recoveries.
+	rec := montage.NewRecorder(1)
 	cfg := montage.Config{
 		ArenaSize:  *arena,
 		MaxThreads: 1,
 		Epoch:      montage.EpochConfig{EpochLength: montage.DefaultEpochLength},
+		Recorder:   rec,
+	}
+
+	var sampler *obs.Sampler
+	if *statsFile != "" {
+		f, err := os.Create(*statsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stats-file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sampler = obs.NewSampler(rec, f, *statsInterval)
+		defer sampler.Stop()
 	}
 
 	var sys *montage.System
@@ -183,6 +207,15 @@ func main() {
 			st := store.Stats()
 			fmt.Printf("hits=%d misses=%d sets=%d deletes=%d expirations=%d\n",
 				st.Hits.Load(), st.Misses.Load(), st.Sets.Load(), st.Deletes.Load(), st.Expirations.Load())
+			rt := sys.Stats()
+			fmt.Printf("epoch: advances=%d syncs=%d persist_queued=%d persist_pending=%d\n",
+				rt.Epoch.Advances, rt.Epoch.Syncs, rt.Epoch.PersistQueued, rt.Epoch.PersistPending)
+			fmt.Printf("device: write_backs=%d (%dB) fences=%d commits=%d (%dB)\n",
+				rt.Device.WriteBacks, rt.Device.WriteBackBytes, rt.Device.Fences,
+				rt.Device.Commits, rt.Device.CommitBytes)
+			fmt.Printf("alloc: blocks_in_use=%d bytes_in_use=%d  ops=%d retries=%d recoveries=%d\n",
+				rt.Alloc.BlocksInUse, rt.Alloc.BytesInUse,
+				rt.Runtime.Ops, rt.Runtime.OpRetries, rt.Runtime.Recoveries)
 		case "save":
 			save()
 		case "quit", "exit":

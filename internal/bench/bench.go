@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"montage/internal/obs"
 	"montage/internal/simclock"
 )
 
@@ -55,6 +56,10 @@ type Scale struct {
 	GraphDegree int
 	// Seed drives all workload randomness.
 	Seed int64
+	// Recorder, when non-nil, is shared by every Montage system the
+	// harness builds, so one JSON stats stream covers a whole run and
+	// each benchmark row can carry the interval's runtime counters.
+	Recorder *obs.Recorder
 }
 
 // DefaultScale returns the laptop-scale configuration.
@@ -113,6 +118,10 @@ type Result struct {
 	X      float64 // numeric x for ordering
 	Mops   float64 // value; throughput in Mops/s unless Unit says otherwise
 	Unit   string  // defaults to "Mops/s"
+	// Stats carries the runtime counters accumulated while this data
+	// point ran (epoch advances, write-backs, fences, retries, ...).
+	// Nil for non-Montage systems, which have no instrumented runtime.
+	Stats *obs.Snapshot
 }
 
 // throughput converts (ops, virtual ns) into Mops/s.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"montage/internal/epoch"
+	"montage/internal/obs"
 	"montage/internal/pds"
 )
 
@@ -78,6 +79,7 @@ func Fig6Queues(scale Scale, systems []string) ([]Result, error) {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
 			mops, err := runQueueWorkload(in, scale, threads)
+			st := in.stats()
 			in.close()
 			if err != nil {
 				return nil, fmt.Errorf("%s threads=%d: %w", name, threads, err)
@@ -85,6 +87,7 @@ func Fig6Queues(scale Scale, systems []string) ([]Result, error) {
 			out = append(out, Result{
 				Figure: "fig6", Series: name,
 				Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: mops,
+				Stats: st,
 			})
 		}
 	}
@@ -109,6 +112,7 @@ func Fig7Maps(scale Scale, systems []string, readDominant bool) ([]Result, error
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
 			mops, err := runMapWorkload(in, scale, threads, mix)
+			st := in.stats()
 			in.close()
 			if err != nil {
 				return nil, fmt.Errorf("%s threads=%d: %w", name, threads, err)
@@ -116,6 +120,7 @@ func Fig7Maps(scale Scale, systems []string, readDominant bool) ([]Result, error
 			out = append(out, Result{
 				Figure: fig, Series: name,
 				Label: fmt.Sprintf("threads=%d", threads), X: float64(threads), Mops: mops,
+				Stats: st,
 			})
 		}
 	}
@@ -146,11 +151,13 @@ func Fig8Payload(scale Scale, systems []string, maps bool) ([]Result, error) {
 			s.ValueSize = size
 			var mops float64
 			var err error
+			var st *obs.Snapshot
 			if maps {
 				var in *instance[Map]
 				in, err = makeMap(name, s, 1)
 				if err == nil {
 					mops, err = runMapWorkload(in, s, 1, mixReadWrite)
+					st = in.stats()
 					in.close()
 				}
 			} else {
@@ -158,6 +165,7 @@ func Fig8Payload(scale Scale, systems []string, maps bool) ([]Result, error) {
 				in, err = makeQueue(name, s, 1)
 				if err == nil {
 					mops, err = runQueueWorkload(in, s, 1)
+					st = in.stats()
 					in.close()
 				}
 			}
@@ -167,6 +175,7 @@ func Fig8Payload(scale Scale, systems []string, maps bool) ([]Result, error) {
 			out = append(out, Result{
 				Figure: fig, Series: name,
 				Label: fmt.Sprintf("%dB", size), X: float64(size), Mops: mops,
+				Stats: st,
 			})
 		}
 	}
@@ -257,6 +266,7 @@ func Fig4Design(scale Scale, epochLens []int64, threads int) ([]Result, error) {
 			}
 			in := &instance[Map]{impl: pds.NewHashMap(sys, scale.Buckets), clk: sys.Clock(), sys: sys, close: sys.Close}
 			mops, err := runMapWorkload(in, scale, threads, mixWriteDominant)
+			st := in.stats()
 			in.close()
 			if err != nil {
 				return nil, fmt.Errorf("%s epoch=%s: %w", g.name, epochLenLabel(el), err)
@@ -264,6 +274,7 @@ func Fig4Design(scale Scale, epochLens []int64, threads int) ([]Result, error) {
 			out = append(out, Result{
 				Figure: "fig4", Series: g.name,
 				Label: epochLenLabel(el), X: float64(el), Mops: mops,
+				Stats: st,
 			})
 			if g.transient {
 				break // Montage(T) has no epoch dimension
@@ -288,6 +299,7 @@ func Fig5Design(scale Scale, epochLens []int64) ([]Result, error) {
 			}
 			in := &instance[Queue]{impl: pds.NewQueue(sys), clk: sys.Clock(), sys: sys, close: sys.Close}
 			mops, err := runQueueWorkload(in, scale, 1)
+			st := in.stats()
 			in.close()
 			if err != nil {
 				return nil, fmt.Errorf("%s epoch=%s: %w", g.name, epochLenLabel(el), err)
@@ -295,6 +307,7 @@ func Fig5Design(scale Scale, epochLens []int64) ([]Result, error) {
 			out = append(out, Result{
 				Figure: "fig5", Series: g.name,
 				Label: epochLenLabel(el), X: float64(el), Mops: mops,
+				Stats: st,
 			})
 			if g.transient {
 				break
@@ -375,10 +388,12 @@ func Fig9Sync(scale Scale, threads int, intervals []int) ([]Result, error) {
 					sys.Sync(tid)
 				}
 			})
+			st := in.stats()
 			in.close()
 			out = append(out, Result{
 				Figure: "fig9", Series: c.series,
 				Label: fmt.Sprintf("sync/%d", interval), X: float64(interval), Mops: mops,
+				Stats: st,
 			})
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"montage/internal/baselines"
 	"montage/internal/core"
 	"montage/internal/epoch"
+	"montage/internal/obs"
 	"montage/internal/pds"
 	"montage/internal/simclock"
 )
@@ -29,6 +30,8 @@ type instance[T any] struct {
 	clk   *simclock.Clock
 	sys   *core.System // non-nil for Montage systems (Sync, epochs)
 	close func()
+
+	statsBase obs.Snapshot // recorder state at settle time
 }
 
 // montageSystem builds a Montage system for threads workers with the
@@ -47,6 +50,7 @@ func montageSystem(scale Scale, threads int, ecfg epoch.Config) (*core.System, e
 		MaxThreads: threads,
 		Epoch:      ecfg,
 		Costs:      &costs,
+		Recorder:   scale.Recorder,
 	})
 }
 
@@ -249,7 +253,8 @@ func preloadMap(m Map, scale Scale) error {
 type timingResettable interface{ ResetTiming() }
 
 // settle makes preload work durable on Montage systems and resets the
-// measurement clock.
+// measurement clock and the stats baseline, so stats() covers exactly
+// the measured interval.
 func (in *instance[T]) settle() {
 	if in.sys != nil {
 		in.sys.Sync(0)
@@ -257,8 +262,20 @@ func (in *instance[T]) settle() {
 	in.clk.Reset()
 	if in.sys != nil {
 		in.sys.Epochs().ResetVirtualTimer()
+		in.statsBase = in.sys.Stats()
 	}
 	if r, ok := any(in.impl).(timingResettable); ok {
 		r.ResetTiming()
 	}
+}
+
+// stats returns the runtime counters accumulated since settle, or nil
+// for systems without an instrumented runtime. Call before close (close
+// performs final shutdown advances that belong to no measurement).
+func (in *instance[T]) stats() *obs.Snapshot {
+	if in.sys == nil {
+		return nil
+	}
+	d := in.sys.Stats().Sub(in.statsBase)
+	return &d
 }

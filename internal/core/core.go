@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"montage/internal/epoch"
+	"montage/internal/obs"
 	"montage/internal/pmem"
 	"montage/internal/ralloc"
 	"montage/internal/simclock"
@@ -47,6 +48,11 @@ type Config struct {
 	Costs *simclock.Costs
 	// SuperblockSize overrides the allocator superblock size.
 	SuperblockSize int
+	// Recorder, when non-nil, is the observability recorder the system
+	// reports to; sharing one recorder across systems aggregates their
+	// counters (the benchmark harness does this). When nil, NewSystem and
+	// Recover create a private recorder sized for MaxThreads.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -68,7 +74,17 @@ type System struct {
 	heap *ralloc.Heap
 	esys *epoch.Sys
 	clk  *simclock.Clock
+	rec  *obs.Recorder
 	uid  atomic.Uint64
+}
+
+// recorderFor returns the configured shared recorder or a fresh private
+// one.
+func recorderFor(cfg Config) *obs.Recorder {
+	if cfg.Recorder != nil {
+		return cfg.Recorder
+	}
+	return obs.New(cfg.MaxThreads)
 }
 
 // NewSystem creates a Montage system over a fresh simulated-NVM arena.
@@ -78,12 +94,16 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Costs != nil {
 		clk = simclock.New(cfg.MaxThreads, *cfg.Costs)
 	}
+	rec := recorderFor(cfg)
 	dev := pmem.NewDevice(cfg.ArenaSize, cfg.MaxThreads, clk)
+	// Attach the recorder before the heap and epoch system are built so
+	// both inherit it (the epoch daemon may start ticking immediately).
+	dev.SetRecorder(rec)
 	heap, err := ralloc.New(dev, cfg.MaxThreads, ralloc.Options{SuperblockSize: cfg.SuperblockSize})
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, dev: dev, heap: heap, clk: clk}
+	s := &System{cfg: cfg, dev: dev, heap: heap, clk: clk, rec: rec}
 	s.esys = epoch.New(heap, cfg.Epoch)
 	return s, nil
 }
@@ -100,6 +120,14 @@ func (s *System) Epochs() *epoch.Sys { return s.esys }
 
 // Clock returns the attached virtual clock, or nil.
 func (s *System) Clock() *simclock.Clock { return s.clk }
+
+// Recorder returns the system's observability recorder.
+func (s *System) Recorder() *obs.Recorder { return s.rec }
+
+// Stats returns a point-in-time snapshot of the system's runtime
+// counters: epoch advances and drains, device write-backs and fences,
+// operation/retry counts, allocator usage, and latency histograms.
+func (s *System) Stats() obs.Snapshot { return s.rec.Snapshot() }
 
 // Advance manually advances the epoch once (mostly for tests; normal
 // configurations advance via the background daemon or at operation
@@ -141,6 +169,7 @@ func (op Op) Epoch() uint64 { return op.epoch }
 // BeginOp starts an update operation on thread tid. Prefer DoOp, which
 // pairs it with EndOp automatically (the BEGIN_OP_AUTOEND idiom).
 func (s *System) BeginOp(tid int) Op {
+	s.rec.Inc(tid, obs.COps)
 	e := s.esys.BeginOp(tid)
 	return Op{sys: s, tid: tid, epoch: e}
 }
@@ -165,6 +194,7 @@ func (s *System) DoOpRetry(tid int, fn func(op Op) error) error {
 		if !errors.Is(err, ErrOldSeeNew) {
 			return err
 		}
+		s.rec.Inc(tid, obs.COpRetries)
 	}
 }
 

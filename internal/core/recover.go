@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"montage/internal/epoch"
+	"montage/internal/obs"
 	"montage/internal/payload"
 	"montage/internal/pmem"
 	"montage/internal/ralloc"
@@ -39,6 +41,10 @@ func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error
 		// The device owns the clock; a clockless device stays clockless.
 		cfg.Costs = nil
 	}
+	rec := recorderFor(cfg)
+	// Attach before the sweep so recovery reads and the new system's
+	// epoch daemon are instrumented from the start.
+	dev.SetRecorder(rec)
 	heap, err := ralloc.New(dev, cfg.MaxThreads, ralloc.Options{SuperblockSize: cfg.SuperblockSize})
 	if err != nil {
 		return nil, nil, err
@@ -52,11 +58,15 @@ func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error
 		cutoff = clock - 2
 	}
 
+	sweepStart := time.Now()
 	blocks, err := heap.Recover(workers)
 	if err != nil {
 		return nil, nil, err
 	}
+	rec.Add(0, obs.CRecoverySweepNs, uint64(time.Since(sweepStart).Nanoseconds()))
+	rec.Add(0, obs.CRecoveredBlocks, uint64(len(blocks)))
 
+	filterStart := time.Now()
 	// Pick, per uid, the newest version at or below the cutoff.
 	winner := make(map[uint64]ralloc.Block, len(blocks))
 	var maxUID uint64
@@ -74,7 +84,7 @@ func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error
 		}
 	}
 
-	sys := &System{cfg: cfg, dev: dev, heap: heap, clk: dev.Clock()}
+	sys := &System{cfg: cfg, dev: dev, heap: heap, clk: dev.Clock(), rec: rec}
 	sys.uid.Store(maxUID)
 
 	inUse := make(map[pmem.Addr]bool, len(winner))
@@ -97,7 +107,10 @@ func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error
 	for _, p := range survivors {
 		p.flushed.Store(true)
 	}
+	rec.Add(0, obs.CRecoveryFilterNs, uint64(time.Since(filterStart).Nanoseconds()))
+	rec.Add(0, obs.CRecoveredLive, uint64(len(survivors)))
 
+	invalStart := time.Now()
 	// Invalidate every decodable block that did not survive: newer than
 	// the cutoff, superseded by a newer version, nullified by an
 	// anti-payload, or an anti-payload itself. Order matters for crash
@@ -121,6 +134,9 @@ func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error
 		}
 	}
 	heap.FinishRecovery(inUse)
+	rec.Add(0, obs.CRecoveryInvalNs, uint64(time.Since(invalStart).Nanoseconds()))
+	rec.Inc(0, obs.CRecoveries)
+	rec.Trace(0, obs.TraceRecovery, clock, uint64(len(survivors)))
 
 	// Restart the clock strictly above its pre-crash value so epoch
 	// labels are never reused.

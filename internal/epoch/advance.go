@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"montage/internal/obs"
 	"montage/internal/simclock"
 )
 
@@ -24,7 +25,10 @@ func (s *Sys) Advance() {
 // (4) waits for the writes-back to complete, and (5) publishes and
 // persists the new clock value. Callers hold advMu.
 func (s *Sys) advanceLocked(chargeTid int) {
+	rec := s.stats.Get()
 	curr := s.epoch.Load()
+	advStart := rec.Start()
+	rec.Trace(chargeTid, obs.TraceAdvanceStart, curr, 0)
 	if s.clk != nil && chargeTid == simclock.DaemonTID {
 		// The daemon wakes up "now": align its virtual clock with the
 		// workers before charging it for boundary work.
@@ -32,7 +36,9 @@ func (s *Sys) advanceLocked(chargeTid int) {
 	}
 
 	// (1) Quiescence: no operation may still be active in epoch curr-1.
+	waitStart := rec.Start()
 	s.waitAll(curr - 1)
+	rec.ObserveSince(chargeTid, obs.HWaitAllNs, waitStart)
 
 	if !s.cfg.Transient {
 		// (2) Reclaim epoch curr-2's deleted payloads (unless workers do
@@ -53,10 +59,13 @@ func (s *Sys) advanceLocked(chargeTid int) {
 			// Scanning every thread's tracker slot and container labels is
 			// real work on the advancing thread — exactly the work the
 			// mindicator's O(1) answer avoids when nothing old is pending.
+			rec.Inc(chargeTid, obs.CMindicatorScans)
 			s.clk.ChargeDRAM(chargeTid, len(s.threads)*4*16)
 			for tid := range s.threads {
 				s.drainPersist(chargeTid, &s.threads[tid], tid, curr-1)
 			}
+		} else {
+			rec.Inc(chargeTid, obs.CMindicatorSkips)
 		}
 
 		// (4) Wait for all write-backs — including incremental ones issued
@@ -77,6 +86,9 @@ func (s *Sys) advanceLocked(chargeTid int) {
 	s.lastAdvOps.Store(s.opCount.Load())
 	s.lastAdvPls.Store(s.plCount.Load())
 	s.advances.Add(1)
+	rec.Inc(chargeTid, obs.CEpochAdvances)
+	rec.ObserveSince(chargeTid, obs.HAdvanceNs, advStart)
+	rec.Trace(chargeTid, obs.TraceAdvanceEnd, curr+1, 0)
 }
 
 // waitAll spins until no operation is active in any epoch <= e. A
@@ -113,7 +125,7 @@ func (s *Sys) drainPersist(chargeTid int, ts *threadState, owner int, e uint64) 
 	pb.mu.Unlock()
 	for _, p := range entries {
 		s.clk.ChargeDRAM(chargeTid, 16) // container entry bookkeeping
-		s.flushOne(chargeTid, p)
+		s.flushOne(chargeTid, p, obs.CPersistBoundary)
 	}
 	ts.mindMu.Lock()
 	if ts.pendEpoch[e%4] == e {
@@ -152,6 +164,7 @@ func (s *Sys) reclaimSlot(chargeTid int, ts *threadState, e uint64) {
 		}
 		s.heap.Free(chargeTid, addr)
 	}
+	s.stats.Get().Add(chargeTid, obs.CFreeReclaimed, uint64(len(addrs)))
 }
 
 // freeLocal is the worker-side reclamation path (Buf+LocalFree): at the
@@ -189,6 +202,9 @@ func (s *Sys) Sync(tid int) {
 	if s.cfg.Transient {
 		return
 	}
+	rec := s.stats.Get()
+	syncStart := rec.Start()
+	rec.Trace(tid, obs.TraceSyncStart, s.epoch.Load(), 0)
 	s.syncActive.Add(1)
 	target := s.epoch.Load() + 2
 	for s.epoch.Load() < target {
@@ -199,6 +215,9 @@ func (s *Sys) Sync(tid int) {
 		s.advMu.Unlock()
 	}
 	s.syncActive.Add(-1)
+	rec.Inc(tid, obs.CEpochSyncs)
+	rec.ObserveSince(tid, obs.HSyncNs, syncStart)
+	rec.Trace(tid, obs.TraceSyncEnd, s.epoch.Load(), 0)
 }
 
 // ResetVirtualTimer zeroes the virtual-time advance reference. The
@@ -240,23 +259,24 @@ func (s *Sys) Close() {
 	}
 }
 
-// DebugPending returns the number of queued (unpersisted) payloads for
-// thread tid across all epoch slots. Intended for tests.
-func (s *Sys) DebugPending(tid int) int {
+// PendingPersist returns the number of queued (unpersisted) payloads for
+// thread tid across all epoch slots. It reads the pending-entry mirror
+// that already feeds the mindicator, so it takes one lock instead of
+// four and is exactly the quantity the mindicator summarizes.
+func (s *Sys) PendingPersist(tid int) int {
 	ts := &s.threads[tid]
+	ts.mindMu.Lock()
 	n := 0
 	for slot := 0; slot < 4; slot++ {
-		pb := &ts.persist[slot]
-		pb.mu.Lock()
-		n += len(pb.entries)
-		pb.mu.Unlock()
+		n += ts.pendCount[slot]
 	}
+	ts.mindMu.Unlock()
 	return n
 }
 
-// DebugFreeQueued returns the number of blocks awaiting reclamation for
-// thread tid. Intended for tests.
-func (s *Sys) DebugFreeQueued(tid int) int {
+// PendingFree returns the number of blocks awaiting reclamation for
+// thread tid.
+func (s *Sys) PendingFree(tid int) int {
 	ts := &s.threads[tid]
 	n := 0
 	for slot := 0; slot < 4; slot++ {
@@ -267,3 +287,17 @@ func (s *Sys) DebugFreeQueued(tid int) int {
 	}
 	return n
 }
+
+// DebugPending returns the number of queued (unpersisted) payloads for
+// thread tid.
+//
+// Deprecated: use PendingPersist, or the system-wide
+// Stats().Epoch.PersistPending counter.
+func (s *Sys) DebugPending(tid int) int { return s.PendingPersist(tid) }
+
+// DebugFreeQueued returns the number of blocks awaiting reclamation for
+// thread tid.
+//
+// Deprecated: use PendingFree, or the system-wide Stats().Epoch
+// FreeQueued/FreeReclaimed counters.
+func (s *Sys) DebugFreeQueued(tid int) int { return s.PendingFree(tid) }

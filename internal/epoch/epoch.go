@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"montage/internal/mindicator"
+	"montage/internal/obs"
 	"montage/internal/pmem"
 	"montage/internal/ralloc"
 	"montage/internal/simclock"
@@ -175,6 +176,7 @@ type Sys struct {
 	lastAdvPls atomic.Uint64 // plCount at the last advance
 	syncActive atomic.Int32  // number of in-flight Sync calls
 	advances   atomic.Uint64 // statistics: completed epoch advances
+	stats      obs.Holder
 
 	daemonStop chan struct{}
 	daemonDone chan struct{}
@@ -205,6 +207,9 @@ func NewAt(heap *ralloc.Heap, cfg Config, start uint64) *Sys {
 		threads: make([]threadState, cfg.MaxThreads),
 		mind:    mindicator.New(cfg.MaxThreads),
 	}
+	// Inherit any recorder already attached to the device so the
+	// background daemon is instrumented from its first tick.
+	s.stats.Set(heap.Device().Recorder())
 	s.epoch.Store(start)
 	s.writeClock(simclock.DaemonTID, start)
 	if cfg.EpochLength > 0 {
@@ -212,6 +217,18 @@ func NewAt(heap *ralloc.Heap, cfg Config, start uint64) *Sys {
 	}
 	return s
 }
+
+// SetRecorder attaches an observability recorder; advances, syncs,
+// write-back drains, and reclamation report to it. Safe to call while
+// the system is running.
+func (s *Sys) SetRecorder(r *obs.Recorder) { s.stats.Set(r) }
+
+// Recorder returns the attached observability recorder, or nil.
+func (s *Sys) Recorder() *obs.Recorder { return s.stats.Get() }
+
+// Stats returns a snapshot of the attached recorder's counters (a zero
+// snapshot if none is attached).
+func (s *Sys) Stats() obs.Snapshot { return s.stats.Get().Snapshot() }
 
 // writeClock persists the epoch clock value.
 func (s *Sys) writeClock(tid int, e uint64) {
@@ -370,12 +387,13 @@ func (s *Sys) AddToPersist(tid int, e uint64, p Persistable) {
 		return
 	}
 	if s.cfg.Policy == PolicyDirect {
-		s.flushOne(tid, p)
+		s.flushOne(tid, p, obs.CPersistDirect)
 		return
 	}
 	if !p.MarkBuffered() {
 		return // already queued in this epoch
 	}
+	s.stats.Get().Inc(tid, obs.CPersistQueued)
 	if s.cfg.EpochPayloads > 0 {
 		s.plCount.Add(1)
 	}
@@ -405,7 +423,7 @@ func (s *Sys) AddToPersist(tid int, e uint64, p Persistable) {
 	ts.mindMu.Unlock()
 
 	if overflow != nil {
-		s.flushOne(tid, overflow)
+		s.flushOne(tid, overflow, obs.CPersistOverflow)
 	}
 }
 
@@ -422,6 +440,7 @@ func (s *Sys) AddToFree(tid int, e uint64, addr pmem.Addr) {
 		s.heap.Free(tid, addr)
 		return
 	}
+	s.stats.Get().Inc(tid, obs.CFreeQueued)
 	ts := &s.threads[tid]
 	fb := &ts.free[e%4]
 	fb.mu.Lock()
@@ -433,11 +452,15 @@ func (s *Sys) AddToFree(tid int, e uint64, addr pmem.Addr) {
 	fb.mu.Unlock()
 }
 
-// flushOne writes back one payload, charged to tid. The write remains
-// staged until a fence (the worker's own, or the boundary Drain).
-func (s *Sys) flushOne(tid int, p Persistable) {
+// flushOne writes back one payload, charged to tid, and records it under
+// the kind counter (boundary, overflow, worker, or direct — the four ways
+// a payload reaches the device). The write remains staged until a fence
+// (the worker's own, or the boundary Drain).
+func (s *Sys) flushOne(tid int, p Persistable, kind obs.CounterID) {
+	rec := s.stats.Get()
 	if p.PDead() {
 		p.ClearBuffered()
+		rec.Inc(tid, obs.CPersistDead)
 		return
 	}
 	buf := p.PEncodeTo()
@@ -446,6 +469,10 @@ func (s *Sys) flushOne(tid int, p Persistable) {
 	}
 	p.MarkFlushed()
 	p.ClearBuffered()
+	if rec != nil {
+		rec.Inc(tid, kind)
+		rec.Add(tid, obs.CPersistBytes, uint64(len(buf)))
+	}
 }
 
 // persistLocal drains thread tid's own buffers for all epochs <= maxE.
@@ -464,7 +491,7 @@ func (s *Sys) persistLocal(tid int, maxE uint64) {
 		label := pb.label
 		pb.mu.Unlock()
 		for _, p := range entries {
-			s.flushOne(tid, p)
+			s.flushOne(tid, p, obs.CPersistWorker)
 		}
 		ts.mindMu.Lock()
 		if ts.pendEpoch[label%4] == label {

@@ -1,0 +1,18 @@
+package obs
+
+import "sync/atomic"
+
+// Holder is an atomically settable recorder reference. Instrumented
+// packages (pmem, ralloc, epoch) embed one so a recorder can be attached
+// after construction — even while background goroutines are already
+// running — without a data race. A zero Holder yields a nil recorder,
+// on which every Recorder method is a no-op.
+type Holder struct {
+	p atomic.Pointer[Recorder]
+}
+
+// Set attaches (or detaches, with nil) the recorder.
+func (h *Holder) Set(r *Recorder) { h.p.Store(r) }
+
+// Get returns the attached recorder, or nil.
+func (h *Holder) Get() *Recorder { return h.p.Load() }

@@ -1,0 +1,284 @@
+package obs
+
+import "time"
+
+// rawHist is an aggregated histogram.
+type rawHist struct {
+	count   uint64
+	sum     uint64
+	buckets [histBuckets]uint64
+}
+
+// rawStats is the flat aggregate a snapshot is built from; keeping it on
+// the Snapshot lets Sub produce exact interval deltas (including correct
+// percentiles recomputed from bucket differences).
+type rawStats struct {
+	counters [numCounters]uint64
+	hists    [numHists]rawHist
+}
+
+// EpochStats are the epoch system's counters.
+type EpochStats struct {
+	Advances        uint64 `json:"advances"`
+	Syncs           uint64 `json:"syncs"`
+	PersistQueued   uint64 `json:"persist_queued"`
+	PersistBoundary uint64 `json:"persist_boundary"`
+	PersistOverflow uint64 `json:"persist_overflow"`
+	PersistWorker   uint64 `json:"persist_worker"`
+	PersistDirect   uint64 `json:"persist_direct"`
+	PersistDead     uint64 `json:"persist_dead_skipped"`
+	PersistBytes    uint64 `json:"persist_bytes"`
+	// PersistPending is derived: payloads queued but not yet written back
+	// (or skipped as dead) anywhere in the system.
+	PersistPending  uint64 `json:"persist_pending"`
+	FreeQueued      uint64 `json:"free_queued"`
+	FreeReclaimed   uint64 `json:"free_reclaimed"`
+	MindicatorSkips uint64 `json:"mindicator_skips"`
+	MindicatorScans uint64 `json:"mindicator_scans"`
+}
+
+// DeviceStats are the simulated NVM device's counters.
+type DeviceStats struct {
+	WriteBacks     uint64 `json:"write_backs"`
+	WriteBackBytes uint64 `json:"write_back_bytes"`
+	Fences         uint64 `json:"fences"`
+	Drains         uint64 `json:"drains"`
+	Reads          uint64 `json:"reads"`
+	ReadBytes      uint64 `json:"read_bytes"`
+	Commits        uint64 `json:"commits"`
+	CommitBytes    uint64 `json:"commit_bytes"`
+	Crashes        uint64 `json:"crashes"`
+	CrashDiscarded uint64 `json:"crash_discarded_writes"`
+	CrashDiscBytes uint64 `json:"crash_discarded_bytes"`
+	CrashKept      uint64 `json:"crash_committed_writes"`
+	CrashKeptBytes uint64 `json:"crash_committed_bytes"`
+}
+
+// RuntimeStats are the Montage operation and recovery counters.
+type RuntimeStats struct {
+	Ops                uint64 `json:"ops"`
+	OpRetries          uint64 `json:"op_retries"` // ErrOldSeeNew restarts
+	Recoveries         uint64 `json:"recoveries"`
+	RecoveredBlocks    uint64 `json:"recovered_blocks"`
+	RecoveredSurvivors uint64 `json:"recovered_survivors"`
+	RecoverySweepNs    uint64 `json:"recovery_sweep_ns"`
+	RecoveryFilterNs   uint64 `json:"recovery_filter_ns"`
+	RecoveryInvalNs    uint64 `json:"recovery_invalidate_ns"`
+}
+
+// AllocStats are the allocator's counters.
+type AllocStats struct {
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Frees      uint64 `json:"frees"`
+	FreeBytes  uint64 `json:"free_bytes"`
+	// BlocksInUse and BytesInUse are derived (allocs - frees, clamped).
+	BlocksInUse uint64 `json:"blocks_in_use"`
+	BytesInUse  uint64 `json:"bytes_in_use"`
+	Carves      uint64 `json:"superblocks_carved"`
+}
+
+// HistStats summarizes one log-bucketed histogram. Percentiles and Max
+// are bucket upper bounds, so they are approximations with at most 2x
+// relative error.
+type HistStats struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// LatencyStats groups the histograms.
+type LatencyStats struct {
+	AdvanceNs  HistStats `json:"advance_ns"`
+	WaitAllNs  HistStats `json:"wait_all_ns"`
+	SyncNs     HistStats `json:"sync_ns"`
+	FenceBatch HistStats `json:"fence_batch"`
+	DrainBatch HistStats `json:"drain_batch"`
+}
+
+// Snapshot is a point-in-time aggregate of a Recorder's counters and
+// histograms. It is what Stats(), the expvar export, and the JSON
+// sampler all emit.
+type Snapshot struct {
+	UnixNs  int64        `json:"unix_ns"`
+	Enabled bool         `json:"enabled"`
+	Epoch   EpochStats   `json:"epoch"`
+	Device  DeviceStats  `json:"device"`
+	Runtime RuntimeStats `json:"runtime"`
+	Alloc   AllocStats   `json:"alloc"`
+	Latency LatencyStats `json:"latency"`
+
+	raw *rawStats
+}
+
+// Snapshot aggregates every thread's cells into a consistent-enough view:
+// each individual counter is read atomically and is monotonic, so any
+// snapshot is a valid interleaving point, though counters incremented by
+// racing threads mid-aggregation may be split across two snapshots.
+func (r *Recorder) Snapshot() Snapshot {
+	var raw rawStats
+	if r != nil {
+		for t := range r.threads {
+			tc := &r.threads[t]
+			for c := 0; c < int(numCounters); c++ {
+				raw.counters[c] += tc.counters[c].Load()
+			}
+			for h := 0; h < int(numHists); h++ {
+				hc := &tc.hists[h]
+				rh := &raw.hists[h]
+				rh.count += hc.count.Load()
+				rh.sum += hc.sum.Load()
+				for b := 0; b < histBuckets; b++ {
+					rh.buckets[b] += hc.buckets[b].Load()
+				}
+			}
+		}
+	}
+	s := buildSnapshot(&raw)
+	s.UnixNs = time.Now().UnixNano()
+	s.Enabled = r.Enabled()
+	return s
+}
+
+// Sub returns the interval delta s - prev: counters are subtracted and
+// histogram summaries (including percentiles) recomputed from the bucket
+// differences. Both snapshots must come from the same Recorder, with prev
+// taken first.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	if s.raw == nil || prev.raw == nil {
+		return s
+	}
+	var d rawStats
+	for c := range d.counters {
+		d.counters[c] = sub64(s.raw.counters[c], prev.raw.counters[c])
+	}
+	for h := range d.hists {
+		d.hists[h].count = sub64(s.raw.hists[h].count, prev.raw.hists[h].count)
+		d.hists[h].sum = sub64(s.raw.hists[h].sum, prev.raw.hists[h].sum)
+		for b := 0; b < histBuckets; b++ {
+			d.hists[h].buckets[b] = sub64(s.raw.hists[h].buckets[b], prev.raw.hists[h].buckets[b])
+		}
+	}
+	out := buildSnapshot(&d)
+	out.UnixNs = s.UnixNs
+	out.Enabled = s.Enabled
+	return out
+}
+
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// buildSnapshot derives the named stats structs from a raw aggregate.
+func buildSnapshot(raw *rawStats) Snapshot {
+	c := &raw.counters
+	var s Snapshot
+	s.raw = raw
+	s.Epoch = EpochStats{
+		Advances:        c[CEpochAdvances],
+		Syncs:           c[CEpochSyncs],
+		PersistQueued:   c[CPersistQueued],
+		PersistBoundary: c[CPersistBoundary],
+		PersistOverflow: c[CPersistOverflow],
+		PersistWorker:   c[CPersistWorker],
+		PersistDirect:   c[CPersistDirect],
+		PersistDead:     c[CPersistDead],
+		PersistBytes:    c[CPersistBytes],
+		PersistPending: sub64(c[CPersistQueued],
+			c[CPersistBoundary]+c[CPersistOverflow]+c[CPersistWorker]+c[CPersistDead]),
+		FreeQueued:      c[CFreeQueued],
+		FreeReclaimed:   c[CFreeReclaimed],
+		MindicatorSkips: c[CMindicatorSkips],
+		MindicatorScans: c[CMindicatorScans],
+	}
+	s.Device = DeviceStats{
+		WriteBacks:     c[CWriteBacks],
+		WriteBackBytes: c[CWriteBackBytes],
+		Fences:         c[CFences],
+		Drains:         c[CDrains],
+		Reads:          c[CReads],
+		ReadBytes:      c[CReadBytes],
+		Commits:        c[CCommits],
+		CommitBytes:    c[CCommitBytes],
+		Crashes:        c[CCrashes],
+		CrashDiscarded: c[CCrashDiscarded],
+		CrashDiscBytes: c[CCrashDiscBytes],
+		CrashKept:      c[CCrashKept],
+		CrashKeptBytes: c[CCrashKeptBytes],
+	}
+	s.Runtime = RuntimeStats{
+		Ops:                c[COps],
+		OpRetries:          c[COpRetries],
+		Recoveries:         c[CRecoveries],
+		RecoveredBlocks:    c[CRecoveredBlocks],
+		RecoveredSurvivors: c[CRecoveredLive],
+		RecoverySweepNs:    c[CRecoverySweepNs],
+		RecoveryFilterNs:   c[CRecoveryFilterNs],
+		RecoveryInvalNs:    c[CRecoveryInvalNs],
+	}
+	s.Alloc = AllocStats{
+		Allocs:      c[CAllocs],
+		AllocBytes:  c[CAllocBytes],
+		Frees:       c[CFrees],
+		FreeBytes:   c[CFreeBytes],
+		BlocksInUse: sub64(c[CAllocs], c[CFrees]),
+		BytesInUse:  sub64(c[CAllocBytes], c[CFreeBytes]),
+		Carves:      c[CCarves],
+	}
+	s.Latency = LatencyStats{
+		AdvanceNs:  summarize(&raw.hists[HAdvanceNs]),
+		WaitAllNs:  summarize(&raw.hists[HWaitAllNs]),
+		SyncNs:     summarize(&raw.hists[HSyncNs]),
+		FenceBatch: summarize(&raw.hists[HFenceBatch]),
+		DrainBatch: summarize(&raw.hists[HDrainBatch]),
+	}
+	return s
+}
+
+// bucketBound is the inclusive upper bound of bucket i.
+func bucketBound(i int) uint64 {
+	if i >= 64 {
+		i = 64
+	}
+	return 1<<uint(i) - 1
+}
+
+func summarize(h *rawHist) HistStats {
+	st := HistStats{Count: h.count, Sum: h.sum}
+	if h.count == 0 {
+		return st
+	}
+	st.Mean = float64(h.sum) / float64(h.count)
+	st.P50 = percentile(h, 0.50)
+	st.P90 = percentile(h, 0.90)
+	st.P99 = percentile(h, 0.99)
+	for b := histBuckets - 1; b >= 0; b-- {
+		if h.buckets[b] > 0 {
+			st.Max = bucketBound(b)
+			break
+		}
+	}
+	return st
+}
+
+func percentile(h *rawHist, q float64) uint64 {
+	target := uint64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.buckets[b]
+		if cum >= target {
+			return bucketBound(b)
+		}
+	}
+	return bucketBound(histBuckets - 1)
+}

@@ -1,0 +1,131 @@
+package obs_test
+
+import (
+	"testing"
+
+	"montage/internal/core"
+	"montage/internal/obs"
+	"montage/internal/pds"
+)
+
+// TestEpochMetricsMove runs a real Montage system and checks the
+// epoch-advance, write-back, and sync instrumentation actually moves:
+// counters are nonzero after operations, Advance, and Sync, and the
+// trace ring saw the lifecycle events.
+func TestEpochMetricsMove(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{ArenaSize: 16 << 20, MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	q := pds.NewQueue(sys)
+	for i := 0; i < 32; i++ {
+		if err := q.Enqueue(0, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := sys.Stats()
+	if base.Runtime.Ops < 32 {
+		t.Fatalf("Ops = %d after 32 enqueues, want >= 32", base.Runtime.Ops)
+	}
+	if base.Epoch.PersistQueued == 0 {
+		t.Fatal("no payloads queued for write-back after buffered enqueues")
+	}
+	if base.Alloc.Allocs == 0 || base.Alloc.BytesInUse == 0 {
+		t.Fatalf("allocator counters did not move: %+v", base.Alloc)
+	}
+
+	sys.Advance()
+	sys.Advance()
+	sys.Sync(0)
+	s := sys.Stats()
+
+	if d := s.Epoch.Advances - base.Epoch.Advances; d < 2 {
+		t.Fatalf("Advances moved by %d across 2 Advance + 1 Sync, want >= 2", d)
+	}
+	if s.Epoch.Syncs != base.Epoch.Syncs+1 {
+		t.Fatalf("Syncs = %d, want %d", s.Epoch.Syncs, base.Epoch.Syncs+1)
+	}
+	if s.Latency.AdvanceNs.Count == 0 {
+		t.Fatal("no advance latencies recorded")
+	}
+	if s.Latency.SyncNs.Count == 0 {
+		t.Fatal("no sync latencies recorded")
+	}
+	// Two epochs have passed since the enqueues, so their payloads must
+	// have been written back and fenced durable.
+	if s.Device.WriteBacks == 0 || s.Device.WriteBackBytes == 0 {
+		t.Fatalf("no write-backs recorded: %+v", s.Device)
+	}
+	if s.Device.Fences == 0 && s.Device.Drains == 0 {
+		t.Fatalf("no fences or drains recorded: %+v", s.Device)
+	}
+	if s.Device.Commits == 0 {
+		t.Fatalf("no durable commits recorded: %+v", s.Device)
+	}
+	if s.Epoch.PersistPending != 0 {
+		t.Fatalf("PersistPending = %d after Sync, want 0", s.Epoch.PersistPending)
+	}
+
+	var sawAdvance, sawSync bool
+	for _, e := range sys.Recorder().TraceEvents() {
+		switch e.Kind {
+		case obs.TraceAdvanceEnd:
+			sawAdvance = true
+		case obs.TraceSyncEnd:
+			sawSync = true
+		}
+	}
+	if !sawAdvance || !sawSync {
+		t.Fatalf("trace ring missing lifecycle events: advance=%v sync=%v", sawAdvance, sawSync)
+	}
+}
+
+// TestSharedRecorder checks two systems reporting to one recorder
+// aggregate their counters (the benchmark-harness configuration).
+func TestSharedRecorder(t *testing.T) {
+	rec := obs.New(2)
+	mk := func() *core.System {
+		sys, err := core.NewSystem(core.Config{ArenaSize: 16 << 20, MaxThreads: 2, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	if a.Recorder() != rec || b.Recorder() != rec {
+		t.Fatal("systems did not adopt the shared recorder")
+	}
+	a.Sync(0)
+	b.Sync(0)
+	if got := rec.Snapshot().Epoch.Syncs; got != 2 {
+		t.Fatalf("shared Syncs = %d, want 2", got)
+	}
+}
+
+// TestStatsDisabledSystem checks a system over a disabled recorder still
+// works and records nothing.
+func TestStatsDisabledSystem(t *testing.T) {
+	rec := obs.New(2)
+	rec.SetEnabled(false)
+	sys, err := core.NewSystem(core.Config{ArenaSize: 16 << 20, MaxThreads: 2, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	q := pds.NewQueue(sys)
+	if err := q.Enqueue(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sys.Sync(0)
+	s := sys.Stats()
+	if s.Runtime.Ops != 0 || s.Epoch.Syncs != 0 || s.Device.WriteBacks != 0 {
+		t.Fatalf("disabled recorder recorded: %+v", s)
+	}
+	if v, ok, err := q.Dequeue(0); err != nil || !ok || string(v) != "x" {
+		t.Fatalf("queue misbehaved under disabled stats: %q %v %v", v, ok, err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"montage/internal/obs"
 	"montage/internal/simclock"
 )
 
@@ -65,10 +66,19 @@ type Device struct {
 	seq     atomic.Uint64
 	threads []threadBuf
 	clk     *simclock.Clock
+	stats   obs.Holder
 
 	crashRNG *rand.Rand
 	rngMu    sync.Mutex
 }
+
+// SetRecorder attaches an observability recorder; WriteBack, Fence,
+// Drain, Read, and Crash report their counts to it. Safe to call while
+// the device is in use.
+func (d *Device) SetRecorder(r *obs.Recorder) { d.stats.Set(r) }
+
+// Recorder returns the attached observability recorder, or nil.
+func (d *Device) Recorder() *obs.Recorder { return d.stats.Get() }
 
 // NewDevice creates a device with the given arena size in bytes, serving
 // up to maxThreads worker threads plus the background daemon. clk may be
@@ -130,6 +140,10 @@ func (d *Device) WriteBack(tid int, addr Addr, data []byte) error {
 	b.mu.Unlock()
 	d.clk.ChargeNVMWrite(tid, len(data))
 	d.clk.ChargeWriteBack(tid, len(data))
+	if rec := d.stats.Get(); rec != nil {
+		rec.Inc(tid, obs.CWriteBacks)
+		rec.Add(tid, obs.CWriteBackBytes, uint64(len(data)))
+	}
 	return nil
 }
 
@@ -149,6 +163,25 @@ func (d *Device) Fence(tid int) {
 		d.mu.Unlock()
 	}
 	d.clk.ChargeFence(tid)
+	if rec := d.stats.Get(); rec != nil {
+		rec.Inc(tid, obs.CFences)
+		rec.Observe(tid, obs.HFenceBatch, uint64(len(staged)))
+		d.recordCommits(rec, tid, staged)
+	}
+}
+
+// recordCommits charges the committed-write counters for a fenced or
+// drained batch.
+func (d *Device) recordCommits(rec *obs.Recorder, tid int, staged []stagedWrite) {
+	if len(staged) == 0 {
+		return
+	}
+	var bytes uint64
+	for _, w := range staged {
+		bytes += uint64(len(w.data))
+	}
+	rec.Add(tid, obs.CCommits, uint64(len(staged)))
+	rec.Add(tid, obs.CCommitBytes, bytes)
 }
 
 // Drain commits every staged write from every thread, in global write
@@ -172,6 +205,11 @@ func (d *Device) Drain(tid int) {
 		d.mu.Unlock()
 	}
 	d.clk.ChargeFenceAll(tid)
+	if rec := d.stats.Get(); rec != nil {
+		rec.Inc(tid, obs.CDrains)
+		rec.Observe(tid, obs.HDrainBatch, uint64(len(all)))
+		d.recordCommits(rec, tid, all)
+	}
 }
 
 // PendingWrites returns the number of staged (not yet fenced) writes for
@@ -193,6 +231,10 @@ func (d *Device) Read(tid int, addr Addr, dst []byte) error {
 	copy(dst, d.durable[addr:])
 	d.mu.RUnlock()
 	d.clk.ChargeNVMRead(tid, len(dst))
+	if rec := d.stats.Get(); rec != nil {
+		rec.Inc(tid, obs.CReads)
+		rec.Add(tid, obs.CReadBytes, uint64(len(dst)))
+	}
 	return nil
 }
 
@@ -206,6 +248,10 @@ func (d *Device) WriteDurable(addr Addr, data []byte) error {
 	d.mu.Lock()
 	d.commitLocked(stagedWrite{addr, data, d.seq.Add(1)})
 	d.mu.Unlock()
+	if rec := d.stats.Get(); rec != nil {
+		rec.Inc(simclock.DaemonTID, obs.CCommits)
+		rec.Add(simclock.DaemonTID, obs.CCommitBytes, uint64(len(data)))
+	}
 	return nil
 }
 
@@ -236,8 +282,9 @@ func (d *Device) SeedCrashRNG(seed int64) {
 // durable arena is all that remains; the caller is expected to discard
 // every volatile structure and run recovery.
 func (d *Device) Crash(mode CrashMode) {
+	rec := d.stats.Get()
+	var kept, keptBytes, lost, lostBytes uint64
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for i := range d.threads {
 		b := &d.threads[i]
 		b.mu.Lock()
@@ -246,12 +293,32 @@ func (d *Device) Crash(mode CrashMode) {
 			for _, w := range b.staged {
 				if d.crashRNG.Intn(2) == 0 {
 					d.commitLocked(w)
+					kept++
+					keptBytes += uint64(len(w.data))
+				} else {
+					lost++
+					lostBytes += uint64(len(w.data))
 				}
 			}
 			d.rngMu.Unlock()
+		} else {
+			lost += uint64(len(b.staged))
+			for _, w := range b.staged {
+				lostBytes += uint64(len(w.data))
+			}
 		}
 		b.staged = nil
 		b.mu.Unlock()
+	}
+	d.mu.Unlock()
+	if rec != nil {
+		tid := simclock.DaemonTID
+		rec.Inc(tid, obs.CCrashes)
+		rec.Add(tid, obs.CCrashDiscarded, lost)
+		rec.Add(tid, obs.CCrashDiscBytes, lostBytes)
+		rec.Add(tid, obs.CCrashKept, kept)
+		rec.Add(tid, obs.CCrashKeptBytes, keptBytes)
+		rec.Trace(tid, obs.TraceCrash, 0, lost)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"montage/internal/obs"
 	"montage/internal/payload"
 	"montage/internal/pmem"
 	"montage/internal/simclock"
@@ -100,6 +101,7 @@ type Heap struct {
 	caches  []threadCache // per thread (+1 daemon)
 
 	allocated atomic.Int64 // live blocks, for stats/tests
+	stats     obs.Holder
 }
 
 // Options configures heap construction.
@@ -140,11 +142,21 @@ func New(dev *pmem.Device, maxThreads int, opts Options) (*Heap, error) {
 	for i := range h.caches {
 		h.caches[i].classes = make([][]pmem.Addr, len(sizeClasses))
 	}
+	// Inherit any recorder already attached to the device, so a heap built
+	// over an instrumented device is instrumented from its first Alloc.
+	h.stats.Set(dev.Recorder())
 	return h, nil
 }
 
 // Device returns the underlying device.
 func (h *Heap) Device() *pmem.Device { return h.dev }
+
+// SetRecorder attaches an observability recorder; Alloc, Free, and
+// superblock carving report their counts to it.
+func (h *Heap) SetRecorder(r *obs.Recorder) { h.stats.Set(r) }
+
+// Recorder returns the attached observability recorder, or nil.
+func (h *Heap) Recorder() *obs.Recorder { return h.stats.Get() }
 
 // MaxBlockSize returns the data capacity of the largest size class.
 func (h *Heap) MaxBlockSize() int {
@@ -194,6 +206,17 @@ func (h *Heap) cache(tid int) *threadCache {
 // No persistence work is performed: the block's contents become durable
 // only when the epoch system writes the payload back.
 func (h *Heap) Alloc(tid int, dataSize int) (pmem.Addr, error) {
+	addr, err := h.alloc(tid, dataSize)
+	if err == nil {
+		if rec := h.stats.Get(); rec != nil {
+			rec.Inc(tid, obs.CAllocs)
+			rec.Add(tid, obs.CAllocBytes, uint64(h.BlockSize(addr)))
+		}
+	}
+	return addr, err
+}
+
+func (h *Heap) alloc(tid int, dataSize int) (pmem.Addr, error) {
 	need := payload.EncodedSize(dataSize)
 	cls := classFor(need)
 	if cls < 0 || sizeClasses[cls] > h.sbSize-sbHeaderSize {
@@ -229,15 +252,15 @@ func (h *Heap) Alloc(tid int, dataSize int) (pmem.Addr, error) {
 	cl.mu.Unlock()
 
 	// Carve a fresh superblock.
-	if err := h.carve(cls); err != nil {
+	if err := h.carve(tid, cls); err != nil {
 		return pmem.NilAddr, err
 	}
-	return h.Alloc(tid, dataSize)
+	return h.alloc(tid, dataSize)
 }
 
 // carve initializes the next free superblock for size class cls and
 // pushes its blocks onto the central free list.
-func (h *Heap) carve(cls int) error {
+func (h *Heap) carve(tid int, cls int) error {
 	idx := int(h.nextSB.Add(1)) - 1
 	if idx >= h.numSB {
 		return ErrOutOfMemory
@@ -252,6 +275,7 @@ func (h *Heap) carve(cls int) error {
 		return err
 	}
 	h.sbClass[idx].Store(int32(cls))
+	h.stats.Get().Inc(tid, obs.CCarves)
 
 	bs := sizeClasses[cls]
 	n := (h.sbSize - sbHeaderSize) / bs
@@ -272,6 +296,10 @@ func (h *Heap) carve(cls int) error {
 func (h *Heap) Free(tid int, addr pmem.Addr) {
 	cls := int(h.sbClass[h.sbIndex(addr)].Load())
 	h.clk.ChargeAlloc(tid)
+	if rec := h.stats.Get(); rec != nil {
+		rec.Inc(tid, obs.CFrees)
+		rec.Add(tid, obs.CFreeBytes, uint64(sizeClasses[cls]))
+	}
 	tc := h.cache(tid)
 	tc.classes[cls] = append(tc.classes[cls], addr)
 	h.allocated.Add(-1)

@@ -42,6 +42,7 @@ import (
 
 	"montage/internal/core"
 	"montage/internal/epoch"
+	"montage/internal/obs"
 	"montage/internal/pds"
 	"montage/internal/pmem"
 	"montage/internal/simclock"
@@ -74,6 +75,27 @@ type Device = pmem.Device
 
 // Costs is the virtual-time cost model used by the benchmark harness.
 type Costs = simclock.Costs
+
+// Stats is a point-in-time snapshot of a System's runtime counters:
+// epoch advances, write-back/fence/drain counts, persist-buffer drains,
+// ErrOldSeeNew retries, allocator usage, and latency histograms. Obtain
+// one with System.Stats().
+type Stats = obs.Snapshot
+
+// Recorder collects runtime counters. Systems create a private one by
+// default; set Config.Recorder to share a recorder (and thus aggregate
+// counters) across several systems. NewRecorder creates one serving
+// worker thread ids 0..maxThreads-1.
+type Recorder = obs.Recorder
+
+// NewRecorder creates a stats recorder for sharing across systems via
+// Config.Recorder.
+func NewRecorder(maxThreads int) *Recorder { return obs.New(maxThreads) }
+
+// TraceEvent is one entry of the epoch-lifecycle trace ring (advance,
+// sync, crash, and recovery events); read it with
+// System.Recorder().TraceEvents().
+type TraceEvent = obs.TraceEvent
 
 // Write-back policies (EpochConfig.Policy).
 const (
