@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench serve-smoke clean
 
 build:
 	$(GO) build ./...
 
-test:
+test: vet serve-smoke
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the observability recorder
@@ -16,6 +16,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# End-to-end smoke of the network front end: a loopback montage-serve
+# instance driven by a montage-load burst in each durability-ack mode,
+# asserting nonzero acked throughput and a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # Quick-scale figure regeneration with a runtime-stats stream.
 bench:

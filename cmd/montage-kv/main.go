@@ -25,6 +25,11 @@
 // snapshots (epoch advances, write-backs, fences, allocator usage) as
 // JSONL; the recorder survives the crash command, so counters keep
 // accumulating across recoveries.
+//
+// For serving a pool over the network (memcached text protocol with
+// durability-aware acks), see cmd/montage-serve; both tools read and
+// write the same pool image format, so a pool built here can be served
+// there and vice versa.
 package main
 
 import (
@@ -187,6 +192,10 @@ func main() {
 			fmt.Printf("synced in %v\n", time.Since(start))
 		case "crash":
 			fmt.Println("simulating power failure...")
+			// Stop the old system's epoch daemon first: after the crash it
+			// would keep advancing the stale clock and flushing stale
+			// buffers onto the device recovery is rebuilding.
+			sys.Abandon()
 			sys.Device().Crash(montage.CrashDropAll)
 			s2, chunks, err := montage.RecoverParallel(sys.Device(), cfg, 1)
 			if err != nil {
@@ -216,6 +225,18 @@ func main() {
 			fmt.Printf("alloc: blocks_in_use=%d bytes_in_use=%d  ops=%d retries=%d recoveries=%d\n",
 				rt.Alloc.BlocksInUse, rt.Alloc.BytesInUse,
 				rt.Runtime.Ops, rt.Runtime.OpRetries, rt.Runtime.Recoveries)
+			// When the recorder has seen serving traffic (a pool driven
+			// through cmd/montage-serve in the same process, or a shared
+			// stats stream), report the front end's ack counters too.
+			if rt.Server.Conns > 0 {
+				fmt.Printf("server: conns=%d gets=%d sets=%d acks: buffered=%d sync=%d epoch_wait=%d aborted=%d\n",
+					rt.Server.Conns, rt.Server.OpsGet, rt.Server.OpsSet,
+					rt.Server.AcksBuffered, rt.Server.AcksSync, rt.Server.AcksEpoch,
+					rt.Server.AcksAborted)
+				fmt.Printf("server: ack_sync_p99=%dns ack_epoch_wait_p99=%dns pipeline_depth_p99=%d\n",
+					rt.Latency.AckSyncNs.P99, rt.Latency.AckEpochNs.P99,
+					rt.Latency.PipelineDepth.P99)
+			}
 		case "save":
 			save()
 		case "quit", "exit":
@@ -224,6 +245,7 @@ func main() {
 			return
 		default:
 			fmt.Println("commands: set setttl get del keys sync crash stats save quit")
+			fmt.Println("(to serve a pool over TCP, use montage-serve; it reads the same -pool images)")
 		}
 		fmt.Print("> ")
 	}

@@ -1,0 +1,64 @@
+// Command montage-load drives YCSB-style load at a montage-serve
+// instance over TCP and reports acked throughput plus client-observed
+// latency percentiles.
+//
+// Usage:
+//
+//	montage-load -addr 127.0.0.1:11211 -conns 8 -duration 10s \
+//	    -mode epoch-wait -pipeline 64
+//
+// The workload is YCSB-A by default (50/50 read/update, zipfian keys);
+// -read-frac changes the mix. Each connection requests the chosen
+// durability-ack mode, preloads its shard of the key space, and then
+// pipelines requests for the timed phase. The exit status is nonzero if
+// no operations were acknowledged, so scripts can assert liveness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"montage/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "server TCP address")
+	conns := flag.Int("conns", 8, "concurrent connections")
+	duration := flag.Duration("duration", 5*time.Second, "timed-phase length")
+	records := flag.Uint64("records", 10000, "YCSB key-space size")
+	valueSize := flag.Int("value-size", 100, "stored value length in bytes")
+	readFrac := flag.Float64("read-frac", 0.5, "read fraction (0.5 = YCSB-A)")
+	modeName := flag.String("mode", "buffered", "durability-ack mode: buffered, sync, or epoch-wait")
+	pipeline := flag.Int("pipeline", 16, "outstanding requests per connection")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	flag.Parse()
+
+	mode, err := server.ParseAckMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:      *addr,
+		Conns:     *conns,
+		Duration:  *duration,
+		Records:   *records,
+		ValueSize: *valueSize,
+		ReadFrac:  *readFrac,
+		Mode:      mode,
+		Pipeline:  *pipeline,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montage-load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("montage-load: mode=%s conns=%d pipeline=%d: %s\n", mode, *conns, *pipeline, res)
+	if res.Ops == 0 {
+		fmt.Fprintln(os.Stderr, "montage-load: no operations were acknowledged")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"montage/internal/server"
+)
+
+// FigNet is the over-the-wire companion to the Figure 10 memcached
+// validation: instead of linking the store into the client, it runs the
+// real TCP front end (internal/server) on loopback and sweeps the three
+// durability-acknowledgement modes across connection counts under a
+// write-only pipelined workload, where the modes differ most.
+//
+// The point the sweep makes is the paper's buffering argument carried
+// to the network: sync-mode acks serialize every connection through two
+// forced epoch advances per write, so adding connections cannot help,
+// while epoch-wait acks ride the shared epoch clock — each advance
+// retires every connection's parked acks at once — so throughput scales
+// with connections times pipeline depth. Buffered mode is the no-wait
+// ceiling.
+//
+// Unlike the other figures, this one measures real wall-clock time on a
+// real socket: it is a benchmark of the serving path, not of the
+// simulated device, so its absolute numbers are host-dependent.
+func FigNet(sc Scale, conns []int, modes []server.AckMode) ([]Result, error) {
+	if len(conns) == 0 {
+		conns = []int{1, 2, 4, 8}
+	}
+	if len(modes) == 0 {
+		modes = []server.AckMode{server.AckBuffered, server.AckSync, server.AckEpochWait}
+	}
+	maxConns := 0
+	for _, c := range conns {
+		if c > maxConns {
+			maxConns = c
+		}
+	}
+
+	records := uint64(sc.KeyRange)
+	if records > 10_000 {
+		records = 10_000
+	}
+	valueSize := sc.ValueSize
+	if valueSize > 256 {
+		valueSize = 256
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:      "127.0.0.1:0",
+		ArenaSize: sc.ArenaSize,
+		Buckets:   sc.Buckets,
+		MaxConns:  maxConns + 1,
+		// Short epochs keep the epoch-wait ack latency (up to two epoch
+		// lengths) small against the pipeline depth; the paper's 10ms
+		// default is tuned for its device, not for a loopback benchmark.
+		EpochLength: time.Millisecond,
+		// The simulated device persists for free in wall-clock time, which
+		// would flatter sync mode (its forced advances are the whole cost
+		// the paper's Fig. 9 measures). Emulate a realistic persist-fence
+		// round trip so each mode pays its true relative price: sync pays
+		// two delays per write inline, buffered and epoch-wait leave them
+		// to the background daemon.
+		PersistDelay: 100 * time.Microsecond,
+		Recorder:     sc.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := srv.Listen(); err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	defer srv.Shutdown(5 * time.Second)
+	addr := srv.Addr().String()
+	rec := srv.Recorder()
+
+	var results []Result
+	for _, mode := range modes {
+		for _, c := range conns {
+			prev := rec.Snapshot()
+			res, err := server.RunLoad(server.LoadConfig{
+				Addr:      addr,
+				Conns:     c,
+				Duration:  time.Second,
+				Records:   records,
+				ValueSize: valueSize,
+				ReadFrac:  0, // write-only: the ack path is the subject
+				Mode:      mode,
+				Pipeline:  64,
+				Seed:      sc.Seed,
+			})
+			if err != nil {
+				srv.Shutdown(time.Second)
+				return nil, fmt.Errorf("net bench %s/conns=%d: %w", mode, c, err)
+			}
+			if res.Errors > 0 {
+				srv.Shutdown(time.Second)
+				return nil, fmt.Errorf("net bench %s/conns=%d: %d errored acks", mode, c, res.Errors)
+			}
+			// The per-row stats are the interval delta, so each row carries
+			// exactly its own mode's ack counters and histograms.
+			delta := rec.Snapshot().Sub(prev)
+			results = append(results, Result{
+				Figure: "net",
+				Series: mode.String(),
+				Label:  fmt.Sprintf("conns=%d", c),
+				X:      float64(c),
+				Mops:   res.OpsPerSec / 1e6,
+				Unit:   "Mops/s (wall)",
+				Stats:  &delta,
+			})
+		}
+	}
+	return results, nil
+}

@@ -143,6 +143,12 @@ func (s *System) Sync(tid int) { s.esys.Sync(tid) }
 // Close stops background activity and flushes all completed work.
 func (s *System) Close() { s.esys.Close() }
 
+// Abandon stops the epoch daemon without the final flushing advances of
+// Close. It is the correct teardown for a System whose device crashed:
+// the stale buffers and clock must never reach the device that a
+// recovered System now owns. After Abandon, drop the System.
+func (s *System) Abandon() { s.esys.Abandon() }
+
 // Checkpoint forces all completed work durable (Sync) and writes the
 // device image to path, so a later process can reopen the pool with
 // pmem.NewDeviceFromFile and Recover. It must not be called between

@@ -69,8 +69,14 @@ func (s *Sys) advanceLocked(chargeTid int) {
 		}
 
 		// (4) Wait for all write-backs — including incremental ones issued
-		// by the workers — to reach the persistence domain.
+		// by the workers — to reach the persistence domain. On the
+		// simulated device the drain is free in wall-clock time; an
+		// optional emulated persist latency stands in for the real fence
+		// round trip when wall-clock consumers ask for it.
 		s.dev.Drain(chargeTid)
+		if s.cfg.PersistDelay > 0 {
+			time.Sleep(s.cfg.PersistDelay)
+		}
 	}
 
 	// (5) Publish and persist the new clock value. The volatile clock is
@@ -86,6 +92,13 @@ func (s *Sys) advanceLocked(chargeTid int) {
 	s.lastAdvOps.Store(s.opCount.Load())
 	s.lastAdvPls.Store(s.plCount.Load())
 	s.advances.Add(1)
+	// Persist tick: epoch curr-1 just became durable. Wake every
+	// PersistTick/WaitPersisted subscriber by closing the broadcast
+	// channel and installing a fresh one.
+	s.persistMu.Lock()
+	close(s.persistCh)
+	s.persistCh = make(chan struct{})
+	s.persistMu.Unlock()
 	rec.Inc(chargeTid, obs.CEpochAdvances)
 	rec.ObserveSince(chargeTid, obs.HAdvanceNs, advStart)
 	rec.Trace(chargeTid, obs.TraceAdvanceEnd, curr+1, 0)
@@ -248,14 +261,24 @@ func (s *Sys) startDaemon() {
 // advances so that all completed work is durable — the shutdown analogue
 // of sync.
 func (s *Sys) Close() {
+	s.Abandon()
+	if !s.cfg.Transient {
+		s.Advance()
+		s.Advance()
+	}
+}
+
+// Abandon stops the background daemon, if any, WITHOUT the final
+// advances Close performs. It is the teardown for a system whose device
+// has crashed (or is about to be crashed deliberately): the stale
+// system's buffers must never be flushed onto a device that recovery is
+// rebuilding, and its clock must never overwrite the recovered one.
+// After Abandon the system must simply be dropped.
+func (s *Sys) Abandon() {
 	if s.daemonStop != nil {
 		close(s.daemonStop)
 		<-s.daemonDone
 		s.daemonStop = nil
-	}
-	if !s.cfg.Transient {
-		s.Advance()
-		s.Advance()
 	}
 }
 

@@ -86,6 +86,17 @@ type Config struct {
 	// triggered it rather than to the background thread. (Design question
 	// 1 of paper Section 5.2.)
 	WorkerAdvance bool
+	// PersistDelay, when nonzero, makes every epoch advance sleep this
+	// long in wall-clock time after draining write-backs, emulating the
+	// real device's persist-fence round trip. The simulated device
+	// charges persist costs in virtual time only, which makes a forced
+	// advance (and hence Sync) nearly free on the wall clock; wall-clock
+	// consumers — the TCP serving path and its benchmark — enable this so
+	// per-operation sync pays a realistic price while buffered and
+	// epoch-wait acks keep it off the critical path (the daemon absorbs
+	// one delay per epoch in the background). Zero (the default) leaves
+	// all virtual-time figures untouched.
+	PersistDelay time.Duration
 	// DisableMindicator turns off the mindicator fast path at epoch
 	// boundaries, always scanning every thread's containers. Ablation
 	// only; the mindicator is the paper's mechanism for keeping sync
@@ -178,6 +189,11 @@ type Sys struct {
 	advances   atomic.Uint64 // statistics: completed epoch advances
 	stats      obs.Holder
 
+	// persistCh is closed and replaced on every persist tick (epoch
+	// advance), broadcasting to PersistedEpoch watchers without polling.
+	persistMu sync.Mutex
+	persistCh chan struct{}
+
 	daemonStop chan struct{}
 	daemonDone chan struct{}
 }
@@ -207,6 +223,7 @@ func NewAt(heap *ralloc.Heap, cfg Config, start uint64) *Sys {
 		threads: make([]threadState, cfg.MaxThreads),
 		mind:    mindicator.New(cfg.MaxThreads),
 	}
+	s.persistCh = make(chan struct{})
 	// Inherit any recorder already attached to the device so the
 	// background daemon is instrumented from its first tick.
 	s.stats.Set(heap.Device().Recorder())
@@ -254,6 +271,57 @@ func ReadClock(dev *pmem.Device) (uint64, error) {
 
 // Epoch returns the current (volatile) epoch clock value.
 func (s *Sys) Epoch() uint64 { return s.epoch.Load() }
+
+// PersistedEpoch returns the durability watermark: the newest epoch whose
+// payloads are guaranteed durable. By the two-epoch rule, epoch e's
+// payloads persist when the clock ticks from e+1 to e+2, so with the
+// clock at c every epoch <= c-2 is durable. An operation that ran in
+// epoch e is durable exactly when PersistedEpoch() >= e. (In Transient
+// mode nothing is actually written back; the watermark still advances but
+// carries no durability meaning.)
+func (s *Sys) PersistedEpoch() uint64 {
+	e := s.epoch.Load()
+	if e < 2 {
+		return 0
+	}
+	return e - 2
+}
+
+// PersistTick returns a channel that is closed at the next persist tick
+// (the next epoch advance, which raises PersistedEpoch by one). Each tick
+// gets a fresh channel; subscribers re-arm by calling PersistTick again.
+// The channel carries no data — after it fires, consult PersistedEpoch.
+func (s *Sys) PersistTick() <-chan struct{} {
+	s.persistMu.Lock()
+	ch := s.persistCh
+	s.persistMu.Unlock()
+	return ch
+}
+
+// WaitPersisted blocks until PersistedEpoch() >= e, i.e. until every
+// operation that ran in epoch e is durable. It rides the persist-tick
+// broadcast rather than polling. If abort is closed first (e.g. the
+// system is being torn down by a crash), WaitPersisted returns whether
+// the target had been reached by then — a false return means the epoch-e
+// work may not have survived. A nil abort never fires.
+func (s *Sys) WaitPersisted(e uint64, abort <-chan struct{}) bool {
+	for {
+		if s.PersistedEpoch() >= e {
+			return true
+		}
+		ch := s.PersistTick()
+		// Re-check after arming: an advance between the first check and
+		// PersistTick would otherwise be missed until the next tick.
+		if s.PersistedEpoch() >= e {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-abort:
+			return s.PersistedEpoch() >= e
+		}
+	}
+}
 
 // Advances returns the number of completed epoch advances (statistics).
 func (s *Sys) Advances() uint64 { return s.advances.Load() }

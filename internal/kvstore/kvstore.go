@@ -7,11 +7,19 @@
 // item payloads live wherever the backend puts them: the Montage backend
 // gives a fully persistent, recoverable cache; the transient backends
 // give the DRAM (T) / NVM (T) reference lines of Figure 10.
+//
+// internal/server puts a real network front end over a Store. To support
+// it, every mutating operation returns the Montage epoch in which it
+// linearized (the "epoch tag"); a caller holding a tag can wait for the
+// write's natural durability with epoch.Sys.WaitPersisted instead of
+// forcing an expensive per-operation Sync. Transient backends have no
+// epochs and return tag 0.
 package kvstore
 
 import (
 	"container/list"
 	"encoding/binary"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,10 +33,12 @@ import (
 type Backend interface {
 	// Get returns the value stored under key.
 	Get(tid int, key string) ([]byte, bool)
-	// Put inserts or updates key=val.
-	Put(tid int, key string, val []byte) error
-	// Delete removes key, reporting whether it was present.
-	Delete(tid int, key string) (bool, error)
+	// Put inserts or updates key=val, returning the epoch tag of the
+	// update (0 for backends without epoch semantics).
+	Put(tid int, key string, val []byte) (uint64, error)
+	// Delete removes key, reporting whether it was present and the epoch
+	// tag of the deletion.
+	Delete(tid int, key string) (bool, uint64, error)
 	// Keys lists the stored keys (not linearizable; admin use).
 	Keys(tid int) []string
 }
@@ -45,13 +55,15 @@ func NewMontageBackend(m *pds.HashMap) *MontageBackend { return &MontageBackend{
 func (b *MontageBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
 
 // Put implements Backend.
-func (b *MontageBackend) Put(tid int, key string, val []byte) error {
-	_, err := b.m.Put(tid, key, val)
-	return err
+func (b *MontageBackend) Put(tid int, key string, val []byte) (uint64, error) {
+	_, epoch, err := b.m.PutE(tid, key, val)
+	return epoch, err
 }
 
 // Delete implements Backend.
-func (b *MontageBackend) Delete(tid int, key string) (bool, error) { return b.m.Remove(tid, key) }
+func (b *MontageBackend) Delete(tid int, key string) (bool, uint64, error) {
+	return b.m.RemoveE(tid, key)
+}
 
 // Keys implements Backend.
 func (b *MontageBackend) Keys(tid int) []string {
@@ -77,13 +89,16 @@ func NewTransientBackend(m *baselines.TransientMap) *TransientBackend {
 func (b *TransientBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
 
 // Put implements Backend.
-func (b *TransientBackend) Put(tid int, key string, val []byte) error {
+func (b *TransientBackend) Put(tid int, key string, val []byte) (uint64, error) {
 	_, err := b.m.Put(tid, key, val)
-	return err
+	return 0, err
 }
 
 // Delete implements Backend.
-func (b *TransientBackend) Delete(tid int, key string) (bool, error) { return b.m.Remove(tid, key) }
+func (b *TransientBackend) Delete(tid int, key string) (bool, uint64, error) {
+	ok, err := b.m.Remove(tid, key)
+	return ok, 0, err
+}
 
 // Keys implements Backend.
 func (b *TransientBackend) Keys(tid int) []string { return b.m.Keys() }
@@ -94,32 +109,65 @@ type Stats struct {
 	Misses      atomic.Uint64
 	Sets        atomic.Uint64
 	Deletes     atomic.Uint64
+	Touches     atomic.Uint64
+	CASHits     atomic.Uint64 // cas with a matching token
+	CASMisses   atomic.Uint64 // cas whose token no longer matched
 	Evictions   atomic.Uint64
 	Expirations atomic.Uint64
 }
 
-// encodeItem prefixes a value with its absolute expiry (unix
-// nanoseconds; 0 = never), memcached-style. The expiry persists with
-// the item, so TTLs survive crashes.
-func encodeItem(expiry int64, val []byte) []byte {
-	buf := make([]byte, 8+len(val))
+// itemHeaderSize is the per-item persisted metadata: absolute expiry
+// (unix nanoseconds; 0 = never) and the CAS token, memcached-style. Both
+// persist with the item, so TTLs and gets/cas tokens survive crashes.
+const itemHeaderSize = 16
+
+// encodeItem prefixes a value with its expiry and CAS token.
+func encodeItem(expiry int64, cas uint64, val []byte) []byte {
+	buf := make([]byte, itemHeaderSize+len(val))
 	binary.LittleEndian.PutUint64(buf, uint64(expiry))
-	copy(buf[8:], val)
+	binary.LittleEndian.PutUint64(buf[8:], cas)
+	copy(buf[itemHeaderSize:], val)
 	return buf
 }
 
-func decodeItem(data []byte) (expiry int64, val []byte, ok bool) {
-	if len(data) < 8 {
-		return 0, nil, false
+func decodeItem(data []byte) (expiry int64, cas uint64, val []byte, ok bool) {
+	if len(data) < itemHeaderSize {
+		return 0, 0, nil, false
 	}
-	return int64(binary.LittleEndian.Uint64(data)), data[8:], true
+	return int64(binary.LittleEndian.Uint64(data)),
+		binary.LittleEndian.Uint64(data[8:]),
+		data[itemHeaderSize:], true
 }
+
+// CASOutcome is the result of a CompareAndSwap.
+type CASOutcome int
+
+const (
+	// CASStored means the token matched and the value was replaced.
+	CASStored CASOutcome = iota
+	// CASExists means the item was modified since the token was fetched.
+	CASExists
+	// CASNotFound means the key is absent (or expired).
+	CASNotFound
+)
+
+// nStripes is the size of the key-striped lock table that makes
+// read-modify-write operations (Add/Replace/CompareAndSwap/Touch)
+// atomic with respect to every other mutation of the same key.
+const nStripes = 256
 
 // Store is the memcached-like cache.
 type Store struct {
 	backend Backend
 	stats   Stats
 	now     func() int64 // injectable clock for TTL tests
+	casSeq  atomic.Uint64
+	seed    maphash.Seed
+
+	// stripes serialize mutations per key so that check-then-act
+	// operations and CAS-token assignment are atomic. Reads stay
+	// lock-free at this layer.
+	stripes [nStripes]sync.Mutex
 
 	// capacity > 0 bounds the item count with LRU eviction, as memcached
 	// does when memory fills. capacity == 0 disables eviction (the
@@ -132,7 +180,12 @@ type Store struct {
 
 // New creates a store over backend. capacity 0 means unbounded.
 func New(backend Backend, capacity int) *Store {
-	s := &Store{backend: backend, capacity: capacity, now: func() int64 { return time.Now().UnixNano() }}
+	s := &Store{
+		backend:  backend,
+		capacity: capacity,
+		now:      func() int64 { return time.Now().UnixNano() },
+		seed:     maphash.MakeSeed(),
+	}
 	if capacity > 0 {
 		s.lru = list.New()
 		s.items = make(map[string]*list.Element)
@@ -143,42 +196,73 @@ func New(backend Backend, capacity int) *Store {
 // Stats returns the activity counters.
 func (s *Store) Stats() *Stats { return &s.stats }
 
+func (s *Store) stripe(key string) *sync.Mutex {
+	return &s.stripes[maphash.String(s.seed, key)%nStripes]
+}
+
+// live loads key's item if present and unexpired. It never deletes; the
+// Get path owns lazy expiration.
+func (s *Store) live(tid int, key string) (cas uint64, expiry int64, val []byte, ok bool) {
+	data, present := s.backend.Get(tid, key)
+	if !present {
+		return 0, 0, nil, false
+	}
+	expiry, cas, val, okd := decodeItem(data)
+	if !okd || (expiry != 0 && expiry <= s.now()) {
+		return 0, 0, nil, false
+	}
+	return cas, expiry, val, true
+}
+
 // Get returns the value for key. Expired items count as misses and are
 // lazily deleted, as in memcached.
 func (s *Store) Get(tid int, key string) ([]byte, bool) {
+	v, _, ok := s.GetWithCAS(tid, key)
+	return v, ok
+}
+
+// GetWithCAS is Get, additionally returning the item's CAS token (the
+// memcached "gets" unique value, for a later CompareAndSwap).
+func (s *Store) GetWithCAS(tid int, key string) ([]byte, uint64, bool) {
 	data, ok := s.backend.Get(tid, key)
 	if ok {
-		expiry, v, okd := decodeItem(data)
+		expiry, cas, v, okd := decodeItem(data)
 		if okd && (expiry == 0 || expiry > s.now()) {
 			s.stats.Hits.Add(1)
 			s.touch(key)
-			return v, true
+			return v, cas, true
 		}
 		if okd {
-			// Lazy expiration.
-			s.stats.Expirations.Add(1)
-			s.backend.Delete(tid, key)
+			// Lazy expiration, under the stripe so a concurrent writer's
+			// fresh item is never the one deleted.
+			mu := s.stripe(key)
+			mu.Lock()
+			if data2, ok2 := s.backend.Get(tid, key); ok2 {
+				if exp2, _, _, okd2 := decodeItem(data2); okd2 && exp2 != 0 && exp2 <= s.now() {
+					s.stats.Expirations.Add(1)
+					s.backend.Delete(tid, key)
+				}
+			}
+			mu.Unlock()
 		}
 	}
 	s.stats.Misses.Add(1)
-	return nil, false
+	return nil, 0, false
 }
 
-// Set stores key=val with no expiry, evicting the least recently used
-// item if the capacity bound is hit.
-func (s *Store) Set(tid int, key string, val []byte) error {
-	return s.SetTTL(tid, key, val, 0)
-}
-
-// SetTTL stores key=val expiring after ttl (0 = never). The expiry
-// persists with the item and survives crashes.
-func (s *Store) SetTTL(tid int, key string, val []byte, ttl time.Duration) error {
-	var expiry int64
-	if ttl > 0 {
-		expiry = s.now() + int64(ttl)
+// expiryFor converts a relative ttl into an absolute expiry.
+func (s *Store) expiryFor(ttl time.Duration) int64 {
+	if ttl <= 0 {
+		return 0
 	}
-	if err := s.backend.Put(tid, key, encodeItem(expiry, val)); err != nil {
-		return err
+	return s.now() + int64(ttl)
+}
+
+// put stores the item and maintains the LRU. Callers hold the stripe.
+func (s *Store) put(tid int, key string, expiry int64, val []byte) (uint64, error) {
+	tag, err := s.backend.Put(tid, key, encodeItem(expiry, s.casSeq.Add(1), val))
+	if err != nil {
+		return 0, err
 	}
 	s.stats.Sets.Add(1)
 	if s.capacity > 0 {
@@ -197,20 +281,118 @@ func (s *Store) SetTTL(tid int, key string, val []byte, ttl time.Duration) error
 		}
 		s.lruMu.Unlock()
 		if victim != "" {
-			if _, err := s.backend.Delete(tid, victim); err != nil {
-				return err
+			if _, vtag, err := s.backend.Delete(tid, victim); err != nil {
+				return tag, err
+			} else if vtag > tag {
+				tag = vtag
 			}
 			s.stats.Evictions.Add(1)
 		}
 	}
-	return nil
+	return tag, nil
+}
+
+// Set stores key=val with no expiry, evicting the least recently used
+// item if the capacity bound is hit.
+func (s *Store) Set(tid int, key string, val []byte) error {
+	_, err := s.SetTag(tid, key, val, 0)
+	return err
+}
+
+// SetTTL stores key=val expiring after ttl (0 = never).
+func (s *Store) SetTTL(tid int, key string, val []byte, ttl time.Duration) error {
+	_, err := s.SetTag(tid, key, val, ttl)
+	return err
+}
+
+// SetTag is Set/SetTTL returning the write's epoch tag.
+func (s *Store) SetTag(tid int, key string, val []byte, ttl time.Duration) (uint64, error) {
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	return s.put(tid, key, s.expiryFor(ttl), val)
+}
+
+// Add stores key=val only if the key is absent (memcached "add").
+func (s *Store) Add(tid int, key string, val []byte, ttl time.Duration) (stored bool, tag uint64, err error) {
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	if _, _, _, ok := s.live(tid, key); ok {
+		return false, 0, nil
+	}
+	tag, err = s.put(tid, key, s.expiryFor(ttl), val)
+	return err == nil, tag, err
+}
+
+// Replace stores key=val only if the key is present (memcached
+// "replace").
+func (s *Store) Replace(tid int, key string, val []byte, ttl time.Duration) (stored bool, tag uint64, err error) {
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	if _, _, _, ok := s.live(tid, key); !ok {
+		return false, 0, nil
+	}
+	tag, err = s.put(tid, key, s.expiryFor(ttl), val)
+	return err == nil, tag, err
+}
+
+// CompareAndSwap stores key=val only if the item's CAS token still
+// equals cas (memcached "cas", with the token from GetWithCAS).
+func (s *Store) CompareAndSwap(tid int, key string, val []byte, ttl time.Duration, cas uint64) (CASOutcome, uint64, error) {
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	cur, _, _, ok := s.live(tid, key)
+	if !ok {
+		s.stats.CASMisses.Add(1)
+		return CASNotFound, 0, nil
+	}
+	if cur != cas {
+		s.stats.CASMisses.Add(1)
+		return CASExists, 0, nil
+	}
+	tag, err := s.put(tid, key, s.expiryFor(ttl), val)
+	if err != nil {
+		return CASExists, 0, err
+	}
+	s.stats.CASHits.Add(1)
+	return CASStored, tag, nil
+}
+
+// Touch updates key's expiry without changing its value (memcached
+// "touch"). The rewritten item gets a fresh CAS token.
+func (s *Store) Touch(tid int, key string, ttl time.Duration) (found bool, tag uint64, err error) {
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	_, _, val, ok := s.live(tid, key)
+	if !ok {
+		return false, 0, nil
+	}
+	tag, err = s.backend.Put(tid, key, encodeItem(s.expiryFor(ttl), s.casSeq.Add(1), val))
+	if err != nil {
+		return false, 0, err
+	}
+	s.stats.Touches.Add(1)
+	return true, tag, nil
 }
 
 // Delete removes key.
 func (s *Store) Delete(tid int, key string) (bool, error) {
-	ok, err := s.backend.Delete(tid, key)
+	ok, _, err := s.DeleteTag(tid, key)
+	return ok, err
+}
+
+// DeleteTag is Delete returning the deletion's epoch tag.
+func (s *Store) DeleteTag(tid int, key string) (bool, uint64, error) {
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	ok, tag, err := s.backend.Delete(tid, key)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	if ok {
 		s.stats.Deletes.Add(1)
@@ -223,7 +405,27 @@ func (s *Store) Delete(tid int, key string) (bool, error) {
 		}
 		s.lruMu.Unlock()
 	}
-	return ok, nil
+	return ok, tag, nil
+}
+
+// Flush deletes every key (memcached "flush_all"), returning the number
+// removed and the newest deletion tag.
+func (s *Store) Flush(tid int) (int, uint64, error) {
+	n := 0
+	var tag uint64
+	for _, key := range s.backend.Keys(tid) {
+		ok, t, err := s.DeleteTag(tid, key)
+		if err != nil {
+			return n, tag, err
+		}
+		if ok {
+			n++
+		}
+		if t > tag {
+			tag = t
+		}
+	}
+	return n, tag, nil
 }
 
 func (s *Store) touch(key string) {
@@ -241,10 +443,22 @@ func (s *Store) touch(key string) {
 func (s *Store) Keys(tid int) []string { return s.backend.Keys(tid) }
 
 // RecoverMontageStore rebuilds a Montage-backed store after a crash.
+// CAS tokens persist with the items, so the token sequence resumes above
+// the largest survivor and gets/cas pairs span the crash correctly.
 func RecoverMontageStore(sys *core.System, nBuckets int, chunks [][]*core.PBlk, capacity int) (*Store, error) {
 	m, err := pds.RecoverHashMap(sys, nBuckets, chunks)
 	if err != nil {
 		return nil, err
 	}
-	return New(NewMontageBackend(m), capacity), nil
+	s := New(NewMontageBackend(m), capacity)
+	var maxCAS uint64
+	for _, key := range s.backend.Keys(0) {
+		if data, ok := s.backend.Get(0, key); ok {
+			if _, cas, _, okd := decodeItem(data); okd && cas > maxCAS {
+				maxCAS = cas
+			}
+		}
+	}
+	s.casSeq.Store(maxCAS)
+	return s, nil
 }

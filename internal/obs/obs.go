@@ -34,19 +34,19 @@ type CounterID int
 
 const (
 	// Epoch system (internal/epoch).
-	CEpochAdvances CounterID = iota // completed epoch advances
-	CEpochSyncs                     // completed Sync calls
-	CPersistQueued                  // payloads queued for write-back
-	CPersistBoundary                // payloads written back at an epoch boundary
-	CPersistOverflow                // payloads written back on buffer overflow
-	CPersistWorker                  // payloads written back by their own worker (per-op policy, sync helping)
-	CPersistDirect                  // payloads written back immediately (direct policy)
-	CPersistDead                    // queued payloads skipped because they died before write-back
-	CPersistBytes                   // payload bytes handed to the device for write-back
-	CFreeQueued                     // blocks queued for delayed reclamation
-	CFreeReclaimed                  // blocks reclaimed after the two-epoch delay
-	CMindicatorSkips                // boundary scans skipped thanks to the mindicator
-	CMindicatorScans                // boundary scans actually performed
+	CEpochAdvances   CounterID = iota // completed epoch advances
+	CEpochSyncs                       // completed Sync calls
+	CPersistQueued                    // payloads queued for write-back
+	CPersistBoundary                  // payloads written back at an epoch boundary
+	CPersistOverflow                  // payloads written back on buffer overflow
+	CPersistWorker                    // payloads written back by their own worker (per-op policy, sync helping)
+	CPersistDirect                    // payloads written back immediately (direct policy)
+	CPersistDead                      // queued payloads skipped because they died before write-back
+	CPersistBytes                     // payload bytes handed to the device for write-back
+	CFreeQueued                       // blocks queued for delayed reclamation
+	CFreeReclaimed                    // blocks reclaimed after the two-epoch delay
+	CMindicatorSkips                  // boundary scans skipped thanks to the mindicator
+	CMindicatorScans                  // boundary scans actually performed
 
 	// Simulated NVM device (internal/pmem).
 	CWriteBacks     // WriteBack calls (staged cacheline write-backs)
@@ -64,14 +64,14 @@ const (
 	CCrashKeptBytes // bytes committed by a partial crash
 
 	// Montage runtime (internal/core).
-	COps               // operations started (BeginOp)
-	COpRetries         // operations retried after ErrOldSeeNew
-	CRecoveries        // recovery runs
-	CRecoveredBlocks   // decodable blocks found by the recovery sweep
-	CRecoveredLive     // blocks that survived the two-epoch cutoff
-	CRecoverySweepNs   // ns spent sweeping the arena
-	CRecoveryFilterNs  // ns spent picking surviving versions
-	CRecoveryInvalNs   // ns spent invalidating discarded blocks
+	COps              // operations started (BeginOp)
+	COpRetries        // operations retried after ErrOldSeeNew
+	CRecoveries       // recovery runs
+	CRecoveredBlocks  // decodable blocks found by the recovery sweep
+	CRecoveredLive    // blocks that survived the two-epoch cutoff
+	CRecoverySweepNs  // ns spent sweeping the arena
+	CRecoveryFilterNs // ns spent picking surviving versions
+	CRecoveryInvalNs  // ns spent invalidating discarded blocks
 
 	// Allocator (internal/ralloc).
 	CAllocs     // blocks allocated
@@ -80,6 +80,23 @@ const (
 	CFreeBytes  // bytes freed
 	CCarves     // superblocks carved
 
+	// Networked KV front end (internal/server).
+	CNetConns        // connections accepted
+	CNetConnsClosed  // connections closed
+	CNetOpsGet       // get/gets commands served
+	CNetOpsSet       // storage commands served (set/add/replace/cas)
+	CNetOpsDelete    // delete commands served
+	CNetOpsTouch     // touch commands served
+	CNetOpsAdmin     // admin commands served (stats/version/flush_all/...)
+	CNetBytesIn      // protocol bytes read from clients
+	CNetBytesOut     // protocol bytes written to clients
+	CNetProtoErrors  // protocol errors (bad magic, torn lines, bad args)
+	CNetAcksBuffered // write acks sent in buffered mode (durable within two epochs)
+	CNetAcksSync     // write acks sent after a forced Sync
+	CNetAcksEpoch    // write acks parked until the epoch persisted naturally
+	CNetAcksAborted  // parked acks failed by a crash before durability
+	CNetCrashes      // crash injections served while the listener stayed up
+
 	numCounters
 )
 
@@ -87,11 +104,14 @@ const (
 type HistID int
 
 const (
-	HAdvanceNs HistID = iota // epoch advance latency (wall ns)
-	HWaitAllNs               // quiescence (waitAll) stall inside an advance (wall ns)
-	HSyncNs                  // Sync latency (wall ns)
-	HFenceBatch              // staged writes committed per Fence
-	HDrainBatch              // staged writes committed per Drain
+	HAdvanceNs     HistID = iota // epoch advance latency (wall ns)
+	HWaitAllNs                   // quiescence (waitAll) stall inside an advance (wall ns)
+	HSyncNs                      // Sync latency (wall ns)
+	HFenceBatch                  // staged writes committed per Fence
+	HDrainBatch                  // staged writes committed per Drain
+	HAckSyncNs                   // sync-mode ack wait: forced Sync on the request path (wall ns)
+	HAckEpochNs                  // epoch-wait-mode ack park time until the epoch persisted (wall ns)
+	HPipelineDepth               // per-connection response-queue depth sampled at each enqueue
 
 	numHists
 )

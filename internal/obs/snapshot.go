@@ -78,6 +78,25 @@ type AllocStats struct {
 	Carves      uint64 `json:"superblocks_carved"`
 }
 
+// ServerStats are the networked KV front end's counters (internal/server).
+type ServerStats struct {
+	Conns        uint64 `json:"conns"`
+	ConnsClosed  uint64 `json:"conns_closed"`
+	OpsGet       uint64 `json:"ops_get"`
+	OpsSet       uint64 `json:"ops_set"`
+	OpsDelete    uint64 `json:"ops_delete"`
+	OpsTouch     uint64 `json:"ops_touch"`
+	OpsAdmin     uint64 `json:"ops_admin"`
+	BytesIn      uint64 `json:"bytes_in"`
+	BytesOut     uint64 `json:"bytes_out"`
+	ProtoErrors  uint64 `json:"proto_errors"`
+	AcksBuffered uint64 `json:"acks_buffered"`
+	AcksSync     uint64 `json:"acks_sync"`
+	AcksEpoch    uint64 `json:"acks_epoch_wait"`
+	AcksAborted  uint64 `json:"acks_aborted"`
+	Crashes      uint64 `json:"crash_injections"`
+}
+
 // HistStats summarizes one log-bucketed histogram. Percentiles and Max
 // are bucket upper bounds, so they are approximations with at most 2x
 // relative error.
@@ -93,11 +112,14 @@ type HistStats struct {
 
 // LatencyStats groups the histograms.
 type LatencyStats struct {
-	AdvanceNs  HistStats `json:"advance_ns"`
-	WaitAllNs  HistStats `json:"wait_all_ns"`
-	SyncNs     HistStats `json:"sync_ns"`
-	FenceBatch HistStats `json:"fence_batch"`
-	DrainBatch HistStats `json:"drain_batch"`
+	AdvanceNs     HistStats `json:"advance_ns"`
+	WaitAllNs     HistStats `json:"wait_all_ns"`
+	SyncNs        HistStats `json:"sync_ns"`
+	FenceBatch    HistStats `json:"fence_batch"`
+	DrainBatch    HistStats `json:"drain_batch"`
+	AckSyncNs     HistStats `json:"ack_sync_ns"`
+	AckEpochNs    HistStats `json:"ack_epoch_wait_ns"`
+	PipelineDepth HistStats `json:"pipeline_depth"`
 }
 
 // Snapshot is a point-in-time aggregate of a Recorder's counters and
@@ -110,6 +132,7 @@ type Snapshot struct {
 	Device  DeviceStats  `json:"device"`
 	Runtime RuntimeStats `json:"runtime"`
 	Alloc   AllocStats   `json:"alloc"`
+	Server  ServerStats  `json:"server"`
 	Latency LatencyStats `json:"latency"`
 
 	raw *rawStats
@@ -232,12 +255,32 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		BytesInUse:  sub64(c[CAllocBytes], c[CFreeBytes]),
 		Carves:      c[CCarves],
 	}
+	s.Server = ServerStats{
+		Conns:        c[CNetConns],
+		ConnsClosed:  c[CNetConnsClosed],
+		OpsGet:       c[CNetOpsGet],
+		OpsSet:       c[CNetOpsSet],
+		OpsDelete:    c[CNetOpsDelete],
+		OpsTouch:     c[CNetOpsTouch],
+		OpsAdmin:     c[CNetOpsAdmin],
+		BytesIn:      c[CNetBytesIn],
+		BytesOut:     c[CNetBytesOut],
+		ProtoErrors:  c[CNetProtoErrors],
+		AcksBuffered: c[CNetAcksBuffered],
+		AcksSync:     c[CNetAcksSync],
+		AcksEpoch:    c[CNetAcksEpoch],
+		AcksAborted:  c[CNetAcksAborted],
+		Crashes:      c[CNetCrashes],
+	}
 	s.Latency = LatencyStats{
-		AdvanceNs:  summarize(&raw.hists[HAdvanceNs]),
-		WaitAllNs:  summarize(&raw.hists[HWaitAllNs]),
-		SyncNs:     summarize(&raw.hists[HSyncNs]),
-		FenceBatch: summarize(&raw.hists[HFenceBatch]),
-		DrainBatch: summarize(&raw.hists[HDrainBatch]),
+		AdvanceNs:     summarize(&raw.hists[HAdvanceNs]),
+		WaitAllNs:     summarize(&raw.hists[HWaitAllNs]),
+		SyncNs:        summarize(&raw.hists[HSyncNs]),
+		FenceBatch:    summarize(&raw.hists[HFenceBatch]),
+		DrainBatch:    summarize(&raw.hists[HDrainBatch]),
+		AckSyncNs:     summarize(&raw.hists[HAckSyncNs]),
+		AckEpochNs:    summarize(&raw.hists[HAckEpochNs]),
+		PipelineDepth: summarize(&raw.hists[HPipelineDepth]),
 	}
 	return s
 }

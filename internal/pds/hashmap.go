@@ -136,18 +136,27 @@ func (m *HashMap) Get(tid int, key string) ([]byte, bool) {
 }
 
 // Put inserts key=val, or updates the value if the key exists, returning
-// the previous value if any. The operation begins after the bucket lock
-// is acquired (as in Figure 2), which guarantees the old-see-new
-// exception cannot arise: every payload in the bucket was created by an
-// operation that held the lock earlier and therefore in an epoch no newer
-// than ours.
+// the previous value if any.
 func (m *HashMap) Put(tid int, key string, val []byte) (prev []byte, err error) {
+	prev, _, err = m.PutE(tid, key, val)
+	return prev, err
+}
+
+// PutE is Put, additionally returning the epoch in which the update
+// linearized — the tag a caller needs to wait for the write's natural
+// durability (epoch.Sys.WaitPersisted). The operation begins after the
+// bucket lock is acquired (as in Figure 2), which guarantees the
+// old-see-new exception cannot arise: every payload in the bucket was
+// created by an operation that held the lock earlier and therefore in an
+// epoch no newer than ours.
+func (m *HashMap) PutE(tid int, key string, val []byte) (prev []byte, epoch uint64, err error) {
 	clk := m.sys.Clock()
 	clk.ChargeOp(tid)
 	b := m.bucketFor(key)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	err = m.sys.DoOp(tid, func(op core.Op) error {
+		epoch = op.Epoch()
 		var prevNode *mapNode
 		curr := b.head
 		for curr != nil && curr.key < key {
@@ -183,7 +192,7 @@ func (m *HashMap) Put(tid int, key string, val []byte) (prev []byte, err error) 
 		}
 		return nil
 	})
-	return prev, err
+	return prev, epoch, err
 }
 
 // Insert adds key=val only if the key is absent; it reports whether it
@@ -223,12 +232,20 @@ func (m *HashMap) Insert(tid int, key string, val []byte) (inserted bool, err er
 
 // Remove deletes key, reporting whether it was present.
 func (m *HashMap) Remove(tid int, key string) (removed bool, err error) {
+	removed, _, err = m.RemoveE(tid, key)
+	return removed, err
+}
+
+// RemoveE is Remove, additionally returning the epoch in which the
+// deletion linearized (see PutE).
+func (m *HashMap) RemoveE(tid int, key string) (removed bool, epoch uint64, err error) {
 	clk := m.sys.Clock()
 	clk.ChargeOp(tid)
 	b := m.bucketFor(key)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	err = m.sys.DoOp(tid, func(op core.Op) error {
+		epoch = op.Epoch()
 		var prevNode *mapNode
 		curr := b.head
 		for curr != nil && curr.key < key {
@@ -249,7 +266,7 @@ func (m *HashMap) Remove(tid int, key string) (removed bool, err error) {
 		removed = true
 		return nil
 	})
-	return removed, err
+	return removed, epoch, err
 }
 
 // Len counts the stored pairs (O(n); for tests and statistics).

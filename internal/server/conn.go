@@ -1,0 +1,591 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"montage/internal/epoch"
+	"montage/internal/kvstore"
+	"montage/internal/obs"
+	"montage/internal/pmem"
+)
+
+// pipelineCap bounds the per-connection response queue: how many
+// pipelined requests may be executing/parked ahead of the client
+// reading their responses.
+const pipelineCap = 256
+
+// maxRelativeExp is memcached's exptime cutoff: values up to 30 days
+// are relative seconds, larger ones are absolute unix times.
+const maxRelativeExp = 60 * 60 * 24 * 30
+
+// errBadChunk marks an item body missing its CRLF terminator.
+var errBadChunk = errors.New("server: bad data chunk")
+
+// pending is one queued response. A nonzero tag parks the writer until
+// that epoch persists (epoch-wait mode); crashCh aborts the park.
+type pending struct {
+	data    []byte
+	tag     uint64
+	esys    *epoch.Sys
+	crashCh chan struct{}
+	start   int64
+}
+
+// conn is one client connection: an executor (this goroutine, which
+// parses and runs commands) feeding a writer goroutine through resp.
+// The split is what makes epoch-wait cheap: the executor keeps
+// pipelining new requests while earlier acks sit parked in the writer.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	tid  int
+	br   *bufio.Reader
+	mode AckMode
+	resp chan pending
+}
+
+// serveConn runs one connection to completion. Split out from the
+// accept loop so protocol tests can drive it over a net.Pipe.
+func (s *Server) serveConn(nc net.Conn, tid int) {
+	defer nc.Close()
+	c := &conn{
+		srv:  s,
+		nc:   nc,
+		tid:  tid,
+		br:   bufio.NewReaderSize(nc, maxLineLen),
+		mode: s.cfg.DefaultMode,
+		resp: make(chan pending, pipelineCap),
+	}
+	done := make(chan struct{})
+	go c.writer(done)
+	c.loop()
+	close(c.resp)
+	<-done
+}
+
+// writer drains the response queue in order, parking on epoch-wait
+// entries until their epoch persists (or a crash aborts the wait, in
+// which case the client gets a SERVER_ERROR in the response's slot so
+// framing survives). It batches flushes: the buffer is only flushed
+// when the queue momentarily empties.
+func (c *conn) writer(done chan struct{}) {
+	defer close(done)
+	rec := c.srv.rec
+	bw := bufio.NewWriterSize(c.nc, 16<<10)
+	dead := false
+	for p := range c.resp {
+		data := p.data
+		if p.tag != 0 && p.esys != nil {
+			if p.esys.WaitPersisted(p.tag, p.crashCh) {
+				rec.Inc(c.tid, obs.CNetAcksEpoch)
+				rec.ObserveSince(c.tid, obs.HAckEpochNs, p.start)
+			} else {
+				rec.Inc(c.tid, obs.CNetAcksAborted)
+				data = respCrashLost
+			}
+		}
+		if dead || len(data) == 0 {
+			continue
+		}
+		if _, err := bw.Write(data); err != nil {
+			dead = true
+			continue
+		}
+		rec.Add(c.tid, obs.CNetBytesOut, uint64(len(data)))
+		if len(c.resp) == 0 && bw.Flush() != nil {
+			dead = true
+		}
+	}
+	if !dead {
+		bw.Flush()
+	}
+}
+
+// enqueue hands a response to the writer, sampling the pipeline depth.
+func (c *conn) enqueue(p pending) {
+	c.srv.rec.Observe(c.tid, obs.HPipelineDepth, uint64(len(c.resp)))
+	c.resp <- p
+}
+
+// protoErr reports a recoverable protocol error on this connection.
+func (c *conn) protoErr(resp []byte) {
+	c.srv.rec.Inc(c.tid, obs.CNetProtoErrors)
+	c.enqueue(pending{data: resp})
+}
+
+// loop is the executor: read a command line, dispatch, repeat.
+func (c *conn) loop() {
+	for {
+		line, n, err := readLine(c.br)
+		c.srv.rec.Add(c.tid, obs.CNetBytesIn, uint64(n))
+		if err != nil {
+			if errors.Is(err, errProtocol) {
+				// The line overflowed the buffer: the request boundary is
+				// lost, so report and hang up.
+				c.protoErr(serverError("line too long"))
+			}
+			return
+		}
+		fields := splitFields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		quit, err := c.dispatch(fields)
+		if quit || err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one parsed command. A returned error (or quit) closes
+// the connection.
+func (c *conn) dispatch(fields []string) (quit bool, err error) {
+	rec := c.srv.rec
+	verb, args := fields[0], fields[1:]
+	switch verb {
+	case "get", "gets":
+		rec.Inc(c.tid, obs.CNetOpsGet)
+		return false, c.doGet(args, verb == "gets")
+
+	case "set", "add", "replace", "cas":
+		rec.Inc(c.tid, obs.CNetOpsSet)
+		return false, c.doStore(verb, args)
+
+	case "delete":
+		rec.Inc(c.tid, obs.CNetOpsDelete)
+		c.doDelete(args)
+		return false, nil
+
+	case "touch":
+		rec.Inc(c.tid, obs.CNetOpsTouch)
+		c.doTouch(args)
+		return false, nil
+
+	case "flush_all":
+		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		c.doFlushAll(args)
+		return false, nil
+
+	case "stats":
+		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		c.execRead(func(r *rt) []byte { return c.statsBody(r) })
+		return false, nil
+
+	case "version":
+		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		c.enqueue(pending{data: []byte("VERSION montage/0.2\r\n")})
+		return false, nil
+
+	case "verbosity":
+		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		if !hasNoreply(args) {
+			c.enqueue(pending{data: respOK})
+		}
+		return false, nil
+
+	case "sync":
+		// Extension: force all completed operations durable now.
+		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		c.execRead(func(r *rt) []byte {
+			if r.sys != nil {
+				r.sys.Sync(c.tid)
+			}
+			return respOK
+		})
+		return false, nil
+
+	case "durability":
+		// Extension: query or set this connection's ack mode.
+		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		if len(args) == 0 {
+			c.enqueue(pending{data: []byte("DURABILITY " + c.mode.String() + "\r\n")})
+			return false, nil
+		}
+		noreply := hasNoreply(args)
+		if noreply {
+			args = args[:len(args)-1]
+		}
+		if len(args) != 1 {
+			c.protoErr(clientError("bad command line format"))
+			return false, nil
+		}
+		mode, perr := ParseAckMode(args[0])
+		if perr != nil {
+			c.protoErr(clientError(perr.Error()))
+			return false, nil
+		}
+		c.mode = mode
+		if !noreply {
+			c.enqueue(pending{data: respOK})
+		}
+		return false, nil
+
+	case "crash":
+		// Extension (gated): simulated power failure + in-place recovery.
+		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		if !c.srv.cfg.AllowCrash {
+			c.protoErr(respError)
+			return false, nil
+		}
+		mode := pmem.CrashDropAll
+		if len(args) == 1 && args[0] == "partial" {
+			mode = pmem.CrashPartial
+		}
+		// Deliberately NOT under the read lock: Crash takes the write lock.
+		if _, cerr := c.srv.Crash(mode); cerr != nil {
+			c.enqueue(pending{data: serverError(cerr.Error())})
+			return false, nil
+		}
+		c.enqueue(pending{data: respOK})
+		return false, nil
+
+	case "quit":
+		return true, nil
+
+	default:
+		c.protoErr(respError)
+		return false, nil
+	}
+}
+
+// execRead runs f against the current runtime under the read lock and
+// queues its response.
+func (c *conn) execRead(f func(r *rt) []byte) {
+	c.srv.mu.RLock()
+	data := f(c.srv.cur)
+	c.srv.mu.RUnlock()
+	c.enqueue(pending{data: data})
+}
+
+// execWrite runs a mutating command against the current runtime and
+// applies the connection's durability-ack mode to its response:
+// buffered queues the ack immediately, sync forces a Sync first, and
+// epoch-wait queues the ack tagged with the write's epoch so the writer
+// parks it until that epoch persists. noreply skips both the response
+// and the durability work.
+func (c *conn) execWrite(noreply bool, f func(r *rt) ([]byte, uint64)) {
+	s := c.srv
+	s.mu.RLock()
+	r := s.cur
+	data, tag := f(r)
+	p := pending{data: data}
+	if !noreply && tag != 0 && r.esys != nil {
+		switch c.mode {
+		case AckSync:
+			st := s.rec.Start()
+			r.sys.Sync(c.tid)
+			s.rec.ObserveSince(c.tid, obs.HAckSyncNs, st)
+			s.rec.Inc(c.tid, obs.CNetAcksSync)
+		case AckEpochWait:
+			p.tag, p.esys, p.crashCh = tag, r.esys, r.crashCh
+			p.start = s.rec.Start()
+		default:
+			s.rec.Inc(c.tid, obs.CNetAcksBuffered)
+		}
+	}
+	s.mu.RUnlock()
+	if noreply {
+		return
+	}
+	c.enqueue(p)
+}
+
+// doGet serves get/gets over any number of keys.
+func (c *conn) doGet(keys []string, withCAS bool) error {
+	if len(keys) == 0 {
+		c.protoErr(clientError("bad command line format"))
+		return nil
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			c.protoErr(clientError("bad key"))
+			return nil
+		}
+	}
+	c.execRead(func(r *rt) []byte {
+		var buf bytes.Buffer
+		for _, k := range keys {
+			v, cas, ok := r.store.GetWithCAS(c.tid, k)
+			if !ok {
+				continue
+			}
+			flags, data := decodeValue(v)
+			if withCAS {
+				fmt.Fprintf(&buf, "VALUE %s %d %d %d\r\n", k, flags, len(data), cas)
+			} else {
+				fmt.Fprintf(&buf, "VALUE %s %d %d\r\n", k, flags, len(data))
+			}
+			buf.Write(data)
+			buf.WriteString("\r\n")
+		}
+		buf.Write(respEnd)
+		return buf.Bytes()
+	})
+	return nil
+}
+
+// doStore serves set/add/replace/cas. A returned error closes the
+// connection (framing is unrecoverable).
+func (c *conn) doStore(verb string, args []string) error {
+	a, perr := parseStorage(args, verb == "cas")
+	if perr != nil {
+		// The declared body length is unknown; stay on the line boundary
+		// and let any body bytes fail as commands.
+		c.protoErr(clientError(perr.Error()))
+		return nil
+	}
+	if a.bytes > c.srv.cfg.MaxItemSize {
+		if a.bytes+2 > discardCap {
+			c.protoErr(serverError("object too large for cache"))
+			return errProtocol
+		}
+		m, derr := c.br.Discard(a.bytes + 2)
+		c.srv.rec.Add(c.tid, obs.CNetBytesIn, uint64(m))
+		if derr != nil {
+			return derr
+		}
+		c.srv.rec.Inc(c.tid, obs.CNetProtoErrors)
+		if !a.noreply {
+			c.enqueue(pending{data: respTooLarge})
+		}
+		return nil
+	}
+	body, err := c.readBody(a.bytes)
+	if errors.Is(err, errBadChunk) {
+		c.protoErr(clientError("bad data chunk"))
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	enc := encodeValue(a.flags, body)
+	ttl := ttlFor(a.exptime)
+	c.execWrite(a.noreply, func(r *rt) ([]byte, uint64) {
+		switch verb {
+		case "set":
+			tag, err := r.store.SetTag(c.tid, a.key, enc, ttl)
+			if err != nil {
+				return serverError(err.Error()), 0
+			}
+			return respStored, tag
+		case "add":
+			stored, tag, err := r.store.Add(c.tid, a.key, enc, ttl)
+			if err != nil {
+				return serverError(err.Error()), 0
+			}
+			if !stored {
+				return respNotStored, 0
+			}
+			return respStored, tag
+		case "replace":
+			stored, tag, err := r.store.Replace(c.tid, a.key, enc, ttl)
+			if err != nil {
+				return serverError(err.Error()), 0
+			}
+			if !stored {
+				return respNotStored, 0
+			}
+			return respStored, tag
+		default: // cas
+			out, tag, err := r.store.CompareAndSwap(c.tid, a.key, enc, ttl, a.cas)
+			if err != nil {
+				return serverError(err.Error()), 0
+			}
+			switch out {
+			case kvstore.CASStored:
+				return respStored, tag
+			case kvstore.CASExists:
+				return respExists, 0
+			default:
+				return respNotFound, 0
+			}
+		}
+	})
+	return nil
+}
+
+// doDelete serves "delete <key> [0] [noreply]" (the legacy time arg is
+// accepted and ignored, as memcached does).
+func (c *conn) doDelete(args []string) {
+	noreply := hasNoreply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) == 2 && args[1] == "0" {
+		args = args[:1]
+	}
+	if len(args) != 1 || !validKey(args[0]) {
+		c.protoErr(clientError("bad command line format"))
+		return
+	}
+	key := args[0]
+	c.execWrite(noreply, func(r *rt) ([]byte, uint64) {
+		ok, tag, err := r.store.DeleteTag(c.tid, key)
+		if err != nil {
+			return serverError(err.Error()), 0
+		}
+		if !ok {
+			return respNotFound, 0
+		}
+		return respDeleted, tag
+	})
+}
+
+// doTouch serves "touch <key> <exptime> [noreply]".
+func (c *conn) doTouch(args []string) {
+	noreply := hasNoreply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) != 2 || !validKey(args[0]) {
+		c.protoErr(clientError("bad command line format"))
+		return
+	}
+	exptime, perr := strconv.ParseInt(args[1], 10, 64)
+	if perr != nil {
+		c.protoErr(clientError("bad exptime"))
+		return
+	}
+	key, ttl := args[0], ttlFor(exptime)
+	c.execWrite(noreply, func(r *rt) ([]byte, uint64) {
+		found, tag, err := r.store.Touch(c.tid, key, ttl)
+		if err != nil {
+			return serverError(err.Error()), 0
+		}
+		if !found {
+			return respNotFound, 0
+		}
+		return respTouched, tag
+	})
+}
+
+// doFlushAll serves "flush_all [delay] [noreply]"; delayed flushes are
+// applied immediately.
+func (c *conn) doFlushAll(args []string) {
+	noreply := hasNoreply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) > 1 {
+		c.protoErr(clientError("bad command line format"))
+		return
+	}
+	if len(args) == 1 {
+		if _, perr := strconv.ParseInt(args[0], 10, 64); perr != nil {
+			c.protoErr(clientError("bad flush delay"))
+			return
+		}
+	}
+	c.execWrite(noreply, func(r *rt) ([]byte, uint64) {
+		_, tag, err := r.store.Flush(c.tid)
+		if err != nil {
+			return serverError(err.Error()), 0
+		}
+		return respOK, tag
+	})
+}
+
+// statsBody renders the stats command: cache counters, the epoch clock
+// and its persistence watermark, and the server's ack/pipeline metrics.
+// Called under the read lock.
+func (c *conn) statsBody(r *rt) []byte {
+	var buf bytes.Buffer
+	put := func(k string, v interface{}) { fmt.Fprintf(&buf, "STAT %s %v\r\n", k, v) }
+
+	put("version", "montage/0.2")
+	put("backend", c.srv.cfg.Backend)
+	put("durability", c.mode.String())
+	st := r.store.Stats()
+	put("get_hits", st.Hits.Load())
+	put("get_misses", st.Misses.Load())
+	put("cmd_set", st.Sets.Load())
+	put("delete_hits", st.Deletes.Load())
+	put("touch_hits", st.Touches.Load())
+	put("cas_hits", st.CASHits.Load())
+	put("cas_badval", st.CASMisses.Load())
+	put("evictions", st.Evictions.Load())
+	put("expired_unfetched", st.Expirations.Load())
+	put("curr_items", len(r.store.Keys(c.tid)))
+	if r.esys != nil {
+		put("epoch", r.esys.Epoch())
+		put("persisted_epoch", r.esys.PersistedEpoch())
+	}
+	if snap := c.srv.rec.Snapshot(); snap.Enabled {
+		put("curr_connections", snap.Server.Conns-snap.Server.ConnsClosed)
+		put("total_connections", snap.Server.Conns)
+		put("bytes_read", snap.Server.BytesIn)
+		put("bytes_written", snap.Server.BytesOut)
+		put("proto_errors", snap.Server.ProtoErrors)
+		put("acks_buffered", snap.Server.AcksBuffered)
+		put("acks_sync", snap.Server.AcksSync)
+		put("acks_epoch_wait", snap.Server.AcksEpoch)
+		put("acks_aborted", snap.Server.AcksAborted)
+		put("crash_injections", snap.Server.Crashes)
+		put("ack_sync_p99_ns", snap.Latency.AckSyncNs.P99)
+		put("ack_epoch_wait_p99_ns", snap.Latency.AckEpochNs.P99)
+		put("pipeline_depth_p99", snap.Latency.PipelineDepth.P99)
+	}
+	buf.Write(respEnd)
+	return buf.Bytes()
+}
+
+// readBody reads an item body plus its CRLF terminator.
+func (c *conn) readBody(n int) ([]byte, error) {
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, err
+	}
+	c.srv.rec.Add(c.tid, obs.CNetBytesIn, uint64(n+2))
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, errBadChunk
+	}
+	return buf[:n], nil
+}
+
+func hasNoreply(args []string) bool {
+	return len(args) > 0 && args[len(args)-1] == "noreply"
+}
+
+// ttlFor maps a memcached exptime to a store TTL: 0 never expires,
+// negative is already expired, small values are relative seconds, large
+// ones absolute unix times.
+func ttlFor(exptime int64) time.Duration {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return time.Nanosecond
+	case exptime <= maxRelativeExp:
+		return time.Duration(exptime) * time.Second
+	default:
+		d := time.Until(time.Unix(exptime, 0))
+		if d <= 0 {
+			return time.Nanosecond
+		}
+		return d
+	}
+}
+
+// encodeValue prefixes an item's data with its 32-bit client flags, so
+// flags survive in the store (and across crashes) with the value.
+func encodeValue(flags uint32, data []byte) []byte {
+	buf := make([]byte, 4+len(data))
+	binary.LittleEndian.PutUint32(buf, flags)
+	copy(buf[4:], data)
+	return buf
+}
+
+func decodeValue(v []byte) (uint32, []byte) {
+	if len(v) < 4 {
+		return 0, v
+	}
+	return binary.LittleEndian.Uint32(v), v[4:]
+}

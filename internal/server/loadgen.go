@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"math/bits"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"montage/internal/ycsb"
+)
+
+// LoadConfig configures RunLoad, the multi-connection YCSB load
+// generator behind cmd/montage-load and the over-the-wire benchmark.
+type LoadConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns is the number of concurrent connections (default 1).
+	Conns int
+	// Duration is the timed-phase length (default 5s).
+	Duration time.Duration
+	// Records is the YCSB key-space size (default 1000). Each connection
+	// preloads its shard before the timed phase.
+	Records uint64
+	// ValueSize is the stored value length (default 100, YCSB's field
+	// size ballpark).
+	ValueSize int
+	// ReadFrac is the read fraction; negative means YCSB-A (0.5).
+	ReadFrac float64
+	// Mode is the durability-ack mode each connection requests.
+	Mode AckMode
+	// Pipeline is the number of outstanding requests per connection
+	// (default 1, classic request-response).
+	Pipeline int
+	// Seed seeds the workload generators (per-connection offsets are
+	// derived from it).
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Conns == 0 {
+		c.Conns = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Records == 0 {
+		c.Records = 1000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 100
+	}
+	if c.ReadFrac < 0 {
+		c.ReadFrac = 0.5
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 1
+	}
+	return c
+}
+
+// LoadResult is RunLoad's aggregate: acked operations, their rate, and
+// client-observed latency percentiles (log2-bucketed, so bounds carry
+// at most 2x relative error, like the runtime's own histograms).
+type LoadResult struct {
+	Ops       uint64 // operations acknowledged
+	Reads     uint64
+	Writes    uint64
+	Errors    uint64 // SERVER_ERROR acks (e.g. crash-aborted writes)
+	Elapsed   time.Duration
+	OpsPerSec float64
+	P50       time.Duration
+	P90       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+}
+
+func (r LoadResult) String() string {
+	return fmt.Sprintf("%d ops in %v (%.0f ops/s, %d errors) latency p50=%v p90=%v p99=%v max=%v",
+		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Errors,
+		r.P50, r.P90, r.P99, r.Max)
+}
+
+// latHist is a log2-bucketed latency histogram (bucket i holds values
+// of bit length i), mergeable across connections.
+type latHist struct {
+	count   uint64
+	sum     uint64
+	buckets [64]uint64
+}
+
+func (h *latHist) add(d time.Duration) {
+	v := uint64(d)
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)&63]++
+}
+
+func (h *latHist) merge(o *latHist) {
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+func (h *latHist) percentile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for b, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			return time.Duration(uint64(1)<<uint(b) - 1)
+		}
+	}
+	return 0
+}
+
+func (h *latHist) max() time.Duration {
+	for b := len(h.buckets) - 1; b >= 0; b-- {
+		if h.buckets[b] > 0 {
+			return time.Duration(uint64(1)<<uint(b) - 1)
+		}
+	}
+	return 0
+}
+
+// connStats is one connection's tally.
+type connStats struct {
+	ops, reads, writes, errors uint64
+	lat                        latHist
+}
+
+// reqToken tracks one in-flight pipelined request.
+type reqToken struct {
+	kind  ycsb.OpKind
+	start time.Time
+}
+
+// RunLoad preloads the key space, runs cfg.Conns connections of
+// YCSB-style load for cfg.Duration, and aggregates acked throughput and
+// client-observed latency.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	stats := make([]connStats, cfg.Conns)
+	errs := make([]error, cfg.Conns)
+	start := make(chan struct{})
+	ready := make(chan struct{}, cfg.Conns)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var once sync.Once
+			signalReady := func() { once.Do(func() { ready <- struct{}{} }) }
+			// A worker that fails before the start barrier must still
+			// signal, or the barrier would stall instead of reporting.
+			defer signalReady()
+			errs[id] = runLoadConn(cfg, id, &stats[id], signalReady, start)
+		}(i)
+	}
+	// Wait for every connection to finish preloading, then start the
+	// timed phase together.
+	for i := 0; i < cfg.Conns; i++ {
+		select {
+		case <-ready:
+		case <-time.After(2 * time.Minute):
+			return nil, fmt.Errorf("loadgen: preload stalled")
+		}
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := &LoadResult{Elapsed: elapsed}
+	var lat latHist
+	for i := range stats {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("loadgen conn %d: %w", i, errs[i])
+		}
+		res.Ops += stats[i].ops
+		res.Reads += stats[i].reads
+		res.Writes += stats[i].writes
+		res.Errors += stats[i].errors
+		lat.merge(&stats[i].lat)
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	res.P50 = lat.percentile(0.50)
+	res.P90 = lat.percentile(0.90)
+	res.P99 = lat.percentile(0.99)
+	res.Max = lat.max()
+	return res, nil
+}
+
+// runLoadConn is one connection's worker: handshake, preload its key
+// shard, then pump pipelined requests until the deadline while a reader
+// goroutine matches responses to in-flight tokens.
+func runLoadConn(cfg LoadConfig, id int, st *connStats, signalReady func(), start <-chan struct{}) error {
+	// Dial and handshake, retrying while the server's connection slots
+	// are full (a previous load round's connections drain asynchronously
+	// and hold their slots for a moment after the client side closes).
+	var nc net.Conn
+	var br *bufio.Reader
+	var bw *bufio.Writer
+	for attempt := 0; ; attempt++ {
+		var err error
+		nc, err = net.Dial("tcp", cfg.Addr)
+		if err != nil {
+			return err
+		}
+		br = bufio.NewReaderSize(nc, 64<<10)
+		bw = bufio.NewWriterSize(nc, 64<<10)
+		fmt.Fprintf(bw, "durability %s\r\n", cfg.Mode)
+		if err := bw.Flush(); err != nil {
+			nc.Close()
+			return err
+		}
+		line, err := readAck(br)
+		if err == nil && line == "OK" {
+			break
+		}
+		nc.Close()
+		if attempt >= 100 || (err == nil && !strings.HasPrefix(line, "SERVER_ERROR too many connections")) {
+			return fmt.Errorf("durability handshake: %q %v", line, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer nc.Close()
+	value := strings.Repeat("x", cfg.ValueSize)
+
+	// Preload this connection's shard of the key space with noreply sets
+	// (a version roundtrip is the completion barrier).
+	for k := uint64(id); k < cfg.Records; k += uint64(cfg.Conns) {
+		fmt.Fprintf(bw, "set %s 0 0 %d noreply\r\n%s\r\n", ycsb.Key(k), len(value), value)
+	}
+	fmt.Fprintf(bw, "version\r\n")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if line, err := readAck(br); err != nil || !strings.HasPrefix(line, "VERSION") {
+		return fmt.Errorf("preload barrier: %q %v", line, err)
+	}
+
+	signalReady()
+	<-start
+
+	w := ycsb.NewWorkload(cfg.Records, cfg.ReadFrac, cfg.Seed+int64(id)*7919)
+	inflight := make(chan reqToken, cfg.Pipeline)
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- loadReader(br, inflight, st) }()
+
+	deadline := time.Now().Add(cfg.Duration)
+	sinceFlush := 0
+	var sendErr error
+	for time.Now().Before(deadline) {
+		op := w.Next()
+		if op.Kind == ycsb.Read {
+			fmt.Fprintf(bw, "get %s\r\n", op.Key)
+		} else {
+			fmt.Fprintf(bw, "set %s 0 0 %d\r\n%s\r\n", op.Key, len(value), value)
+		}
+		tok := reqToken{kind: op.Kind, start: time.Now()}
+		select {
+		case inflight <- tok:
+			sinceFlush++
+			if sinceFlush >= 16 {
+				if sendErr = bw.Flush(); sendErr != nil {
+					break
+				}
+				sinceFlush = 0
+			}
+		default:
+			// The pipeline is full: everything buffered must reach the
+			// server before we block, or the reader starves.
+			if sendErr = bw.Flush(); sendErr != nil {
+				break
+			}
+			sinceFlush = 0
+			inflight <- tok
+		}
+	}
+	if sendErr == nil {
+		sendErr = bw.Flush()
+	}
+	close(inflight)
+	if rerr := <-readerDone; rerr != nil && sendErr == nil {
+		sendErr = rerr
+	}
+	return sendErr
+}
+
+// loadReader drains responses for every in-flight token, recording
+// latency and classifying acks.
+func loadReader(br *bufio.Reader, inflight <-chan reqToken, st *connStats) error {
+	for tok := range inflight {
+		if tok.kind == ycsb.Read {
+			for {
+				line, err := readAck(br)
+				if err != nil {
+					return err
+				}
+				if line == "END" {
+					break
+				}
+				if strings.HasPrefix(line, "VALUE ") {
+					// The data line follows; consume it as a unit.
+					if _, err := readAck(br); err != nil {
+						return err
+					}
+					continue
+				}
+				return fmt.Errorf("unexpected get response %q", line)
+			}
+			st.reads++
+			st.ops++
+		} else {
+			line, err := readAck(br)
+			if err != nil {
+				return err
+			}
+			switch {
+			case line == "STORED":
+				st.writes++
+				st.ops++
+			case strings.HasPrefix(line, "SERVER_ERROR"):
+				st.errors++
+			default:
+				return fmt.Errorf("unexpected set response %q", line)
+			}
+		}
+		st.lat.add(time.Since(tok.start))
+	}
+	return nil
+}
+
+func readAck(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

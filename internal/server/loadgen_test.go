@@ -1,0 +1,42 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunLoadAgainstServer(t *testing.T) {
+	s := newTestServer(t, Config{MaxConns: 8})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+
+	res, err := RunLoad(LoadConfig{
+		Addr:     addr.String(),
+		Conns:    3,
+		Duration: 200 * time.Millisecond,
+		Records:  64,
+		Pipeline: 8,
+		Mode:     AckEpochWait,
+		ReadFrac: -1, // YCSB-A
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Reads == 0 || res.Writes == 0 {
+		t.Fatalf("load saw no traffic: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load errors: %+v", res)
+	}
+	if res.P50 == 0 || res.Max < res.P50 {
+		t.Fatalf("latency summary broken: %+v", res)
+	}
+	// Every write was acked in epoch-wait mode.
+	snap := s.Recorder().Snapshot()
+	if snap.Server.AcksEpoch != res.Writes {
+		t.Fatalf("epoch-wait acks %d != acked writes %d", snap.Server.AcksEpoch, res.Writes)
+	}
+}

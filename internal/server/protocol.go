@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Protocol limits. Keys and command lines follow memcached's text
+// protocol; the item-size bound is configurable (Config.MaxItemSize).
+const (
+	// maxKeyLen is memcached's key-length limit.
+	maxKeyLen = 250
+	// maxLineLen bounds one command line (multi-key gets included). A
+	// longer line cannot be reframed reliably, so it closes the
+	// connection.
+	maxLineLen = 8192
+	// discardCap bounds how much of an oversized item body the server is
+	// willing to swallow to keep the connection framed. Larger declared
+	// sizes close the connection instead.
+	discardCap = 16 << 20
+)
+
+// Canonical protocol responses.
+var (
+	respStored      = []byte("STORED\r\n")
+	respNotStored   = []byte("NOT_STORED\r\n")
+	respExists      = []byte("EXISTS\r\n")
+	respNotFound    = []byte("NOT_FOUND\r\n")
+	respDeleted     = []byte("DELETED\r\n")
+	respTouched     = []byte("TOUCHED\r\n")
+	respOK          = []byte("OK\r\n")
+	respEnd         = []byte("END\r\n")
+	respError       = []byte("ERROR\r\n")
+	respCrashLost   = []byte("SERVER_ERROR crash: write may not be durable\r\n")
+	respTooLarge    = []byte("SERVER_ERROR object too large for cache\r\n")
+	respTooManyConn = []byte("SERVER_ERROR too many connections\r\n")
+)
+
+var (
+	// errProtocol marks unrecoverable framing damage: the connection must
+	// close because the next request boundary is unknown.
+	errProtocol = errors.New("server: protocol framing error")
+	// errQuit is the clean "quit" exit from the command loop.
+	errQuit = errors.New("server: client quit")
+)
+
+func clientError(msg string) []byte {
+	return []byte("CLIENT_ERROR " + msg + "\r\n")
+}
+
+func serverError(msg string) []byte {
+	return []byte("SERVER_ERROR " + msg + "\r\n")
+}
+
+// readLine reads one CRLF-terminated command line (tolerating bare LF),
+// returning it without the terminator. Lines longer than the reader's
+// buffer are unrecoverable framing damage.
+func readLine(br *bufio.Reader) ([]byte, int, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return nil, len(line), errProtocol
+		}
+		return nil, len(line), err
+	}
+	n := len(line)
+	line = line[:len(line)-1]
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	return line, n, nil
+}
+
+// fields splits a command line on single spaces, memcached-style.
+func splitFields(line []byte) []string {
+	var out []string
+	for _, f := range bytes.Fields(line) {
+		out = append(out, string(f))
+	}
+	return out
+}
+
+// validKey enforces memcached's key rules: 1..250 bytes, no whitespace
+// or control characters (whitespace is excluded by tokenization already).
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// storageArgs is the parsed header of a storage command
+// (set/add/replace/cas).
+type storageArgs struct {
+	key     string
+	flags   uint32
+	exptime int64
+	bytes   int
+	cas     uint64 // cas command only
+	noreply bool
+}
+
+// parseStorage parses "<verb> <key> <flags> <exptime> <bytes> [casid]
+// [noreply]" fields (verb already stripped).
+func parseStorage(fields []string, wantCAS bool) (storageArgs, error) {
+	var a storageArgs
+	n := 4
+	if wantCAS {
+		n = 5
+	}
+	if len(fields) == n+1 && fields[n] == "noreply" {
+		a.noreply = true
+		fields = fields[:n]
+	}
+	if len(fields) != n {
+		return a, fmt.Errorf("bad command line format")
+	}
+	a.key = fields[0]
+	if !validKey(a.key) {
+		return a, fmt.Errorf("bad key")
+	}
+	flags, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return a, fmt.Errorf("bad flags")
+	}
+	a.flags = uint32(flags)
+	a.exptime, err = strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return a, fmt.Errorf("bad exptime")
+	}
+	sz, err := strconv.ParseUint(fields[3], 10, 31)
+	if err != nil {
+		return a, fmt.Errorf("bad data length")
+	}
+	a.bytes = int(sz)
+	if wantCAS {
+		a.cas, err = strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return a, fmt.Errorf("bad cas value")
+		}
+	}
+	return a, nil
+}

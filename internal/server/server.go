@@ -1,0 +1,432 @@
+// Package server puts a networked front end over the in-process
+// kvstore: a TCP server speaking the memcached text protocol
+// (get/gets/set/add/replace/cas/delete/touch/flush_all/stats/version/
+// quit, with noreply and request pipelining) whose items live in a
+// persistent Montage pool.
+//
+// The headline feature is epoch-aware durability acknowledgement.
+// Montage makes every completed operation durable within two epoch
+// advances, so a server has three defensible moments to ack a write:
+//
+//   - buffered: ack as soon as the operation linearizes. The write is
+//     durable within two epochs (the paper's buffered durable
+//     linearizability); a crash inside that window may lose it.
+//   - sync: force a full Sync (two epoch advances) before the ack, like
+//     a write(2)+fsync(2) pair. Strongest guarantee, serializes every
+//     connection through the epoch clock.
+//   - epoch-wait: park the ack until the write's epoch persists
+//     naturally. The connection's pipeline keeps executing; only the
+//     acks trail behind by at most two epoch lengths. Durability is
+//     batched across all connections by the shared epoch clock, so
+//     throughput scales where sync cannot.
+//
+// Each connection picks its mode with the "durability <mode>" extension
+// command; the server sets the default. A "crash [partial]" extension
+// (off by default) injects a simulated power failure and recovers in
+// place while the listener stays up, so tests can watch acked writes
+// survive.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montage/internal/baselines"
+	"montage/internal/core"
+	"montage/internal/epoch"
+	"montage/internal/kvstore"
+	"montage/internal/obs"
+	"montage/internal/pds"
+	"montage/internal/pmem"
+)
+
+// AckMode is a connection's durability-acknowledgement mode.
+type AckMode int
+
+const (
+	// AckBuffered acks when the operation linearizes (durable within two
+	// epochs).
+	AckBuffered AckMode = iota
+	// AckSync forces a Sync before each write's ack.
+	AckSync
+	// AckEpochWait parks each write's ack until its epoch has persisted.
+	AckEpochWait
+)
+
+// ParseAckMode parses a mode name as used on the command line and in
+// the "durability" protocol extension.
+func ParseAckMode(s string) (AckMode, error) {
+	switch s {
+	case "buffered":
+		return AckBuffered, nil
+	case "sync":
+		return AckSync, nil
+	case "epoch-wait", "epoch_wait", "epochwait":
+		return AckEpochWait, nil
+	}
+	return 0, fmt.Errorf("unknown durability mode %q (want buffered, sync, or epoch-wait)", s)
+}
+
+func (m AckMode) String() string {
+	switch m {
+	case AckSync:
+		return "sync"
+	case AckEpochWait:
+		return "epoch-wait"
+	default:
+		return "buffered"
+	}
+}
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:11211"; ":0" picks
+	// a free port).
+	Addr string
+	// PoolPath, when set, is a device image to reopen (if it exists) and
+	// to save on Shutdown.
+	PoolPath string
+	// Backend selects the item store: "montage" (persistent, default),
+	// "dram" or "nvm" (transient references; every mode degrades to
+	// buffered with no durability).
+	Backend string
+	// ArenaSize is the persistent arena size (default 64 MiB).
+	ArenaSize int
+	// Buckets is the index bucket count (default 4096).
+	Buckets int
+	// Capacity bounds the item count with LRU eviction (0 = unbounded).
+	Capacity int
+	// MaxConns bounds concurrent connections; each holds a Montage
+	// thread id (default 64).
+	MaxConns int
+	// EpochLength is the background epoch advance period (default 10ms,
+	// the paper's choice). Shorter epochs shrink the epoch-wait ack
+	// latency; longer ones batch more work per advance.
+	EpochLength time.Duration
+	// PersistDelay, when nonzero, emulates the real device's persist-
+	// fence latency: every epoch advance sleeps this long in wall-clock
+	// time after draining write-backs. The simulated device is free on
+	// the wall clock, which flatters sync-mode acks; enabling a delay
+	// makes the three ack modes pay their real relative costs.
+	PersistDelay time.Duration
+	// DefaultMode is the durability-ack mode new connections start in.
+	DefaultMode AckMode
+	// MaxItemSize bounds one item's value (default 1 MiB).
+	MaxItemSize int
+	// AllowCrash enables the "crash" protocol extension.
+	AllowCrash bool
+	// Recorder, when non-nil, receives the server's counters; when nil
+	// the underlying system's private recorder is used.
+	Recorder *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Backend == "" {
+		c.Backend = "montage"
+	}
+	if c.ArenaSize == 0 {
+		c.ArenaSize = 64 << 20
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 4096
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = 64
+	}
+	if c.EpochLength == 0 {
+		c.EpochLength = 10 * time.Millisecond
+	}
+	if c.MaxItemSize == 0 {
+		c.MaxItemSize = 1 << 20
+	}
+	return c
+}
+
+// maxThreads is the Montage thread-id space: one tid per connection
+// slot, one admin tid (recovery, stats, shutdown sync), one spare.
+func (c Config) maxThreads() int { return c.MaxConns + 2 }
+
+func (c Config) coreConfig() core.Config {
+	return core.Config{
+		ArenaSize:  c.ArenaSize,
+		MaxThreads: c.maxThreads(),
+		Epoch:      epoch.Config{EpochLength: c.EpochLength, PersistDelay: c.PersistDelay},
+		Recorder:   c.Recorder,
+	}
+}
+
+// rt is the crash-replaceable half of the server: the Montage system,
+// the store over it, and the abort channel wired to every response
+// parked on this incarnation's epoch clock. Crash swaps the whole
+// bundle under the server's write lock.
+type rt struct {
+	sys     *core.System // nil for transient backends
+	esys    *epoch.Sys   // nil for transient backends
+	store   *kvstore.Store
+	crashCh chan struct{} // closed by Crash to abort parked acks
+}
+
+// Server is the TCP front end.
+type Server struct {
+	cfg Config
+	rec *obs.Recorder
+
+	// mu guards cur: executors hold the read lock across one command's
+	// execution, Crash holds the write lock across the swap. Parked
+	// epoch-wait acks hold no lock; crashCh releases them.
+	mu  sync.RWMutex
+	cur *rt
+
+	ln       net.Listener
+	adminTid int
+	tids     chan int
+	closed   atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+}
+
+// New builds a server and its backing store (reopening cfg.PoolPath if
+// the image exists). Call Listen then Serve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		adminTid: cfg.MaxConns,
+		tids:     make(chan int, cfg.MaxConns),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for tid := 0; tid < cfg.MaxConns; tid++ {
+		s.tids <- tid
+	}
+
+	switch cfg.Backend {
+	case "montage":
+		r, err := s.openMontage()
+		if err != nil {
+			return nil, err
+		}
+		s.cur = r
+		s.rec = r.sys.Recorder()
+	case "dram", "nvm":
+		env, err := baselines.NewEnv(cfg.ArenaSize, cfg.maxThreads(), nil)
+		if err != nil {
+			return nil, err
+		}
+		medium := baselines.DRAM
+		if cfg.Backend == "nvm" {
+			medium = baselines.NVM
+		}
+		m := baselines.NewTransientMap(env, medium, cfg.Buckets)
+		s.cur = &rt{
+			store:   kvstore.New(kvstore.NewTransientBackend(m), cfg.Capacity),
+			crashCh: make(chan struct{}),
+		}
+		s.rec = cfg.Recorder
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q", cfg.Backend)
+	}
+	return s, nil
+}
+
+// openMontage builds the persistent runtime, from the pool image when
+// one exists.
+func (s *Server) openMontage() (*rt, error) {
+	ccfg := s.cfg.coreConfig()
+	if s.cfg.PoolPath != "" {
+		if dev, err := pmem.NewDeviceFromFile(s.cfg.PoolPath, ccfg.MaxThreads, nil); err == nil {
+			sys, chunks, err := core.RecoverParallel(dev, ccfg, ccfg.MaxThreads)
+			if err != nil {
+				return nil, fmt.Errorf("server: recover pool %s: %w", s.cfg.PoolPath, err)
+			}
+			store, err := kvstore.RecoverMontageStore(sys, s.cfg.Buckets, chunks, s.cfg.Capacity)
+			if err != nil {
+				return nil, fmt.Errorf("server: rebuild store: %w", err)
+			}
+			return &rt{sys: sys, esys: sys.Epochs(), store: store, crashCh: make(chan struct{})}, nil
+		}
+	}
+	sys, err := core.NewSystem(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	store := kvstore.New(kvstore.NewMontageBackend(pds.NewHashMap(sys, s.cfg.Buckets)), s.cfg.Capacity)
+	return &rt{sys: sys, esys: sys.Epochs(), store: store, crashCh: make(chan struct{})}, nil
+}
+
+// Listen binds the TCP listener and returns its address (useful with
+// ":0").
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound listener address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// after a Shutdown-initiated close.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if _, err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		var tid int
+		select {
+		case tid = <-s.tids:
+		default:
+			// All connection slots (Montage thread ids) are taken.
+			nc.Write(respTooManyConn)
+			nc.Close()
+			continue
+		}
+		s.connMu.Lock()
+		s.conns[nc] = struct{}{}
+		s.connMu.Unlock()
+		s.rec.Inc(tid, obs.CNetConns)
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.serveConn(nc, tid)
+			s.connMu.Lock()
+			delete(s.conns, nc)
+			s.connMu.Unlock()
+			s.rec.Inc(tid, obs.CNetConnsClosed)
+			s.tids <- tid
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if _, err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Crash simulates a power failure and recovers in place while the
+// listener stays up: every staged (pre-durable) write is dropped per
+// mode, parked epoch-wait acks are failed with a SERVER_ERROR, and a
+// recovered store replaces the old one. Montage backend only.
+func (s *Server) Crash(mode pmem.CrashMode) (survivors int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur
+	if old.sys == nil {
+		return 0, errors.New("server: crash requires the montage backend")
+	}
+	// Release every response parked on the old epoch clock first: after
+	// Abandon the old clock never ticks again, so a waiter that missed
+	// this close would hang forever.
+	close(old.crashCh)
+	// Stop the old daemon WITHOUT the flushing advances of Close: its
+	// stale buffers and clock must never reach the device the recovered
+	// system is about to own.
+	old.sys.Abandon()
+	old.sys.Device().Crash(mode)
+	ccfg := s.cfg.coreConfig()
+	ccfg.Recorder = s.rec // counters span the crash
+	sys, chunks, err := core.RecoverParallel(old.sys.Device(), ccfg, ccfg.MaxThreads)
+	if err != nil {
+		return 0, err
+	}
+	store, err := kvstore.RecoverMontageStore(sys, s.cfg.Buckets, chunks, s.cfg.Capacity)
+	if err != nil {
+		return 0, err
+	}
+	s.cur = &rt{sys: sys, esys: sys.Epochs(), store: store, crashCh: make(chan struct{})}
+	s.rec.Inc(s.adminTid, obs.CNetCrashes)
+	return len(store.Keys(s.adminTid)), nil
+}
+
+// Sync forces all completed operations durable (admin path: shutdown,
+// tests).
+func (s *Server) Sync() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cur.sys != nil {
+		s.cur.sys.Sync(s.adminTid)
+	}
+}
+
+// SavePool syncs and writes the device image to path.
+func (s *Server) SavePool(path string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cur.sys == nil {
+		return errors.New("server: no pool to save (transient backend)")
+	}
+	return s.cur.sys.Checkpoint(s.adminTid, path)
+}
+
+// Shutdown drains the server: stop accepting, wait up to drain for
+// in-flight connections (then force-close stragglers), make all acked
+// work durable, save the pool image if configured, and stop the epoch
+// daemon.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.closed.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() { s.connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.connMu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
+	var err error
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cur.sys != nil {
+		if s.cfg.PoolPath != "" {
+			err = s.cur.sys.Checkpoint(s.adminTid, s.cfg.PoolPath)
+		} else {
+			s.cur.sys.Sync(s.adminTid)
+		}
+		s.cur.sys.Close()
+	}
+	return err
+}
+
+// Recorder returns the observability recorder serving this server.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Store returns the current store (tests; swapped by Crash).
+func (s *Server) Store() *kvstore.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur.store
+}
