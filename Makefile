@@ -9,10 +9,11 @@ test: vet serve-smoke
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the observability recorder
-# (hammered from every worker), the epoch system, and the data
-# structures.
+# (hammered from every worker), the epoch system, the data structures,
+# the sharded pool (concurrent writers + whole-pool crash/recovery),
+# and the striped-LRU kvstore.
 race:
-	$(GO) test -race ./internal/obs ./internal/epoch ./internal/pds
+	$(GO) test -race ./internal/obs ./internal/epoch ./internal/pds ./internal/pool ./internal/kvstore
 
 vet:
 	$(GO) vet ./...

@@ -15,8 +15,10 @@
 //
 // The extra "net" figure benchmarks the TCP front end (internal/server)
 // on loopback, sweeping the three durability-ack modes across
-// connection counts in real wall-clock time. It is not part of "all"
-// because its numbers depend on the host, not the simulated device.
+// connection counts in real wall-clock time; "shard" sweeps the pool's
+// shard count (independent epoch domains) under the same loadgen.
+// Neither is part of "all" because their numbers depend on the host,
+// not the simulated device.
 package main
 
 import (
@@ -47,7 +49,7 @@ type rowRecord struct {
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: 4,5,6,7a,7b,8a,8b,9,10,11,12,recovery,net,all")
+		figure  = flag.String("figure", "all", "figure to regenerate: 4,5,6,7a,7b,8a,8b,9,10,11,12,recovery,net,shard,all")
 		scale   = flag.String("scale", "default", "workload scale: quick, default, paper")
 		systems = flag.String("systems", "", "comma-separated subset of systems (default: all for the figure)")
 		threads = flag.String("threads", "", "comma-separated thread counts (default: scale's list)")
@@ -151,6 +153,8 @@ func main() {
 			rs, err = bench.RecoveryHashmap(sc, nil, nil)
 		case "net":
 			rs, err = bench.FigNet(sc, nil, nil)
+		case "shard":
+			rs, err = bench.FigShard(sc, nil, nil)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 			os.Exit(2)

@@ -1,12 +1,13 @@
 // Command montage-kv is an interactive key-value shell over a persistent
-// Montage store, demonstrating the full lifecycle on one device image:
+// Montage pool, demonstrating the full lifecycle on one image:
 // buffered updates, explicit sync, simulated crashes, recovery, and
 // reopening a pool image across process runs.
 //
 // Usage:
 //
-//	montage-kv                # fresh in-memory pool
-//	montage-kv -pool pool.img # reopen (or create) a pool image
+//	montage-kv                          # fresh in-memory pool
+//	montage-kv -pool pool.img           # reopen (or create) a pool image
+//	montage-kv -pool pool.d -shards 4   # sharded pool (manifest directory)
 //
 // Commands:
 //
@@ -15,11 +16,16 @@
 //	get <key>                look up
 //	del <key>                delete
 //	keys                     list keys
-//	sync                     force durability now (like fsync)
+//	sync                     force durability now, on every shard
 //	crash                    power failure: lose unsynced work, recover
 //	stats                    hit/miss/set counters + runtime counters
 //	save                     write the pool image (requires -pool)
 //	quit                     save (if -pool) and exit
+//
+// With -shards N > 1 the pool is partitioned into N independent epoch
+// domains (each with its own arena, allocator, and clock); keys route
+// by a stable hash, and the image becomes a directory of per-shard
+// files. Reopening an image always adopts the image's shard count.
 //
 // With -stats-file, the shell also streams periodic runtime-stats
 // snapshots (epoch advances, write-backs, fences, allocator usage) as
@@ -28,7 +34,7 @@
 //
 // For serving a pool over the network (memcached text protocol with
 // durability-aware acks), see cmd/montage-serve; both tools read and
-// write the same pool image format, so a pool built here can be served
+// write the same pool image formats, so a pool built here can be served
 // there and vice versa.
 package main
 
@@ -45,27 +51,30 @@ import (
 	"montage"
 	"montage/internal/kvstore"
 	"montage/internal/obs"
-	"montage/internal/pds"
-	"montage/internal/pmem"
 )
 
 const buckets = 4096
 
 func main() {
-	pool := flag.String("pool", "", "pool image path (empty: in-memory only)")
-	arena := flag.Int("arena", 64<<20, "arena size in bytes")
+	poolPath := flag.String("pool", "", "pool image path (empty: in-memory only)")
+	shards := flag.Int("shards", 1, "independent epoch-domain shards (an existing -pool image's count wins)")
+	arena := flag.Int("arena", 64<<20, "arena size in bytes (per shard)")
 	statsFile := flag.String("stats-file", "", "stream runtime-stats snapshots as JSONL to this file")
 	statsInterval := flag.Duration("stats-interval", time.Second, "sample interval for -stats-file (0: only a final snapshot)")
 	flag.Parse()
 
-	// One recorder for the whole process: the crash command replaces the
-	// System but keeps the recorder, so counters span recoveries.
+	// One recorder for the whole process, shared by every shard: the
+	// crash command replaces the pool's systems but keeps the recorder,
+	// so counters span recoveries.
 	rec := montage.NewRecorder(1)
-	cfg := montage.Config{
-		ArenaSize:  *arena,
-		MaxThreads: 1,
-		Epoch:      montage.EpochConfig{EpochLength: montage.DefaultEpochLength},
-		Recorder:   rec,
+	cfg := montage.PoolConfig{
+		Shards: *shards,
+		Core: montage.Config{
+			ArenaSize:  *arena,
+			MaxThreads: 1,
+			Epoch:      montage.EpochConfig{EpochLength: montage.DefaultEpochLength},
+			Recorder:   rec,
+		},
 	}
 
 	var sampler *obs.Sampler
@@ -80,46 +89,45 @@ func main() {
 		defer sampler.Stop()
 	}
 
-	var sys *montage.System
+	var p *montage.Pool
 	var store *kvstore.Store
-	if *pool != "" {
-		if dev, err := pmem.NewDeviceFromFile(*pool, 1, nil); err == nil {
-			s2, chunks, rerr := montage.RecoverParallel(dev, cfg, 1)
-			if rerr != nil {
-				fmt.Fprintf(os.Stderr, "recover %s: %v\n", *pool, rerr)
+	if *poolPath != "" {
+		p2, chunks, loaded, err := montage.OpenPool(*poolPath, cfg, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reopen %s: %v\n", *poolPath, err)
+			os.Exit(1)
+		}
+		if loaded {
+			st, err := kvstore.RecoverShardedStore(p2, buckets, chunks, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rebuild: %v\n", err)
 				os.Exit(1)
 			}
-			st, rerr := kvstore.RecoverMontageStore(s2, buckets, chunks, 0)
-			if rerr != nil {
-				fmt.Fprintf(os.Stderr, "rebuild: %v\n", rerr)
-				os.Exit(1)
-			}
-			sys, store = s2, st
-			fmt.Printf("reopened pool %s\n", *pool)
+			p, store = p2, st
+			fmt.Printf("reopened pool %s (%d shards)\n", *poolPath, p.NumShards())
 		}
 	}
-	if sys == nil {
+	if p == nil {
 		var err error
-		sys, err = montage.NewSystem(cfg)
+		p, err = montage.NewPool(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		store = kvstore.New(kvstore.NewMontageBackend(pds.NewHashMap(sys, buckets)), 0)
-		fmt.Println("created fresh pool")
+		store = kvstore.New(kvstore.NewShardedBackend(p, buckets), 0)
+		fmt.Printf("created fresh pool (%d shards)\n", p.NumShards())
 	}
 
 	save := func() {
-		if *pool == "" {
+		if *poolPath == "" {
 			fmt.Println("no -pool path; nothing saved")
 			return
 		}
-		sys.Sync(0)
-		if err := sys.Device().Save(*pool); err != nil {
+		if err := p.Save(0, *poolPath); err != nil {
 			fmt.Println("save failed:", err)
 			return
 		}
-		fmt.Printf("pool saved to %s\n", *pool)
+		fmt.Printf("pool saved to %s\n", *poolPath)
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -188,35 +196,32 @@ func main() {
 			}
 		case "sync":
 			start := time.Now()
-			sys.Sync(0)
-			fmt.Printf("synced in %v\n", time.Since(start))
+			p.Sync(0)
+			fmt.Printf("synced %d shard(s) in %v\n", p.NumShards(), time.Since(start))
 		case "crash":
 			fmt.Println("simulating power failure...")
-			// Stop the old system's epoch daemon first: after the crash it
-			// would keep advancing the stale clock and flushing stale
-			// buffers onto the device recovery is rebuilding.
-			sys.Abandon()
-			sys.Device().Crash(montage.CrashDropAll)
-			s2, chunks, err := montage.RecoverParallel(sys.Device(), cfg, 1)
+			// Crash stops every shard's epoch daemon (never Close: closing
+			// would flush stale pre-crash buffers onto blocks the recovered
+			// systems may reallocate), then drops un-fenced device state.
+			p.Crash(montage.CrashDropAll)
+			p2, chunks, err := p.Recover(1)
 			if err != nil {
 				fmt.Println("recovery failed:", err)
 				break
 			}
-			st, err := kvstore.RecoverMontageStore(s2, buckets, chunks, 0)
+			st, err := kvstore.RecoverShardedStore(p2, buckets, chunks, 0)
 			if err != nil {
 				fmt.Println("rebuild failed:", err)
 				break
 			}
-			// The pre-crash System must simply be dropped, never Closed:
-			// closing it would flush its stale pre-crash buffers onto
-			// blocks the recovered system may have reallocated.
-			sys, store = s2, st
+			p, store = p2, st
 			fmt.Printf("recovered; %d keys survive\n", len(storeKeys(store)))
 		case "stats":
 			st := store.Stats()
 			fmt.Printf("hits=%d misses=%d sets=%d deletes=%d expirations=%d\n",
 				st.Hits.Load(), st.Misses.Load(), st.Sets.Load(), st.Deletes.Load(), st.Expirations.Load())
-			rt := sys.Stats()
+			rt := p.Snapshot()
+			fmt.Printf("shards: %d\n", p.NumShards())
 			fmt.Printf("epoch: advances=%d syncs=%d persist_queued=%d persist_pending=%d\n",
 				rt.Epoch.Advances, rt.Epoch.Syncs, rt.Epoch.PersistQueued, rt.Epoch.PersistPending)
 			fmt.Printf("device: write_backs=%d (%dB) fences=%d commits=%d (%dB)\n",
@@ -241,7 +246,7 @@ func main() {
 			save()
 		case "quit", "exit":
 			save()
-			sys.Close()
+			p.Close()
 			return
 		default:
 			fmt.Println("commands: set setttl get del keys sync crash stats save quit")

@@ -33,6 +33,7 @@ func main() {
 	modeName := flag.String("mode", "buffered", "durability-ack mode: buffered, sync, or epoch-wait")
 	pipeline := flag.Int("pipeline", 16, "outstanding requests per connection")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
+	shards := flag.Int("shards", 1, "server's shard count: tallies the per-shard key distribution (routing happens server-side)")
 	flag.Parse()
 
 	mode, err := server.ParseAckMode(*modeName)
@@ -51,6 +52,7 @@ func main() {
 		Mode:      mode,
 		Pipeline:  *pipeline,
 		Seed:      *seed,
+		Shards:    *shards,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montage-load: %v\n", err)

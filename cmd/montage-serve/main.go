@@ -36,7 +36,8 @@ func main() {
 	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts using \":0\")")
 	pool := flag.String("pool", "", "pool image path: reopened if present, saved on shutdown")
 	backend := flag.String("backend", "montage", "item store: montage (persistent), dram, or nvm (transient)")
-	arena := flag.Int("arena", 64<<20, "persistent arena size in bytes")
+	shards := flag.Int("shards", 1, "independent epoch-domain shards (an existing -pool image's count wins)")
+	arena := flag.Int("arena", 64<<20, "persistent arena size in bytes (per shard)")
 	buckets := flag.Int("buckets", 4096, "index bucket count")
 	capacity := flag.Int("capacity", 0, "max item count with LRU eviction (0: unbounded)")
 	maxConns := flag.Int("max-conns", 64, "max concurrent connections")
@@ -75,6 +76,7 @@ func main() {
 		Addr:         *addr,
 		PoolPath:     *pool,
 		Backend:      *backend,
+		Shards:       *shards,
 		ArenaSize:    *arena,
 		Buckets:      *buckets,
 		Capacity:     *capacity,
@@ -102,8 +104,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("montage-serve: listening on %s (backend=%s durability=%s epoch=%v)\n",
-		bound, *backend, mode, *epochLen)
+	fmt.Printf("montage-serve: listening on %s (backend=%s shards=%d durability=%s epoch=%v)\n",
+		bound, *backend, srv.NumShards(), mode, *epochLen)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"montage/internal/server"
+)
+
+// FigShard is the scale-out companion to the net figure: it sweeps the
+// pool's shard count under a fixed offered load (the YCSB loadgen,
+// write-only, pipelined, a fixed connection count) and plots acked
+// throughput per durability-ack mode.
+//
+// The point the sweep makes is nbMontage's observation carried to this
+// codebase: once per-thread buffers and the mindicator have removed the
+// intra-system contention, the epoch domain itself is the residual
+// bottleneck. Sharding multiplies the domains. Sync-mode acks, which
+// serialize every connection through forced epoch advances on ONE
+// domain's advMu and device lock, spread across N independent clocks
+// and scale with the shard count; epoch-wait and buffered modes are
+// already batched by the background clock, so their curves stay flat
+// (the documented-flat case) until the device's global region lock is
+// the limiter and sharding relieves it too.
+//
+// Like the net figure, this measures real wall-clock time on loopback
+// sockets: absolute numbers are host-dependent; the shape is the claim.
+func FigShard(sc Scale, shardCounts []int, modes []server.AckMode) ([]Result, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	if len(modes) == 0 {
+		modes = []server.AckMode{server.AckSync, server.AckEpochWait}
+	}
+
+	const conns = 8
+	records := uint64(sc.KeyRange)
+	if records > 10_000 {
+		records = 10_000
+	}
+	valueSize := sc.ValueSize
+	if valueSize > 256 {
+		valueSize = 256
+	}
+
+	var results []Result
+	for _, mode := range modes {
+		for _, shards := range shardCounts {
+			// A fresh server per cell: the shard count is a construction-time
+			// property of the pool, and reusing a pool across cells would let
+			// one cell's resident data skew the next.
+			srv, err := server.New(server.Config{
+				Addr:      "127.0.0.1:0",
+				ArenaSize: sc.ArenaSize,
+				Buckets:   sc.Buckets,
+				Shards:    shards,
+				MaxConns:  conns + 1,
+				// Same clock tuning as the net figure: short epochs keep
+				// epoch-wait latency small, and an emulated persist fence makes
+				// sync mode pay its true per-advance price — which is exactly
+				// the cost sharding divides across domains.
+				EpochLength:  time.Millisecond,
+				PersistDelay: 100 * time.Microsecond,
+				Recorder:     sc.Recorder,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := srv.Listen(); err != nil {
+				return nil, err
+			}
+			go srv.Serve()
+			rec := srv.Recorder()
+			prev := rec.Snapshot()
+			res, err := server.RunLoad(server.LoadConfig{
+				Addr:      srv.Addr().String(),
+				Conns:     conns,
+				Duration:  time.Second,
+				Records:   records,
+				ValueSize: valueSize,
+				ReadFrac:  0, // write-only: the ack path is the subject
+				Mode:      mode,
+				Pipeline:  64,
+				Seed:      sc.Seed,
+				Shards:    shards,
+			})
+			if err != nil {
+				srv.Shutdown(time.Second)
+				return nil, fmt.Errorf("shard bench %s/shards=%d: %w", mode, shards, err)
+			}
+			if res.Errors > 0 {
+				srv.Shutdown(time.Second)
+				return nil, fmt.Errorf("shard bench %s/shards=%d: %d errored acks", mode, shards, res.Errors)
+			}
+			delta := rec.Snapshot().Sub(prev)
+			if err := srv.Shutdown(5 * time.Second); err != nil {
+				return nil, fmt.Errorf("shard bench %s/shards=%d: shutdown: %w", mode, shards, err)
+			}
+			results = append(results, Result{
+				Figure: "shard",
+				Series: mode.String(),
+				Label:  fmt.Sprintf("shards=%d", shards),
+				X:      float64(shards),
+				Mops:   res.OpsPerSec / 1e6,
+				Unit:   "Mops/s (wall)",
+				Stats:  &delta,
+			})
+		}
+	}
+	return results, nil
+}

@@ -310,17 +310,3 @@ func (s *Sys) PendingFree(tid int) int {
 	}
 	return n
 }
-
-// DebugPending returns the number of queued (unpersisted) payloads for
-// thread tid.
-//
-// Deprecated: use PendingPersist, or the system-wide
-// Stats().Epoch.PersistPending counter.
-func (s *Sys) DebugPending(tid int) int { return s.PendingPersist(tid) }
-
-// DebugFreeQueued returns the number of blocks awaiting reclamation for
-// thread tid.
-//
-// Deprecated: use PendingFree, or the system-wide Stats().Epoch
-// FreeQueued/FreeReclaimed counters.
-func (s *Sys) DebugFreeQueued(tid int) int { return s.PendingFree(tid) }

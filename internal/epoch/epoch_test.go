@@ -164,7 +164,7 @@ func TestBufferOverflowIncrementalWriteback(t *testing.T) {
 		ps = append(ps, p)
 	}
 	f.sys.EndOp(0)
-	if got := f.sys.DebugPending(0); got != 8 {
+	if got := f.sys.PendingPersist(0); got != 8 {
 		t.Fatalf("buffer holds %d entries, want 8", got)
 	}
 	// The 5 oldest must have been incrementally written back (staged).
@@ -226,7 +226,7 @@ func TestDuplicateAddSkipped(t *testing.T) {
 	f.sys.AddToPersist(0, e, p)
 	f.sys.AddToPersist(0, e, p)
 	f.sys.EndOp(0)
-	if got := f.sys.DebugPending(0); got != 1 {
+	if got := f.sys.PendingPersist(0); got != 1 {
 		t.Fatalf("duplicate add queued %d entries, want 1", got)
 	}
 }
@@ -322,7 +322,7 @@ func TestTransientModeNoPersistence(t *testing.T) {
 	live := f.heap.Live()
 	f.sys.AddToFree(0, e, p.addr)
 	f.sys.EndOp(0)
-	if f.sys.DebugPending(0) != 0 {
+	if f.sys.PendingPersist(0) != 0 {
 		t.Fatal("transient mode queued a write-back")
 	}
 	if f.heap.Live() != live-1 {

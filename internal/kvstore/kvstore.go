@@ -9,11 +9,12 @@
 // give the DRAM (T) / NVM (T) reference lines of Figure 10.
 //
 // internal/server puts a real network front end over a Store. To support
-// it, every mutating operation returns the Montage epoch in which it
-// linearized (the "epoch tag"); a caller holding a tag can wait for the
-// write's natural durability with epoch.Sys.WaitPersisted instead of
-// forcing an expensive per-operation Sync. Transient backends have no
-// epochs and return tag 0.
+// it, every mutating operation returns a DurabilityTag naming the shard
+// and Montage epoch in which it linearized; a caller holding a tag can
+// wait for the write's natural durability against the owning shard's
+// persist watermark (epoch.Sys.WaitPersisted) instead of forcing an
+// expensive per-operation Sync. Transient backends have no epochs and
+// return the zero tag.
 package kvstore
 
 import (
@@ -29,21 +30,37 @@ import (
 	"montage/internal/pds"
 )
 
+// DurabilityTag names the point at which a mutation linearized: the
+// pool shard that owns the key and the shard-local epoch of the update.
+// Epochs are meaningful only within their shard — each shard is an
+// independent epoch domain, so tags from different shards are not
+// ordered with respect to each other. The zero tag means the backend
+// has no epoch semantics (transient backends) and there is nothing to
+// wait for.
+type DurabilityTag struct {
+	Shard int
+	Epoch uint64
+}
+
+// IsZero reports whether the tag carries no durability obligation.
+func (t DurabilityTag) IsZero() bool { return t.Epoch == 0 }
+
 // Backend stores item payloads.
 type Backend interface {
 	// Get returns the value stored under key.
 	Get(tid int, key string) ([]byte, bool)
-	// Put inserts or updates key=val, returning the epoch tag of the
-	// update (0 for backends without epoch semantics).
-	Put(tid int, key string, val []byte) (uint64, error)
-	// Delete removes key, reporting whether it was present and the epoch
-	// tag of the deletion.
-	Delete(tid int, key string) (bool, uint64, error)
+	// Put inserts or updates key=val, returning the durability tag of
+	// the update (zero for backends without epoch semantics).
+	Put(tid int, key string, val []byte) (DurabilityTag, error)
+	// Delete removes key, reporting whether it was present and the
+	// durability tag of the deletion.
+	Delete(tid int, key string) (bool, DurabilityTag, error)
 	// Keys lists the stored keys (not linearizable; admin use).
 	Keys(tid int) []string
 }
 
-// MontageBackend persists items in a Montage hashmap.
+// MontageBackend persists items in a single Montage hashmap (shard 0 of
+// a one-shard world). For a sharded pool, use ShardedBackend.
 type MontageBackend struct {
 	m *pds.HashMap
 }
@@ -55,14 +72,15 @@ func NewMontageBackend(m *pds.HashMap) *MontageBackend { return &MontageBackend{
 func (b *MontageBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
 
 // Put implements Backend.
-func (b *MontageBackend) Put(tid int, key string, val []byte) (uint64, error) {
+func (b *MontageBackend) Put(tid int, key string, val []byte) (DurabilityTag, error) {
 	_, epoch, err := b.m.PutE(tid, key, val)
-	return epoch, err
+	return DurabilityTag{Epoch: epoch}, err
 }
 
 // Delete implements Backend.
-func (b *MontageBackend) Delete(tid int, key string) (bool, uint64, error) {
-	return b.m.RemoveE(tid, key)
+func (b *MontageBackend) Delete(tid int, key string) (bool, DurabilityTag, error) {
+	ok, epoch, err := b.m.RemoveE(tid, key)
+	return ok, DurabilityTag{Epoch: epoch}, err
 }
 
 // Keys implements Backend.
@@ -89,15 +107,15 @@ func NewTransientBackend(m *baselines.TransientMap) *TransientBackend {
 func (b *TransientBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
 
 // Put implements Backend.
-func (b *TransientBackend) Put(tid int, key string, val []byte) (uint64, error) {
+func (b *TransientBackend) Put(tid int, key string, val []byte) (DurabilityTag, error) {
 	_, err := b.m.Put(tid, key, val)
-	return 0, err
+	return DurabilityTag{}, err
 }
 
 // Delete implements Backend.
-func (b *TransientBackend) Delete(tid int, key string) (bool, uint64, error) {
+func (b *TransientBackend) Delete(tid int, key string) (bool, DurabilityTag, error) {
 	ok, err := b.m.Remove(tid, key)
-	return ok, 0, err
+	return ok, DurabilityTag{}, err
 }
 
 // Keys implements Backend.
@@ -153,8 +171,20 @@ const (
 
 // nStripes is the size of the key-striped lock table that makes
 // read-modify-write operations (Add/Replace/CompareAndSwap/Touch)
-// atomic with respect to every other mutation of the same key.
+// atomic with respect to every other mutation of the same key. The LRU
+// state is segmented on the same stripes, so a hit never contends with
+// hits on other stripes.
 const nStripes = 256
+
+// lruSeg is one stripe's share of the eviction state. Segmenting the
+// LRU removes the single global list lock that would otherwise
+// re-serialize every hit and insert across all stripes (and, in a
+// sharded pool, across all shards).
+type lruSeg struct {
+	mu    sync.Mutex
+	lru   *list.List               // front = most recent
+	items map[string]*list.Element // key -> LRU node
+}
 
 // Store is the memcached-like cache.
 type Store struct {
@@ -169,13 +199,15 @@ type Store struct {
 	// lock-free at this layer.
 	stripes [nStripes]sync.Mutex
 
-	// capacity > 0 bounds the item count with LRU eviction, as memcached
-	// does when memory fills. capacity == 0 disables eviction (the
+	// capacity > 0 bounds the total item count with segmented LRU
+	// eviction, as memcached does when memory fills: the bound is
+	// global (tracked by count), but recency is per segment, and the
+	// victim comes from the inserted key's own segment — approximate
+	// LRU, exact capacity. capacity == 0 disables eviction (the
 	// benchmark configuration: 1M records, no pressure).
 	capacity int
-	lruMu    sync.Mutex
-	lru      *list.List               // front = most recent
-	items    map[string]*list.Element // key -> LRU node
+	count    atomic.Int64
+	segs     []lruSeg
 }
 
 // New creates a store over backend. capacity 0 means unbounded.
@@ -187,8 +219,11 @@ func New(backend Backend, capacity int) *Store {
 		seed:     maphash.MakeSeed(),
 	}
 	if capacity > 0 {
-		s.lru = list.New()
-		s.items = make(map[string]*list.Element)
+		s.segs = make([]lruSeg, nStripes)
+		for i := range s.segs {
+			s.segs[i].lru = list.New()
+			s.segs[i].items = make(map[string]*list.Element)
+		}
 	}
 	return s
 }
@@ -196,8 +231,13 @@ func New(backend Backend, capacity int) *Store {
 // Stats returns the activity counters.
 func (s *Store) Stats() *Stats { return &s.stats }
 
+// stripeIdx maps a key to its stripe (and LRU segment) index.
+func (s *Store) stripeIdx(key string) int {
+	return int(maphash.String(s.seed, key) % nStripes)
+}
+
 func (s *Store) stripe(key string) *sync.Mutex {
-	return &s.stripes[maphash.String(s.seed, key)%nStripes]
+	return &s.stripes[s.stripeIdx(key)]
 }
 
 // live loads key's item if present and unexpired. It never deletes; the
@@ -258,41 +298,74 @@ func (s *Store) expiryFor(ttl time.Duration) int64 {
 	return s.now() + int64(ttl)
 }
 
+// evictOne removes the least recently used key of segment idx (falling
+// back to subsequent segments when idx has nothing evictable) and
+// returns it, or "" when nothing could be evicted. justInserted is
+// never chosen while it is a segment's only entry — evicting the item
+// that triggered the eviction would make inserts into an empty cache
+// no-ops.
+func (s *Store) evictOne(idx int, justInserted string) string {
+	for off := 0; off < nStripes; off++ {
+		seg := &s.segs[(idx+off)%nStripes]
+		seg.mu.Lock()
+		el := seg.lru.Back()
+		if el != nil && el.Value.(string) == justInserted {
+			el = el.Prev() // next-oldest, if any
+		}
+		if el != nil {
+			victim := el.Value.(string)
+			seg.lru.Remove(el)
+			delete(seg.items, victim)
+			s.count.Add(-1)
+			seg.mu.Unlock()
+			return victim
+		}
+		seg.mu.Unlock()
+	}
+	return ""
+}
+
 // put stores the item and maintains the LRU. Callers hold the stripe.
-func (s *Store) put(tid int, key string, expiry int64, val []byte) (uint64, error) {
+func (s *Store) put(tid int, key string, expiry int64, val []byte) (DurabilityTag, error) {
 	tag, err := s.backend.Put(tid, key, encodeItem(expiry, s.casSeq.Add(1), val))
 	if err != nil {
-		return 0, err
+		return DurabilityTag{}, err
 	}
 	s.stats.Sets.Add(1)
 	if s.capacity > 0 {
-		s.lruMu.Lock()
-		if el, ok := s.items[key]; ok {
-			s.lru.MoveToFront(el)
+		idx := s.stripeIdx(key)
+		seg := &s.segs[idx]
+		seg.mu.Lock()
+		if el, ok := seg.items[key]; ok {
+			seg.lru.MoveToFront(el)
 		} else {
-			s.items[key] = s.lru.PushFront(key)
+			seg.items[key] = seg.lru.PushFront(key)
+			s.count.Add(1)
 		}
-		var victim string
-		if s.lru.Len() > s.capacity {
-			back := s.lru.Back()
-			victim = back.Value.(string)
-			s.lru.Remove(back)
-			delete(s.items, victim)
-		}
-		s.lruMu.Unlock()
-		if victim != "" {
-			if _, vtag, err := s.backend.Delete(tid, victim); err != nil {
-				return tag, err
-			} else if vtag > tag {
-				tag = vtag
+		seg.mu.Unlock()
+		if int(s.count.Load()) > s.capacity {
+			if victim := s.evictOne(idx, key); victim != "" {
+				_, vtag, err := s.backend.Delete(tid, victim)
+				if err != nil {
+					return tag, err
+				}
+				// Fold the eviction into the caller's durability tag only
+				// when both land on the same shard; epochs from different
+				// shards are not comparable. A cross-shard eviction's
+				// durability is best-effort (it rides that shard's own
+				// epoch clock), which matches what eviction promises:
+				// nothing — evicted data is gone either way.
+				if vtag.Shard == tag.Shard && vtag.Epoch > tag.Epoch {
+					tag.Epoch = vtag.Epoch
+				}
+				s.stats.Evictions.Add(1)
 			}
-			s.stats.Evictions.Add(1)
 		}
 	}
 	return tag, nil
 }
 
-// Set stores key=val with no expiry, evicting the least recently used
+// Set stores key=val with no expiry, evicting a least-recently-used
 // item if the capacity bound is hit.
 func (s *Store) Set(tid int, key string, val []byte) error {
 	_, err := s.SetTag(tid, key, val, 0)
@@ -305,8 +378,8 @@ func (s *Store) SetTTL(tid int, key string, val []byte, ttl time.Duration) error
 	return err
 }
 
-// SetTag is Set/SetTTL returning the write's epoch tag.
-func (s *Store) SetTag(tid int, key string, val []byte, ttl time.Duration) (uint64, error) {
+// SetTag is Set/SetTTL returning the write's durability tag.
+func (s *Store) SetTag(tid int, key string, val []byte, ttl time.Duration) (DurabilityTag, error) {
 	mu := s.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -314,12 +387,12 @@ func (s *Store) SetTag(tid int, key string, val []byte, ttl time.Duration) (uint
 }
 
 // Add stores key=val only if the key is absent (memcached "add").
-func (s *Store) Add(tid int, key string, val []byte, ttl time.Duration) (stored bool, tag uint64, err error) {
+func (s *Store) Add(tid int, key string, val []byte, ttl time.Duration) (stored bool, tag DurabilityTag, err error) {
 	mu := s.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
 	if _, _, _, ok := s.live(tid, key); ok {
-		return false, 0, nil
+		return false, DurabilityTag{}, nil
 	}
 	tag, err = s.put(tid, key, s.expiryFor(ttl), val)
 	return err == nil, tag, err
@@ -327,12 +400,12 @@ func (s *Store) Add(tid int, key string, val []byte, ttl time.Duration) (stored 
 
 // Replace stores key=val only if the key is present (memcached
 // "replace").
-func (s *Store) Replace(tid int, key string, val []byte, ttl time.Duration) (stored bool, tag uint64, err error) {
+func (s *Store) Replace(tid int, key string, val []byte, ttl time.Duration) (stored bool, tag DurabilityTag, err error) {
 	mu := s.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
 	if _, _, _, ok := s.live(tid, key); !ok {
-		return false, 0, nil
+		return false, DurabilityTag{}, nil
 	}
 	tag, err = s.put(tid, key, s.expiryFor(ttl), val)
 	return err == nil, tag, err
@@ -340,22 +413,22 @@ func (s *Store) Replace(tid int, key string, val []byte, ttl time.Duration) (sto
 
 // CompareAndSwap stores key=val only if the item's CAS token still
 // equals cas (memcached "cas", with the token from GetWithCAS).
-func (s *Store) CompareAndSwap(tid int, key string, val []byte, ttl time.Duration, cas uint64) (CASOutcome, uint64, error) {
+func (s *Store) CompareAndSwap(tid int, key string, val []byte, ttl time.Duration, cas uint64) (CASOutcome, DurabilityTag, error) {
 	mu := s.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
 	cur, _, _, ok := s.live(tid, key)
 	if !ok {
 		s.stats.CASMisses.Add(1)
-		return CASNotFound, 0, nil
+		return CASNotFound, DurabilityTag{}, nil
 	}
 	if cur != cas {
 		s.stats.CASMisses.Add(1)
-		return CASExists, 0, nil
+		return CASExists, DurabilityTag{}, nil
 	}
 	tag, err := s.put(tid, key, s.expiryFor(ttl), val)
 	if err != nil {
-		return CASExists, 0, err
+		return CASExists, DurabilityTag{}, err
 	}
 	s.stats.CASHits.Add(1)
 	return CASStored, tag, nil
@@ -363,17 +436,17 @@ func (s *Store) CompareAndSwap(tid int, key string, val []byte, ttl time.Duratio
 
 // Touch updates key's expiry without changing its value (memcached
 // "touch"). The rewritten item gets a fresh CAS token.
-func (s *Store) Touch(tid int, key string, ttl time.Duration) (found bool, tag uint64, err error) {
+func (s *Store) Touch(tid int, key string, ttl time.Duration) (found bool, tag DurabilityTag, err error) {
 	mu := s.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
 	_, _, val, ok := s.live(tid, key)
 	if !ok {
-		return false, 0, nil
+		return false, DurabilityTag{}, nil
 	}
 	tag, err = s.backend.Put(tid, key, encodeItem(s.expiryFor(ttl), s.casSeq.Add(1), val))
 	if err != nil {
-		return false, 0, err
+		return false, DurabilityTag{}, err
 	}
 	s.stats.Touches.Add(1)
 	return true, tag, nil
@@ -385,72 +458,82 @@ func (s *Store) Delete(tid int, key string) (bool, error) {
 	return ok, err
 }
 
-// DeleteTag is Delete returning the deletion's epoch tag.
-func (s *Store) DeleteTag(tid int, key string) (bool, uint64, error) {
+// DeleteTag is Delete returning the deletion's durability tag.
+func (s *Store) DeleteTag(tid int, key string) (bool, DurabilityTag, error) {
 	mu := s.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
 	ok, tag, err := s.backend.Delete(tid, key)
 	if err != nil {
-		return false, 0, err
+		return false, DurabilityTag{}, err
 	}
 	if ok {
 		s.stats.Deletes.Add(1)
 	}
 	if s.capacity > 0 {
-		s.lruMu.Lock()
-		if el, present := s.items[key]; present {
-			s.lru.Remove(el)
-			delete(s.items, key)
+		seg := &s.segs[s.stripeIdx(key)]
+		seg.mu.Lock()
+		if el, present := seg.items[key]; present {
+			seg.lru.Remove(el)
+			delete(seg.items, key)
+			s.count.Add(-1)
 		}
-		s.lruMu.Unlock()
+		seg.mu.Unlock()
 	}
 	return ok, tag, nil
 }
 
 // Flush deletes every key (memcached "flush_all"), returning the number
-// removed and the newest deletion tag.
-func (s *Store) Flush(tid int) (int, uint64, error) {
+// removed and the newest deletion tag per shard touched. A caller that
+// wants the flush durable must wait on every returned tag — the
+// deletions land in independent epoch domains.
+func (s *Store) Flush(tid int) (int, []DurabilityTag, error) {
 	n := 0
-	var tag uint64
+	newest := make(map[int]uint64)
 	for _, key := range s.backend.Keys(tid) {
 		ok, t, err := s.DeleteTag(tid, key)
 		if err != nil {
-			return n, tag, err
+			return n, flushTags(newest), err
 		}
 		if ok {
 			n++
 		}
-		if t > tag {
-			tag = t
+		if !t.IsZero() && t.Epoch > newest[t.Shard] {
+			newest[t.Shard] = t.Epoch
 		}
 	}
-	return n, tag, nil
+	return n, flushTags(newest), nil
+}
+
+func flushTags(newest map[int]uint64) []DurabilityTag {
+	if len(newest) == 0 {
+		return nil
+	}
+	tags := make([]DurabilityTag, 0, len(newest))
+	for shard, epoch := range newest {
+		tags = append(tags, DurabilityTag{Shard: shard, Epoch: epoch})
+	}
+	return tags
 }
 
 func (s *Store) touch(key string) {
 	if s.capacity == 0 {
 		return
 	}
-	s.lruMu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.lru.MoveToFront(el)
+	seg := &s.segs[s.stripeIdx(key)]
+	seg.mu.Lock()
+	if el, ok := seg.items[key]; ok {
+		seg.lru.MoveToFront(el)
 	}
-	s.lruMu.Unlock()
+	seg.mu.Unlock()
 }
 
 // Keys lists the store's keys (admin/debug use; not linearizable).
 func (s *Store) Keys(tid int) []string { return s.backend.Keys(tid) }
 
-// RecoverMontageStore rebuilds a Montage-backed store after a crash.
-// CAS tokens persist with the items, so the token sequence resumes above
-// the largest survivor and gets/cas pairs span the crash correctly.
-func RecoverMontageStore(sys *core.System, nBuckets int, chunks [][]*core.PBlk, capacity int) (*Store, error) {
-	m, err := pds.RecoverHashMap(sys, nBuckets, chunks)
-	if err != nil {
-		return nil, err
-	}
-	s := New(NewMontageBackend(m), capacity)
+// restoreCASSeq resumes the CAS-token sequence above the largest
+// surviving token, so gets/cas pairs span the crash correctly.
+func (s *Store) restoreCASSeq() {
 	var maxCAS uint64
 	for _, key := range s.backend.Keys(0) {
 		if data, ok := s.backend.Get(0, key); ok {
@@ -460,5 +543,17 @@ func RecoverMontageStore(sys *core.System, nBuckets int, chunks [][]*core.PBlk, 
 		}
 	}
 	s.casSeq.Store(maxCAS)
+}
+
+// RecoverMontageStore rebuilds a single-system Montage-backed store
+// after a crash. CAS tokens persist with the items, so the token
+// sequence resumes above the largest survivor.
+func RecoverMontageStore(sys *core.System, nBuckets int, chunks [][]*core.PBlk, capacity int) (*Store, error) {
+	m, err := pds.RecoverHashMap(sys, nBuckets, chunks)
+	if err != nil {
+		return nil, err
+	}
+	s := New(NewMontageBackend(m), capacity)
+	s.restoreCASSeq()
 	return s, nil
 }

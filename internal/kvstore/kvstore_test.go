@@ -51,23 +51,72 @@ func TestStoreGetSetDelete(t *testing.T) {
 	}
 }
 
+// sameSegmentKeys generates n keys that hash to one LRU segment, so the
+// test sees deterministic LRU order despite the segmented eviction
+// state (recency is tracked per segment, and the victim comes from the
+// inserted key's own segment).
+func sameSegmentKeys(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	byIdx := make(map[int][]string)
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		idx := s.stripeIdx(k)
+		byIdx[idx] = append(byIdx[idx], k)
+		if len(byIdx[idx]) == n {
+			return byIdx[idx]
+		}
+	}
+	t.Fatal("could not find colliding keys")
+	return nil
+}
+
 func TestStoreLRUEviction(t *testing.T) {
 	s, _ := newMontageStore(t, 3)
+	k := sameSegmentKeys(t, s, 4)
 	for i := 0; i < 3; i++ {
-		s.Set(0, fmt.Sprintf("k%d", i), []byte("v"))
+		s.Set(0, k[i], []byte("v"))
 	}
-	s.Get(0, "k0") // k0 becomes most recent; k1 is LRU
-	s.Set(0, "k3", []byte("v"))
-	if _, ok := s.Get(0, "k1"); ok {
-		t.Fatal("LRU victim k1 not evicted")
+	s.Get(0, k[0]) // k[0] becomes most recent; k[1] is the segment's LRU
+	s.Set(0, k[3], []byte("v"))
+	if _, ok := s.Get(0, k[1]); ok {
+		t.Fatalf("LRU victim %s not evicted", k[1])
 	}
-	for _, k := range []string{"k0", "k2", "k3"} {
-		if _, ok := s.Get(0, k); !ok {
-			t.Fatalf("%s wrongly evicted", k)
+	for _, key := range []string{k[0], k[2], k[3]} {
+		if _, ok := s.Get(0, key); !ok {
+			t.Fatalf("%s wrongly evicted", key)
 		}
 	}
 	if s.Stats().Evictions.Load() != 1 {
 		t.Fatalf("evictions = %d", s.Stats().Evictions.Load())
+	}
+}
+
+// TestStoreLRUGlobalBound checks the capacity bound holds across
+// segments: recency is approximate under segmentation, but the total
+// resident count is exact no matter which segments the keys hash to.
+func TestStoreLRUGlobalBound(t *testing.T) {
+	const capacity, inserts = 8, 32
+	s, _ := newMontageStore(t, capacity)
+	for i := 0; i < inserts; i++ {
+		if err := s.Set(0, fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Keys(0)); got != capacity {
+		t.Fatalf("resident keys = %d, want %d", got, capacity)
+	}
+	if got := s.count.Load(); got != capacity {
+		t.Fatalf("LRU count = %d, want %d", got, capacity)
+	}
+	if got := s.Stats().Evictions.Load(); got != inserts-capacity {
+		t.Fatalf("evictions = %d, want %d", got, inserts-capacity)
+	}
+	// Re-setting a resident key must not evict.
+	if err := s.Set(0, s.Keys(0)[0], []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Keys(0)); got != capacity {
+		t.Fatalf("resident keys after update = %d, want %d", got, capacity)
 	}
 }
 

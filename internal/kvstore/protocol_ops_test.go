@@ -11,8 +11,8 @@ import (
 func TestStoreAddReplace(t *testing.T) {
 	s, _ := newMontageStore(t, 0)
 
-	if stored, tag, err := s.Add(0, "k", []byte("v1"), 0); err != nil || !stored || tag == 0 {
-		t.Fatalf("Add(absent) = %v tag=%d err=%v", stored, tag, err)
+	if stored, tag, err := s.Add(0, "k", []byte("v1"), 0); err != nil || !stored || tag.IsZero() {
+		t.Fatalf("Add(absent) = %v tag=%v err=%v", stored, tag, err)
 	}
 	if stored, _, err := s.Add(0, "k", []byte("v2"), 0); err != nil || stored {
 		t.Fatalf("Add(present) = %v err=%v, want not stored", stored, err)
@@ -24,8 +24,8 @@ func TestStoreAddReplace(t *testing.T) {
 	if stored, _, err := s.Replace(0, "missing", []byte("x"), 0); err != nil || stored {
 		t.Fatalf("Replace(absent) = %v err=%v, want not stored", stored, err)
 	}
-	if stored, tag, err := s.Replace(0, "k", []byte("v3"), 0); err != nil || !stored || tag == 0 {
-		t.Fatalf("Replace(present) = %v tag=%d err=%v", stored, tag, err)
+	if stored, tag, err := s.Replace(0, "k", []byte("v3"), 0); err != nil || !stored || tag.IsZero() {
+		t.Fatalf("Replace(present) = %v tag=%v err=%v", stored, tag, err)
 	}
 	if v, _ := s.Get(0, "k"); string(v) != "v3" {
 		t.Fatalf("Replace lost: %q", v)
@@ -40,8 +40,8 @@ func TestStoreCompareAndSwap(t *testing.T) {
 	if !ok || cas == 0 {
 		t.Fatalf("GetWithCAS = cas %d ok %v", cas, ok)
 	}
-	if out, tag, err := s.CompareAndSwap(0, "k", []byte("v2"), 0, cas); err != nil || out != CASStored || tag == 0 {
-		t.Fatalf("CAS(match) = %v tag=%d err=%v", out, tag, err)
+	if out, tag, err := s.CompareAndSwap(0, "k", []byte("v2"), 0, cas); err != nil || out != CASStored || tag.IsZero() {
+		t.Fatalf("CAS(match) = %v tag=%v err=%v", out, tag, err)
 	}
 	// The stale token must now fail: the item has a fresh one.
 	if out, _, err := s.CompareAndSwap(0, "k", []byte("v3"), 0, cas); err != nil || out != CASExists {
@@ -65,8 +65,8 @@ func TestStoreTouch(t *testing.T) {
 	s.now = func() int64 { return now }
 
 	s.SetTTL(0, "k", []byte("v"), 10)
-	if found, tag, err := s.Touch(0, "k", 100); err != nil || !found || tag == 0 {
-		t.Fatalf("Touch = %v tag=%d err=%v", found, tag, err)
+	if found, tag, err := s.Touch(0, "k", 100); err != nil || !found || tag.IsZero() {
+		t.Fatalf("Touch = %v tag=%v err=%v", found, tag, err)
 	}
 	now = 50 // past the original expiry, inside the touched one
 	if v, ok := s.Get(0, "k"); !ok || string(v) != "v" {
@@ -87,23 +87,26 @@ func TestStoreTouch(t *testing.T) {
 func TestStoreEpochTags(t *testing.T) {
 	s, sys := newMontageStore(t, 0)
 	tag, err := s.SetTag(0, "k", []byte("v"), 0)
-	if err != nil || tag == 0 {
-		t.Fatalf("SetTag = %d err=%v", tag, err)
+	if err != nil || tag.IsZero() {
+		t.Fatalf("SetTag = %v err=%v", tag, err)
 	}
-	if e := sys.Epochs().Epoch(); tag > e {
-		t.Fatalf("tag %d beyond the clock %d", tag, e)
+	if tag.Shard != 0 {
+		t.Fatalf("single-system tag shard = %d, want 0", tag.Shard)
+	}
+	if e := sys.Epochs().Epoch(); tag.Epoch > e {
+		t.Fatalf("tag %v beyond the clock %d", tag, e)
 	}
 	// The tag obeys the two-epoch rule through the watermark.
-	if sys.Epochs().PersistedEpoch() >= tag {
+	if sys.Epochs().PersistedEpoch() >= tag.Epoch {
 		t.Fatal("write reported durable before any advance")
 	}
 	sys.Advance()
 	sys.Advance()
-	if sys.Epochs().PersistedEpoch() < tag {
+	if sys.Epochs().PersistedEpoch() < tag.Epoch {
 		t.Fatal("write not durable after two advances")
 	}
-	if ok, dtag, err := s.DeleteTag(0, "k"); err != nil || !ok || dtag < tag {
-		t.Fatalf("DeleteTag = %v %d err=%v", ok, dtag, err)
+	if ok, dtag, err := s.DeleteTag(0, "k"); err != nil || !ok || dtag.Epoch < tag.Epoch {
+		t.Fatalf("DeleteTag = %v %v err=%v", ok, dtag, err)
 	}
 }
 
@@ -113,14 +116,14 @@ func TestStoreTransientTagsZero(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(NewTransientBackend(baselines.NewTransientMap(env, baselines.DRAM, 64)), 0)
-	if tag, err := s.SetTag(0, "k", []byte("v"), 0); err != nil || tag != 0 {
-		t.Fatalf("transient SetTag = %d err=%v, want tag 0", tag, err)
+	if tag, err := s.SetTag(0, "k", []byte("v"), 0); err != nil || !tag.IsZero() {
+		t.Fatalf("transient SetTag = %v err=%v, want zero tag", tag, err)
 	}
-	if stored, tag, err := s.Add(0, "k2", []byte("v"), 0); err != nil || !stored || tag != 0 {
-		t.Fatalf("transient Add = %v %d err=%v", stored, tag, err)
+	if stored, tag, err := s.Add(0, "k2", []byte("v"), 0); err != nil || !stored || !tag.IsZero() {
+		t.Fatalf("transient Add = %v %v err=%v", stored, tag, err)
 	}
-	if ok, tag, err := s.DeleteTag(0, "k"); err != nil || !ok || tag != 0 {
-		t.Fatalf("transient DeleteTag = %v %d err=%v", ok, tag, err)
+	if ok, tag, err := s.DeleteTag(0, "k"); err != nil || !ok || !tag.IsZero() {
+		t.Fatalf("transient DeleteTag = %v %v err=%v", ok, tag, err)
 	}
 }
 
@@ -129,9 +132,9 @@ func TestStoreFlush(t *testing.T) {
 	for _, k := range []string{"a", "b", "c"} {
 		s.Set(0, k, []byte("v"))
 	}
-	n, tag, err := s.Flush(0)
-	if err != nil || n != 3 || tag == 0 {
-		t.Fatalf("Flush = %d tag=%d err=%v", n, tag, err)
+	n, tags, err := s.Flush(0)
+	if err != nil || n != 3 || len(tags) != 1 || tags[0].IsZero() {
+		t.Fatalf("Flush = %d tags=%v err=%v", n, tags, err)
 	}
 	if keys := s.Keys(0); len(keys) != 0 {
 		t.Fatalf("keys after flush: %v", keys)

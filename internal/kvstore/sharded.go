@@ -1,0 +1,86 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"montage/internal/core"
+	"montage/internal/pds"
+	"montage/internal/pool"
+)
+
+// ShardedBackend persists items across a pool of independent Montage
+// systems: every key routes to exactly one shard's hashmap via the
+// pool's stable hash, and every mutation returns a tag naming that
+// shard, so durability waits park on the owning shard's persist
+// watermark only. With a one-shard pool it behaves exactly like
+// MontageBackend.
+type ShardedBackend struct {
+	p    *pool.Pool
+	maps []*pds.HashMap
+}
+
+// NewShardedBackend builds one hashmap per pool shard, each with
+// nBuckets buckets.
+func NewShardedBackend(p *pool.Pool, nBuckets int) *ShardedBackend {
+	maps := make([]*pds.HashMap, p.NumShards())
+	for i := range maps {
+		maps[i] = pds.NewHashMap(p.Shard(i), nBuckets)
+	}
+	return &ShardedBackend{p: p, maps: maps}
+}
+
+// Pool returns the backing pool.
+func (b *ShardedBackend) Pool() *pool.Pool { return b.p }
+
+// Get implements Backend.
+func (b *ShardedBackend) Get(tid int, key string) ([]byte, bool) {
+	return b.maps[b.p.ShardFor(key)].Get(tid, key)
+}
+
+// Put implements Backend.
+func (b *ShardedBackend) Put(tid int, key string, val []byte) (DurabilityTag, error) {
+	shard := b.p.ShardFor(key)
+	_, epoch, err := b.maps[shard].PutE(tid, key, val)
+	return DurabilityTag{Shard: shard, Epoch: epoch}, err
+}
+
+// Delete implements Backend.
+func (b *ShardedBackend) Delete(tid int, key string) (bool, DurabilityTag, error) {
+	shard := b.p.ShardFor(key)
+	ok, epoch, err := b.maps[shard].RemoveE(tid, key)
+	return ok, DurabilityTag{Shard: shard, Epoch: epoch}, err
+}
+
+// Keys implements Backend.
+func (b *ShardedBackend) Keys(tid int) []string {
+	var keys []string
+	for _, m := range b.maps {
+		for k := range m.Snapshot(tid) {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// RecoverShardedStore rebuilds a pool-backed store after a whole-pool
+// crash: chunks[shard] is that shard's survivor chunks from
+// pool.Recover or pool.Open, and each shard's hashmap rebuilds from its
+// own survivors only (keys never migrate — the router is stable). The
+// CAS-token sequence resumes above the largest survivor across all
+// shards.
+func RecoverShardedStore(p *pool.Pool, nBuckets int, chunks [][][]*core.PBlk, capacity int) (*Store, error) {
+	if len(chunks) != p.NumShards() {
+		return nil, fmt.Errorf("kvstore: recover: %d survivor chunk sets for %d shards", len(chunks), p.NumShards())
+	}
+	b := &ShardedBackend{p: p, maps: make([]*pds.HashMap, p.NumShards())}
+	for i := range b.maps {
+		m, err := pds.RecoverHashMap(p.Shard(i), nBuckets, chunks[i])
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: recover shard %d: %w", i, err)
+		}
+		b.maps[i] = m
+	}
+	s := New(b, capacity)
+	s.restoreCASSeq()
+	return s, nil
+}

@@ -192,6 +192,42 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return out
 }
 
+// Merge returns the element-wise sum of the given snapshots: counters
+// add, histogram buckets add, and the summaries (including percentiles)
+// are recomputed from the merged buckets. It is how a sharded pool with
+// per-shard recorders aggregates into one pool-wide view. Snapshots
+// without raw data (e.g. already-merged or zero snapshots) contribute
+// nothing. Enabled is the OR of the inputs; UnixNs is the latest.
+func Merge(snaps ...Snapshot) Snapshot {
+	var m rawStats
+	var unix int64
+	enabled := false
+	for i := range snaps {
+		s := &snaps[i]
+		if s.UnixNs > unix {
+			unix = s.UnixNs
+		}
+		enabled = enabled || s.Enabled
+		if s.raw == nil {
+			continue
+		}
+		for c := range m.counters {
+			m.counters[c] += s.raw.counters[c]
+		}
+		for h := range m.hists {
+			m.hists[h].count += s.raw.hists[h].count
+			m.hists[h].sum += s.raw.hists[h].sum
+			for b := 0; b < histBuckets; b++ {
+				m.hists[h].buckets[b] += s.raw.hists[h].buckets[b]
+			}
+		}
+	}
+	out := buildSnapshot(&m)
+	out.UnixNs = unix
+	out.Enabled = enabled
+	return out
+}
+
 func sub64(a, b uint64) uint64 {
 	if a < b {
 		return 0

@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"montage/internal/core"
+	"montage/internal/pmem"
+)
+
+// Image layout. A single-shard pool saves exactly what core.System's
+// Checkpoint saves — one raw arena image at path — so shards=1 pools
+// stay byte-compatible with images written before pools existed, in
+// both directions. A multi-shard pool saves a directory:
+//
+//	<path>/MANIFEST        "montage-pool 1\nshards <n>\n"
+//	<path>/shard-000.img   raw arena image of shard 0
+//	<path>/shard-001.img   ...
+//
+// Open dispatches on what it finds: a file is a single-shard image
+// (whatever cfg.Shards says — the data's layout wins, since the router
+// hash is a function of the shard count the keys were written under),
+// a directory is read via its MANIFEST.
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+)
+
+func shardImageName(i int) string { return fmt.Sprintf("shard-%03d.img", i) }
+
+// Save syncs every shard and writes the pool image to path: a single
+// raw arena file for one shard, a manifest directory for several.
+func (p *Pool) Save(tid int, path string) error {
+	p.Sync(tid)
+	if len(p.shards) == 1 {
+		return p.shards[0].Device().Save(path)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("pool: save: %w", err)
+	}
+	manifest := fmt.Sprintf("montage-pool %d\nshards %d\n", manifestVersion, len(p.shards))
+	if err := os.WriteFile(filepath.Join(path, manifestName), []byte(manifest), 0o644); err != nil {
+		return fmt.Errorf("pool: save manifest: %w", err)
+	}
+	for i, s := range p.shards {
+		if err := s.Device().Save(filepath.Join(path, shardImageName(i))); err != nil {
+			return fmt.Errorf("pool: save shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// readManifest parses a multi-shard image's MANIFEST and returns the
+// shard count.
+func readManifest(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var version, shards int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var v int
+		if _, err := fmt.Sscanf(sc.Text(), "montage-pool %d", &v); err == nil {
+			version = v
+			continue
+		}
+		if _, err := fmt.Sscanf(sc.Text(), "shards %d", &v); err == nil {
+			shards = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if version != manifestVersion {
+		return 0, fmt.Errorf("unsupported pool image version %d (want %d)", version, manifestVersion)
+	}
+	if shards < 1 {
+		return 0, fmt.Errorf("manifest declares %d shards", shards)
+	}
+	return shards, nil
+}
+
+// Open reopens a pool image at path and recovers it, running per-shard
+// recoveries concurrently with workers sweep goroutines apiece. It
+// returns (nil, nil, false, nil) when no image exists — the caller
+// should create a fresh pool with New. The image's shard count
+// overrides cfg.Shards: the router hash is a function of the count the
+// keys were stored under, so reopening under a different count would
+// silently misroute every key.
+func Open(path string, cfg Config, workers int) (*Pool, [][][]*core.PBlk, bool, error) {
+	cfg = cfg.withDefaults()
+	fi, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return nil, nil, false, nil
+	}
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("pool: open %s: %w", path, err)
+	}
+
+	var devs []*pmem.Device
+	if fi.IsDir() {
+		n, err := readManifest(filepath.Join(path, manifestName))
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("pool: open %s: %w", path, err)
+		}
+		devs = make([]*pmem.Device, n)
+		for i := 0; i < n; i++ {
+			devs[i], err = pmem.NewDeviceFromFile(filepath.Join(path, shardImageName(i)), cfg.Core.MaxThreads, nil)
+			if err != nil {
+				return nil, nil, false, fmt.Errorf("pool: open shard %d: %w", i, err)
+			}
+		}
+	} else {
+		dev, err := pmem.NewDeviceFromFile(path, cfg.Core.MaxThreads, nil)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("pool: open %s: %w", path, err)
+		}
+		devs = []*pmem.Device{dev}
+	}
+
+	cfg.Shards = len(devs)
+	cfgs := make([]core.Config, len(devs))
+	for i := range cfgs {
+		cfgs[i] = cfg.Core
+	}
+	p, chunks, err := recoverShards(cfg, devs, cfgs, workers)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return p, chunks, true, nil
+}

@@ -29,12 +29,21 @@ const maxRelativeExp = 60 * 60 * 24 * 30
 // errBadChunk marks an item body missing its CRLF terminator.
 var errBadChunk = errors.New("server: bad data chunk")
 
-// pending is one queued response. A nonzero tag parks the writer until
-// that epoch persists (epoch-wait mode); crashCh aborts the park.
+// ackWait parks a response until one shard's epoch persists: the wait
+// rides the owning shard's persist watermark only, never a global
+// fence across shards.
+type ackWait struct {
+	esys  *epoch.Sys
+	epoch uint64
+}
+
+// pending is one queued response. A non-empty waits list parks the
+// writer until every named epoch persists on its own shard (epoch-wait
+// mode; multi-entry only for flush_all, which deletes across shards);
+// crashCh aborts the park.
 type pending struct {
 	data    []byte
-	tag     uint64
-	esys    *epoch.Sys
+	waits   []ackWait
 	crashCh chan struct{}
 	start   int64
 }
@@ -83,8 +92,15 @@ func (c *conn) writer(done chan struct{}) {
 	dead := false
 	for p := range c.resp {
 		data := p.data
-		if p.tag != 0 && p.esys != nil {
-			if p.esys.WaitPersisted(p.tag, p.crashCh) {
+		if len(p.waits) > 0 {
+			ok := true
+			for _, w := range p.waits {
+				if !w.esys.WaitPersisted(w.epoch, p.crashCh) {
+					ok = false
+					break
+				}
+			}
+			if ok {
 				rec.Inc(c.tid, obs.CNetAcksEpoch)
 				rec.ObserveSince(c.tid, obs.HAckEpochNs, p.start)
 			} else {
@@ -195,8 +211,8 @@ func (c *conn) dispatch(fields []string) (quit bool, err error) {
 		// Extension: force all completed operations durable now.
 		rec.Inc(c.tid, obs.CNetOpsAdmin)
 		c.execRead(func(r *rt) []byte {
-			if r.sys != nil {
-				r.sys.Sync(c.tid)
+			if r.pool != nil {
+				r.pool.Sync(c.tid)
 			}
 			return respOK
 		})
@@ -267,25 +283,45 @@ func (c *conn) execRead(f func(r *rt) []byte) {
 
 // execWrite runs a mutating command against the current runtime and
 // applies the connection's durability-ack mode to its response:
-// buffered queues the ack immediately, sync forces a Sync first, and
-// epoch-wait queues the ack tagged with the write's epoch so the writer
-// parks it until that epoch persists. noreply skips both the response
-// and the durability work.
-func (c *conn) execWrite(noreply bool, f func(r *rt) ([]byte, uint64)) {
+// buffered queues the ack immediately, sync forces the owning shard's
+// Sync first, and epoch-wait queues the ack tagged with the write's
+// (shard, epoch) so the writer parks it until that epoch persists on
+// that shard. noreply skips both the response and the durability work.
+func (c *conn) execWrite(noreply bool, f func(r *rt) ([]byte, kvstore.DurabilityTag)) {
+	c.execWriteTags(noreply, func(r *rt) ([]byte, []kvstore.DurabilityTag) {
+		data, tag := f(r)
+		if tag.IsZero() {
+			return data, nil
+		}
+		return data, []kvstore.DurabilityTag{tag}
+	})
+}
+
+// execWriteTags is execWrite for commands whose mutations may span
+// shards (flush_all): the durability work covers every returned tag —
+// sync mode syncs each touched shard, epoch-wait parks the ack until
+// every tag's epoch persists on its own shard.
+func (c *conn) execWriteTags(noreply bool, f func(r *rt) ([]byte, []kvstore.DurabilityTag)) {
 	s := c.srv
 	s.mu.RLock()
 	r := s.cur
-	data, tag := f(r)
+	data, tags := f(r)
 	p := pending{data: data}
-	if !noreply && tag != 0 && r.esys != nil {
+	if !noreply && len(tags) > 0 && r.pool != nil {
 		switch c.mode {
 		case AckSync:
 			st := s.rec.Start()
-			r.sys.Sync(c.tid)
+			for _, tag := range tags {
+				r.pool.Shard(tag.Shard).Sync(c.tid)
+			}
 			s.rec.ObserveSince(c.tid, obs.HAckSyncNs, st)
 			s.rec.Inc(c.tid, obs.CNetAcksSync)
 		case AckEpochWait:
-			p.tag, p.esys, p.crashCh = tag, r.esys, r.crashCh
+			p.waits = make([]ackWait, len(tags))
+			for i, tag := range tags {
+				p.waits[i] = ackWait{esys: r.esysFor(tag.Shard), epoch: tag.Epoch}
+			}
+			p.crashCh = r.crashCh
 			p.start = s.rec.Start()
 		default:
 			s.rec.Inc(c.tid, obs.CNetAcksBuffered)
@@ -368,44 +404,44 @@ func (c *conn) doStore(verb string, args []string) error {
 	}
 	enc := encodeValue(a.flags, body)
 	ttl := ttlFor(a.exptime)
-	c.execWrite(a.noreply, func(r *rt) ([]byte, uint64) {
+	c.execWrite(a.noreply, func(r *rt) ([]byte, kvstore.DurabilityTag) {
 		switch verb {
 		case "set":
 			tag, err := r.store.SetTag(c.tid, a.key, enc, ttl)
 			if err != nil {
-				return serverError(err.Error()), 0
+				return serverError(err.Error()), kvstore.DurabilityTag{}
 			}
 			return respStored, tag
 		case "add":
 			stored, tag, err := r.store.Add(c.tid, a.key, enc, ttl)
 			if err != nil {
-				return serverError(err.Error()), 0
+				return serverError(err.Error()), kvstore.DurabilityTag{}
 			}
 			if !stored {
-				return respNotStored, 0
+				return respNotStored, kvstore.DurabilityTag{}
 			}
 			return respStored, tag
 		case "replace":
 			stored, tag, err := r.store.Replace(c.tid, a.key, enc, ttl)
 			if err != nil {
-				return serverError(err.Error()), 0
+				return serverError(err.Error()), kvstore.DurabilityTag{}
 			}
 			if !stored {
-				return respNotStored, 0
+				return respNotStored, kvstore.DurabilityTag{}
 			}
 			return respStored, tag
 		default: // cas
 			out, tag, err := r.store.CompareAndSwap(c.tid, a.key, enc, ttl, a.cas)
 			if err != nil {
-				return serverError(err.Error()), 0
+				return serverError(err.Error()), kvstore.DurabilityTag{}
 			}
 			switch out {
 			case kvstore.CASStored:
 				return respStored, tag
 			case kvstore.CASExists:
-				return respExists, 0
+				return respExists, kvstore.DurabilityTag{}
 			default:
-				return respNotFound, 0
+				return respNotFound, kvstore.DurabilityTag{}
 			}
 		}
 	})
@@ -427,13 +463,13 @@ func (c *conn) doDelete(args []string) {
 		return
 	}
 	key := args[0]
-	c.execWrite(noreply, func(r *rt) ([]byte, uint64) {
+	c.execWrite(noreply, func(r *rt) ([]byte, kvstore.DurabilityTag) {
 		ok, tag, err := r.store.DeleteTag(c.tid, key)
 		if err != nil {
-			return serverError(err.Error()), 0
+			return serverError(err.Error()), kvstore.DurabilityTag{}
 		}
 		if !ok {
-			return respNotFound, 0
+			return respNotFound, kvstore.DurabilityTag{}
 		}
 		return respDeleted, tag
 	})
@@ -455,13 +491,13 @@ func (c *conn) doTouch(args []string) {
 		return
 	}
 	key, ttl := args[0], ttlFor(exptime)
-	c.execWrite(noreply, func(r *rt) ([]byte, uint64) {
+	c.execWrite(noreply, func(r *rt) ([]byte, kvstore.DurabilityTag) {
 		found, tag, err := r.store.Touch(c.tid, key, ttl)
 		if err != nil {
-			return serverError(err.Error()), 0
+			return serverError(err.Error()), kvstore.DurabilityTag{}
 		}
 		if !found {
-			return respNotFound, 0
+			return respNotFound, kvstore.DurabilityTag{}
 		}
 		return respTouched, tag
 	})
@@ -484,12 +520,12 @@ func (c *conn) doFlushAll(args []string) {
 			return
 		}
 	}
-	c.execWrite(noreply, func(r *rt) ([]byte, uint64) {
-		_, tag, err := r.store.Flush(c.tid)
+	c.execWriteTags(noreply, func(r *rt) ([]byte, []kvstore.DurabilityTag) {
+		_, tags, err := r.store.Flush(c.tid)
 		if err != nil {
-			return serverError(err.Error()), 0
+			return serverError(err.Error()), nil
 		}
-		return respOK, tag
+		return respOK, tags
 	})
 }
 
@@ -514,9 +550,21 @@ func (c *conn) statsBody(r *rt) []byte {
 	put("evictions", st.Evictions.Load())
 	put("expired_unfetched", st.Expirations.Load())
 	put("curr_items", len(r.store.Keys(c.tid)))
-	if r.esys != nil {
-		put("epoch", r.esys.Epoch())
-		put("persisted_epoch", r.esys.PersistedEpoch())
+	if r.pool != nil {
+		// Shard 0's clock keeps the historic flat keys meaningful (and,
+		// with one shard, identical to the pre-pool output); multi-shard
+		// pools additionally report every domain's own watermarks.
+		e0 := r.pool.Shard(0).Epochs()
+		put("epoch", e0.Epoch())
+		put("persisted_epoch", e0.PersistedEpoch())
+		if n := r.pool.NumShards(); n > 1 {
+			put("shards", n)
+			for i := 0; i < n; i++ {
+				es := r.pool.Shard(i).Epochs()
+				put(fmt.Sprintf("shard_%d_epoch", i), es.Epoch())
+				put(fmt.Sprintf("shard_%d_persisted_epoch", i), es.PersistedEpoch())
+			}
+		}
 	}
 	if snap := c.srv.rec.Snapshot(); snap.Enabled {
 		put("curr_connections", snap.Server.Conns-snap.Server.ConnsClosed)

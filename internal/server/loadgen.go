@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"montage/internal/pool"
 	"montage/internal/ycsb"
 )
 
@@ -37,6 +38,12 @@ type LoadConfig struct {
 	// Seed seeds the workload generators (per-connection offsets are
 	// derived from it).
 	Seed int64
+	// Shards, when > 1, tallies which pool shard each issued operation's
+	// key routes to (pool.ShardForKey with this count), so the result
+	// reports router balance under the real workload skew. It must match
+	// the server's shard count for the tally to mean anything; it does
+	// not change the generated load.
+	Shards int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -75,12 +82,47 @@ type LoadResult struct {
 	P90       time.Duration
 	P99       time.Duration
 	Max       time.Duration
+	// ShardOps[i] counts timed-phase operations whose key routes to pool
+	// shard i (only populated when LoadConfig.Shards > 1).
+	ShardOps []uint64
 }
 
 func (r LoadResult) String() string {
-	return fmt.Sprintf("%d ops in %v (%.0f ops/s, %d errors) latency p50=%v p90=%v p99=%v max=%v",
+	s := fmt.Sprintf("%d ops in %v (%.0f ops/s, %d errors) latency p50=%v p90=%v p99=%v max=%v",
 		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Errors,
 		r.P50, r.P90, r.P99, r.Max)
+	if dist := r.ShardDistribution(); dist != "" {
+		s += "\n" + dist
+	}
+	return s
+}
+
+// ShardDistribution renders the per-shard routing tally ("" when it was
+// not collected): each shard's share of issued operations, plus the
+// max/mean imbalance factor, so workload skew across the router is
+// visible next to the latency numbers.
+func (r LoadResult) ShardDistribution() string {
+	if len(r.ShardOps) < 2 {
+		return ""
+	}
+	var total, max uint64
+	for _, n := range r.ShardOps {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard distribution (%d shards):", len(r.ShardOps))
+	for s, n := range r.ShardOps {
+		fmt.Fprintf(&b, " %d:%.1f%%", s, 100*float64(n)/float64(total))
+	}
+	mean := float64(total) / float64(len(r.ShardOps))
+	fmt.Fprintf(&b, " (imbalance max/mean %.2f)", float64(max)/mean)
+	return b.String()
 }
 
 // latHist is a log2-bucketed latency histogram (bucket i holds values
@@ -137,6 +179,7 @@ func (h *latHist) max() time.Duration {
 type connStats struct {
 	ops, reads, writes, errors uint64
 	lat                        latHist
+	shardOps                   []uint64
 }
 
 // reqToken tracks one in-flight pipelined request.
@@ -192,6 +235,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		res.Writes += stats[i].writes
 		res.Errors += stats[i].errors
 		lat.merge(&stats[i].lat)
+		if stats[i].shardOps != nil {
+			if res.ShardOps == nil {
+				res.ShardOps = make([]uint64, len(stats[i].shardOps))
+			}
+			for s, n := range stats[i].shardOps {
+				res.ShardOps[s] += n
+			}
+		}
 	}
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
@@ -256,6 +307,9 @@ func runLoadConn(cfg LoadConfig, id int, st *connStats, signalReady func(), star
 	<-start
 
 	w := ycsb.NewWorkload(cfg.Records, cfg.ReadFrac, cfg.Seed+int64(id)*7919)
+	if cfg.Shards > 1 {
+		st.shardOps = make([]uint64, cfg.Shards)
+	}
 	inflight := make(chan reqToken, cfg.Pipeline)
 	readerDone := make(chan error, 1)
 	go func() { readerDone <- loadReader(br, inflight, st) }()
@@ -265,6 +319,9 @@ func runLoadConn(cfg LoadConfig, id int, st *connStats, signalReady func(), star
 	var sendErr error
 	for time.Now().Before(deadline) {
 		op := w.Next()
+		if st.shardOps != nil {
+			st.shardOps[pool.ShardForKey(op.Key, cfg.Shards)]++
+		}
 		if op.Kind == ycsb.Read {
 			fmt.Fprintf(bw, "get %s\r\n", op.Key)
 		} else {

@@ -40,8 +40,8 @@ import (
 	"montage/internal/epoch"
 	"montage/internal/kvstore"
 	"montage/internal/obs"
-	"montage/internal/pds"
 	"montage/internal/pmem"
+	"montage/internal/pool"
 )
 
 // AckMode is a connection's durability-acknowledgement mode.
@@ -100,6 +100,13 @@ type Config struct {
 	Buckets int
 	// Capacity bounds the item count with LRU eviction (0 = unbounded).
 	Capacity int
+	// Shards is the number of independent Montage epoch domains the
+	// store is partitioned into (default 1). Keys route to shards by a
+	// stable hash; each shard has its own device, heap, and epoch
+	// daemon, so epoch advances and durability waits on one shard never
+	// contend with another's. ArenaSize is per shard. When reopening a
+	// pool image, the image's own shard count wins.
+	Shards int
 	// MaxConns bounds concurrent connections; each holds a Montage
 	// thread id (default 64).
 	MaxConns int
@@ -146,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxItemSize == 0 {
 		c.MaxItemSize = 1 << 20
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
@@ -162,15 +172,23 @@ func (c Config) coreConfig() core.Config {
 	}
 }
 
-// rt is the crash-replaceable half of the server: the Montage system,
-// the store over it, and the abort channel wired to every response
-// parked on this incarnation's epoch clock. Crash swaps the whole
-// bundle under the server's write lock.
+// rt is the crash-replaceable half of the server: the Montage pool, the
+// store over it, and the abort channel wired to every response parked
+// on this incarnation's epoch clocks. Crash swaps the whole bundle
+// under the server's write lock.
 type rt struct {
-	sys     *core.System // nil for transient backends
-	esys    *epoch.Sys   // nil for transient backends
+	pool    *pool.Pool // nil for transient backends
 	store   *kvstore.Store
 	crashCh chan struct{} // closed by Crash to abort parked acks
+}
+
+// esysFor returns the epoch system owning a durability tag's shard, or
+// nil for transient backends.
+func (r *rt) esysFor(shard int) *epoch.Sys {
+	if r.pool == nil {
+		return nil
+	}
+	return r.pool.Shard(shard).Epochs()
 }
 
 // Server is the TCP front end.
@@ -215,7 +233,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.cur = r
-		s.rec = r.sys.Recorder()
+		s.rec = r.pool.Shard(0).Recorder()
 	case "dram", "nvm":
 		env, err := baselines.NewEnv(cfg.ArenaSize, cfg.maxThreads(), nil)
 		if err != nil {
@@ -237,29 +255,42 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// openMontage builds the persistent runtime, from the pool image when
-// one exists.
-func (s *Server) openMontage() (*rt, error) {
+// poolConfig assembles the pool configuration, ensuring a recorder is
+// shared by every shard: the server's counters must live in one place
+// (ack metrics from conn.go, pool stats from every shard) and must
+// survive crash-injection swaps.
+func (s *Server) poolConfig() pool.Config {
 	ccfg := s.cfg.coreConfig()
+	if ccfg.Recorder == nil {
+		ccfg.Recorder = obs.New(s.cfg.maxThreads())
+	}
+	return pool.Config{Shards: s.cfg.Shards, Core: ccfg}
+}
+
+// openMontage builds the persistent runtime, from the pool image when
+// one exists (the image's shard count wins over cfg.Shards: the stored
+// keys were routed under it).
+func (s *Server) openMontage() (*rt, error) {
+	pcfg := s.poolConfig()
 	if s.cfg.PoolPath != "" {
-		if dev, err := pmem.NewDeviceFromFile(s.cfg.PoolPath, ccfg.MaxThreads, nil); err == nil {
-			sys, chunks, err := core.RecoverParallel(dev, ccfg, ccfg.MaxThreads)
-			if err != nil {
-				return nil, fmt.Errorf("server: recover pool %s: %w", s.cfg.PoolPath, err)
-			}
-			store, err := kvstore.RecoverMontageStore(sys, s.cfg.Buckets, chunks, s.cfg.Capacity)
+		p, chunks, loaded, err := pool.Open(s.cfg.PoolPath, pcfg, pcfg.Core.MaxThreads)
+		if err != nil {
+			return nil, fmt.Errorf("server: recover pool %s: %w", s.cfg.PoolPath, err)
+		}
+		if loaded {
+			store, err := kvstore.RecoverShardedStore(p, s.cfg.Buckets, chunks, s.cfg.Capacity)
 			if err != nil {
 				return nil, fmt.Errorf("server: rebuild store: %w", err)
 			}
-			return &rt{sys: sys, esys: sys.Epochs(), store: store, crashCh: make(chan struct{})}, nil
+			return &rt{pool: p, store: store, crashCh: make(chan struct{})}, nil
 		}
 	}
-	sys, err := core.NewSystem(ccfg)
+	p, err := pool.New(pcfg)
 	if err != nil {
 		return nil, err
 	}
-	store := kvstore.New(kvstore.NewMontageBackend(pds.NewHashMap(sys, s.cfg.Buckets)), s.cfg.Capacity)
-	return &rt{sys: sys, esys: sys.Epochs(), store: store, crashCh: make(chan struct{})}, nil
+	store := kvstore.New(kvstore.NewShardedBackend(p, s.cfg.Buckets), s.cfg.Capacity)
+	return &rt{pool: p, store: store, crashCh: make(chan struct{})}, nil
 }
 
 // Listen binds the TCP listener and returns its address (useful with
@@ -339,51 +370,51 @@ func (s *Server) Crash(mode pmem.CrashMode) (survivors int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur
-	if old.sys == nil {
+	if old.pool == nil {
 		return 0, errors.New("server: crash requires the montage backend")
 	}
-	// Release every response parked on the old epoch clock first: after
-	// Abandon the old clock never ticks again, so a waiter that missed
+	// Release every response parked on the old epoch clocks first: after
+	// Abandon the old clocks never tick again, so a waiter that missed
 	// this close would hang forever.
 	close(old.crashCh)
-	// Stop the old daemon WITHOUT the flushing advances of Close: its
-	// stale buffers and clock must never reach the device the recovered
-	// system is about to own.
-	old.sys.Abandon()
-	old.sys.Device().Crash(mode)
-	ccfg := s.cfg.coreConfig()
-	ccfg.Recorder = s.rec // counters span the crash
-	sys, chunks, err := core.RecoverParallel(old.sys.Device(), ccfg, ccfg.MaxThreads)
+	// Crash abandons every shard's daemon WITHOUT the flushing advances
+	// of Close — stale buffers and clocks must never reach the devices
+	// the recovered pool is about to own — then fails every shard's
+	// device. Recover keeps each shard's recorder, so counters span the
+	// crash.
+	old.pool.Crash(mode)
+	p, chunks, err := old.pool.Recover(s.cfg.maxThreads())
 	if err != nil {
 		return 0, err
 	}
-	store, err := kvstore.RecoverMontageStore(sys, s.cfg.Buckets, chunks, s.cfg.Capacity)
+	store, err := kvstore.RecoverShardedStore(p, s.cfg.Buckets, chunks, s.cfg.Capacity)
 	if err != nil {
 		return 0, err
 	}
-	s.cur = &rt{sys: sys, esys: sys.Epochs(), store: store, crashCh: make(chan struct{})}
+	s.cur = &rt{pool: p, store: store, crashCh: make(chan struct{})}
 	s.rec.Inc(s.adminTid, obs.CNetCrashes)
 	return len(store.Keys(s.adminTid)), nil
 }
 
-// Sync forces all completed operations durable (admin path: shutdown,
-// tests).
+// Sync forces all completed operations durable on every shard (admin
+// path: shutdown, tests).
 func (s *Server) Sync() {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.cur.sys != nil {
-		s.cur.sys.Sync(s.adminTid)
+	if s.cur.pool != nil {
+		s.cur.pool.Sync(s.adminTid)
 	}
 }
 
-// SavePool syncs and writes the device image to path.
+// SavePool syncs and writes the pool image to path (a single file for
+// one shard, a manifest directory for several).
 func (s *Server) SavePool(path string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.cur.sys == nil {
+	if s.cur.pool == nil {
 		return errors.New("server: no pool to save (transient backend)")
 	}
-	return s.cur.sys.Checkpoint(s.adminTid, path)
+	return s.cur.pool.Save(s.adminTid, path)
 }
 
 // Shutdown drains the server: stop accepting, wait up to drain for
@@ -410,19 +441,31 @@ func (s *Server) Shutdown(drain time.Duration) error {
 	var err error
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.cur.sys != nil {
+	if s.cur.pool != nil {
 		if s.cfg.PoolPath != "" {
-			err = s.cur.sys.Checkpoint(s.adminTid, s.cfg.PoolPath)
+			err = s.cur.pool.Save(s.adminTid, s.cfg.PoolPath)
 		} else {
-			s.cur.sys.Sync(s.adminTid)
+			s.cur.pool.Sync(s.adminTid)
 		}
-		s.cur.sys.Close()
+		s.cur.pool.Close()
 	}
 	return err
 }
 
 // Recorder returns the observability recorder serving this server.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// NumShards reports the pool's shard count (1 for transient backends,
+// which have a single logical domain). When a pool image was reopened,
+// this is the image's count, which may differ from Config.Shards.
+func (s *Server) NumShards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cur.pool == nil {
+		return 1
+	}
+	return s.cur.pool.NumShards()
+}
 
 // Store returns the current store (tests; swapped by Crash).
 func (s *Server) Store() *kvstore.Store {

@@ -45,6 +45,7 @@ import (
 	"montage/internal/obs"
 	"montage/internal/pds"
 	"montage/internal/pmem"
+	"montage/internal/pool"
 	"montage/internal/simclock"
 )
 
@@ -278,3 +279,33 @@ const (
 	CrashDropAll = pmem.CrashDropAll
 	CrashPartial = pmem.CrashPartial
 )
+
+// Pool is a sharded Montage runtime: N fully independent Systems —
+// each with its own arena, allocator, and epoch clock — behind a
+// stable key router. Shards persist independently; there is no
+// cross-shard ordering or atomicity. A one-shard Pool behaves exactly
+// like a single System and reads/writes the same single-file images.
+type Pool = pool.Pool
+
+// PoolConfig configures a Pool: the shard count plus the per-shard
+// system Config.
+type PoolConfig = pool.Config
+
+// PoolStats is an aggregate snapshot across a Pool's shards.
+type PoolStats = pool.PoolStats
+
+// NewPool creates a fresh pool of cfg.Shards independent systems.
+func NewPool(cfg PoolConfig) (*Pool, error) { return pool.New(cfg) }
+
+// OpenPool reopens a saved pool image — a single file for one shard,
+// a manifest directory for several — recovering every shard in
+// parallel. The image's shard count overrides cfg.Shards, so keys
+// stored before the reopen keep routing to their original shards.
+// A missing path returns loaded=false and no error.
+func OpenPool(path string, cfg PoolConfig, workers int) (*Pool, [][][]*PBlk, bool, error) {
+	return pool.Open(path, cfg, workers)
+}
+
+// ShardForKey routes key to one of n shards with a process-stable
+// hash (FNV-1a), so routing survives save/reopen cycles.
+func ShardForKey(key string, n int) int { return pool.ShardForKey(key, n) }
