@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve-smoke clean
+.PHONY: build test race vet bench bench-smoke serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,14 @@ build:
 test: vet serve-smoke
 	$(GO) test ./...
 
-# Race-check the concurrency-heavy packages: the observability recorder
-# (hammered from every worker), the epoch system, the data structures,
-# the sharded pool (concurrent writers + whole-pool crash/recovery),
-# and the striped-LRU kvstore.
+# Race-check the concurrency-heavy packages: the simulated device (the
+# write-combining staging pipeline under concurrent writers and a
+# crashing daemon), the observability recorder (hammered from every
+# worker), the epoch system, the data structures, the sharded pool
+# (concurrent writers + whole-pool crash/recovery), and the striped-LRU
+# kvstore.
 race:
-	$(GO) test -race ./internal/obs ./internal/epoch ./internal/pds ./internal/pool ./internal/kvstore
+	$(GO) test -race ./internal/pmem ./internal/obs ./internal/epoch ./internal/pds ./internal/pool ./internal/kvstore
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +29,13 @@ serve-smoke:
 # Quick-scale figure regeneration with a runtime-stats stream.
 bench:
 	$(GO) run ./cmd/montage-bench -figure 6 -scale quick -stats-file stats_quick.json
+
+# One-iteration pass over the hot-path microbenchmarks (device
+# write-back/fence/drain, allocator size-class lookup): catches
+# benchmark-code rot and accidental allocation regressions without
+# measuring anything.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/pmem ./internal/ralloc
 
 clean:
 	rm -f stats_quick.json

@@ -18,7 +18,10 @@
 // connection counts in real wall-clock time; "shard" sweeps the pool's
 // shard count (independent epoch domains) under the same loadgen.
 // Neither is part of "all" because their numbers depend on the host,
-// not the simulated device.
+// not the simulated device. "writeback" profiles the device's
+// write-combining pipeline (combine ratio and serial-vs-parallel drain)
+// under a write-only zipfian load; it runs on virtual time but is kept
+// out of "all" as a device-tuning figure rather than a paper figure.
 package main
 
 import (
@@ -49,7 +52,7 @@ type rowRecord struct {
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: 4,5,6,7a,7b,8a,8b,9,10,11,12,recovery,net,shard,all")
+		figure  = flag.String("figure", "all", "figure to regenerate: 4,5,6,7a,7b,8a,8b,9,10,11,12,recovery,net,shard,writeback,all")
 		scale   = flag.String("scale", "default", "workload scale: quick, default, paper")
 		systems = flag.String("systems", "", "comma-separated subset of systems (default: all for the figure)")
 		threads = flag.String("threads", "", "comma-separated thread counts (default: scale's list)")
@@ -155,6 +158,8 @@ func main() {
 			rs, err = bench.FigNet(sc, nil, nil)
 		case "shard":
 			rs, err = bench.FigShard(sc, nil, nil)
+		case "writeback":
+			rs, err = bench.FigWriteback(sc, nil)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 			os.Exit(2)

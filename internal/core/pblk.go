@@ -35,11 +35,14 @@ type PBlk struct {
 // PAddr implements epoch.Persistable.
 func (p *PBlk) PAddr() pmem.Addr { return p.addr }
 
-// PEncodeTo implements epoch.Persistable.
-func (p *PBlk) PEncodeTo() []byte {
-	buf := make([]byte, payload.EncodedSize(len(p.data)))
-	payload.Encode(buf, payload.Header{Epoch: p.epoch, UID: p.uid, Typ: p.typ, Tag: p.tag}, p.data)
-	return buf
+// PEncodedSize implements epoch.Persistable.
+func (p *PBlk) PEncodedSize() int { return payload.EncodedSize(len(p.data)) }
+
+// PEncodeInto implements epoch.Persistable: header and data serialize as
+// one combined image directly into the device's staging buffer, so a
+// payload mutation costs a single staged write-back and no allocation.
+func (p *PBlk) PEncodeInto(dst []byte) {
+	payload.Encode(dst, payload.Header{Epoch: p.epoch, UID: p.uid, Typ: p.typ, Tag: p.tag}, p.data)
 }
 
 // MarkBuffered implements epoch.Persistable.

@@ -43,8 +43,10 @@ func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error
 	}
 	rec := recorderFor(cfg)
 	// Attach before the sweep so recovery reads and the new system's
-	// epoch daemon are instrumented from the start.
+	// epoch daemon are instrumented from the start; a reopened device
+	// also inherits the configured drain parallelism.
 	dev.SetRecorder(rec)
+	dev.SetDrainWorkers(cfg.DrainWorkers)
 	heap, err := ralloc.New(dev, cfg.MaxThreads, ralloc.Options{SuperblockSize: cfg.SuperblockSize})
 	if err != nil {
 		return nil, nil, err

@@ -120,8 +120,13 @@ func (c Config) withDefaults() Config {
 type Persistable interface {
 	// PAddr returns the block's home address in the arena.
 	PAddr() pmem.Addr
-	// PEncodeTo serializes the block's current header and data.
-	PEncodeTo() []byte
+	// PEncodedSize returns the size of the block's serialized image.
+	PEncodedSize() int
+	// PEncodeInto serializes the block's current header and data into
+	// dst, which has PEncodedSize() bytes. Writing straight into the
+	// device's staging buffer keeps the flush path allocation-free and
+	// stages header+data as one combined write-back.
+	PEncodeInto(dst []byte)
 	// MarkBuffered attempts to transition the block into "queued for
 	// write-back" state; it returns false if the block is already queued.
 	MarkBuffered() bool
@@ -531,15 +536,15 @@ func (s *Sys) flushOne(tid int, p Persistable, kind obs.CounterID) {
 		rec.Inc(tid, obs.CPersistDead)
 		return
 	}
-	buf := p.PEncodeTo()
-	if err := s.dev.WriteBack(tid, p.PAddr(), buf); err != nil {
+	n := p.PEncodedSize()
+	if err := s.dev.WriteBackEncoded(tid, p.PAddr(), n, p); err != nil {
 		panic("epoch: payload write-back failed: " + err.Error())
 	}
 	p.MarkFlushed()
 	p.ClearBuffered()
 	if rec != nil {
 		rec.Inc(tid, kind)
-		rec.Add(tid, obs.CPersistBytes, uint64(len(buf)))
+		rec.Add(tid, obs.CPersistBytes, uint64(n))
 	}
 }
 

@@ -22,11 +22,10 @@ type mockPayload struct {
 	dead     atomic.Bool
 }
 
-func (m *mockPayload) PAddr() pmem.Addr { return m.addr }
-func (m *mockPayload) PEncodeTo() []byte {
-	buf := make([]byte, payload.EncodedSize(len(m.data)))
-	payload.Encode(buf, payload.Header{Epoch: m.epoch, UID: m.uid, Typ: payload.Alloc}, m.data)
-	return buf
+func (m *mockPayload) PAddr() pmem.Addr  { return m.addr }
+func (m *mockPayload) PEncodedSize() int { return payload.EncodedSize(len(m.data)) }
+func (m *mockPayload) PEncodeInto(dst []byte) {
+	payload.Encode(dst, payload.Header{Epoch: m.epoch, UID: m.uid, Typ: payload.Alloc}, m.data)
 }
 func (m *mockPayload) MarkBuffered() bool { return m.buffered.CompareAndSwap(false, true) }
 func (m *mockPayload) ClearBuffered()     { m.buffered.Store(false) }

@@ -49,8 +49,9 @@ const (
 	CMindicatorScans                  // boundary scans actually performed
 
 	// Simulated NVM device (internal/pmem).
-	CWriteBacks     // WriteBack calls (staged cacheline write-backs)
-	CWriteBackBytes // bytes staged by WriteBack
+	CWriteBacks         // WriteBack calls (staged cacheline write-backs)
+	CWriteBackBytes     // bytes staged by WriteBack
+	CWriteBackCoalesced // write-backs absorbed in place by an already-staged block (write combining)
 	CFences         // Fence calls
 	CDrains         // Drain calls (epoch-boundary full drains)
 	CReads          // Read calls
@@ -107,8 +108,10 @@ const (
 	HAdvanceNs     HistID = iota // epoch advance latency (wall ns)
 	HWaitAllNs                   // quiescence (waitAll) stall inside an advance (wall ns)
 	HSyncNs                      // Sync latency (wall ns)
-	HFenceBatch                  // staged writes committed per Fence
-	HDrainBatch                  // staged writes committed per Drain
+	HFenceBatch                  // staged blocks committed per Fence
+	HDrainBatch                  // staged blocks committed per Drain
+	HCombineRatio                // write-backs per committed block x100 per fence/drain (100 = no combining)
+	HDrainWorkers                // commit workers used per Drain
 	HAckSyncNs                   // sync-mode ack wait: forced Sync on the request path (wall ns)
 	HAckEpochNs                  // epoch-wait-mode ack park time until the epoch persisted (wall ns)
 	HPipelineDepth               // per-connection response-queue depth sampled at each enqueue

@@ -41,6 +41,10 @@ type EpochStats struct {
 type DeviceStats struct {
 	WriteBacks     uint64 `json:"write_backs"`
 	WriteBackBytes uint64 `json:"write_back_bytes"`
+	// WriteBackCoalesced counts write-backs absorbed in place by an
+	// already-staged copy of the same block; the staging layer's write
+	// combining turns these into zero commit work.
+	WriteBackCoalesced uint64 `json:"write_backs_coalesced"`
 	Fences         uint64 `json:"fences"`
 	Drains         uint64 `json:"drains"`
 	Reads          uint64 `json:"reads"`
@@ -117,6 +121,8 @@ type LatencyStats struct {
 	SyncNs        HistStats `json:"sync_ns"`
 	FenceBatch    HistStats `json:"fence_batch"`
 	DrainBatch    HistStats `json:"drain_batch"`
+	CombineRatio  HistStats `json:"combine_ratio_x100"`
+	DrainWorkers  HistStats `json:"drain_workers"`
 	AckSyncNs     HistStats `json:"ack_sync_ns"`
 	AckEpochNs    HistStats `json:"ack_epoch_wait_ns"`
 	PipelineDepth HistStats `json:"pipeline_depth"`
@@ -258,8 +264,9 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		MindicatorScans: c[CMindicatorScans],
 	}
 	s.Device = DeviceStats{
-		WriteBacks:     c[CWriteBacks],
-		WriteBackBytes: c[CWriteBackBytes],
+		WriteBacks:         c[CWriteBacks],
+		WriteBackBytes:     c[CWriteBackBytes],
+		WriteBackCoalesced: c[CWriteBackCoalesced],
 		Fences:         c[CFences],
 		Drains:         c[CDrains],
 		Reads:          c[CReads],
@@ -314,6 +321,8 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		SyncNs:        summarize(&raw.hists[HSyncNs]),
 		FenceBatch:    summarize(&raw.hists[HFenceBatch]),
 		DrainBatch:    summarize(&raw.hists[HDrainBatch]),
+		CombineRatio:  summarize(&raw.hists[HCombineRatio]),
+		DrainWorkers:  summarize(&raw.hists[HDrainWorkers]),
 		AckSyncNs:     summarize(&raw.hists[HAckSyncNs]),
 		AckEpochNs:    summarize(&raw.hists[HAckEpochNs]),
 		PipelineDepth: summarize(&raw.hists[HPipelineDepth]),

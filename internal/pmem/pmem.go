@@ -14,13 +14,24 @@
 // under a seeded fuzz mode, commits a random subset of them, modeling
 // out-of-order cacheline eviction — after which only the arena contents
 // are visible to recovery, just as after a real power failure.
+//
+// Staging is write-combining, as a real cache is: repeated write-backs to
+// the same block coalesce into one staged copy (newest wins), so an
+// epoch's worth of updates to a hot payload commits exactly once at the
+// fence. Staged copies are recycled through a per-thread pool, making the
+// steady-state WriteBack+Fence path allocation-free, and Drain partitions
+// the combined cross-thread batch over several workers so the epoch
+// daemon's persist step is not serialized behind one lock.
 package pmem
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -44,9 +55,110 @@ type stagedWrite struct {
 	seq  uint64
 }
 
+// maxPoolBufs bounds the per-thread staging-buffer pool; overflow is left
+// to the garbage collector.
+const maxPoolBufs = 512
+
+// threadBuf is one thread's write-combining staging buffer: an
+// address-indexed set of staged blocks plus a pool of recycled copies.
 type threadBuf struct {
-	mu     sync.Mutex
-	staged []stagedWrite
+	mu       sync.Mutex
+	staged   []stagedWrite
+	index    map[Addr]int // addr -> position in staged
+	pool     [][]byte     // recycled staging copies
+	inactive []stagedWrite
+	absorbed uint64 // write-backs coalesced into an existing entry since the last steal
+}
+
+// stageLocked returns a staging buffer of n bytes for addr, coalescing
+// with an existing staged entry for the same block (newest wins, at block
+// granularity — exactly the behavior of a dirty cache line absorbing
+// repeated stores). The caller holds b.mu and fills the returned buffer
+// before releasing it.
+func (b *threadBuf) stageLocked(d *Device, addr Addr, n int) ([]byte, bool) {
+	seq := d.seq.Add(1)
+	if i, ok := b.index[addr]; ok {
+		e := &b.staged[i]
+		if cap(e.data) >= n {
+			e.data = e.data[:n]
+		} else {
+			b.putBuf(e.data)
+			e.data = make([]byte, n)
+		}
+		e.seq = seq
+		b.absorbed++
+		return e.data, true
+	}
+	if b.index == nil {
+		b.index = make(map[Addr]int)
+	}
+	buf := b.takeBuf(n)
+	b.staged = append(b.staged, stagedWrite{addr: addr, data: buf, seq: seq})
+	b.index[addr] = len(b.staged) - 1
+	return buf, false
+}
+
+// takeBuf pops a pooled buffer with capacity >= n, or allocates one.
+// Payload sizes repeat, so the scan almost always hits at the top.
+func (b *threadBuf) takeBuf(n int) []byte {
+	for i := len(b.pool) - 1; i >= 0; i-- {
+		if cap(b.pool[i]) >= n {
+			buf := b.pool[i][:n]
+			b.pool[i] = b.pool[len(b.pool)-1]
+			b.pool = b.pool[:len(b.pool)-1]
+			return buf
+		}
+	}
+	return make([]byte, n)
+}
+
+func (b *threadBuf) putBuf(buf []byte) {
+	if cap(buf) > 0 && len(b.pool) < maxPoolBufs {
+		b.pool = append(b.pool, buf[:0])
+	}
+}
+
+// stealLocked detaches the staged batch for committing, leaving the
+// buffer ready for new writes without allocating (the batch array comes
+// back via recycleLocked). It returns the batch and the number of
+// WriteBack calls it represents (coalesced writes included).
+func (b *threadBuf) stealLocked() ([]stagedWrite, uint64) {
+	if len(b.staged) == 0 {
+		return nil, 0
+	}
+	batch := b.staged
+	b.staged = b.inactive[:0]
+	b.inactive = nil
+	clear(b.index)
+	writes := b.absorbed + uint64(len(batch))
+	b.absorbed = 0
+	return batch, writes
+}
+
+// recycleLocked returns a committed batch's staging copies to the pool
+// and reinstates the batch array as the spare. The caller holds b.mu.
+func (b *threadBuf) recycleLocked(batch []stagedWrite) {
+	for i := range batch {
+		b.putBuf(batch[i].data)
+		batch[i] = stagedWrite{}
+	}
+	if b.inactive == nil {
+		b.inactive = batch[:0]
+	}
+}
+
+// numStripes is the number of coherence stripes the per-address commit
+// state is sharded over. Committers lock only their block's stripe, so
+// a parallel drain's workers and concurrent worker fences do not
+// serialize behind one global mutex.
+const numStripes = 16
+
+// stripe holds the last committed sequence numbers for the addresses
+// that hash to it.
+type stripe struct {
+	mu      sync.Mutex
+	lastSeq map[Addr]uint64
+	_       [40]byte // reduce false sharing between stripes
 }
 
 // Device is a simulated NVM DIMM set.
@@ -57,19 +169,39 @@ type threadBuf struct {
 // address has already committed. Without this, a stale write-back sitting
 // in one thread's staging buffer could clobber a block that was freed,
 // reallocated, and rewritten by another thread — something cache coherence
-// makes impossible on real hardware.
+// makes impossible on real hardware. Coherence is tracked per block start
+// address: all writers of a block (payload write-backs, header
+// invalidations) address its first byte, so the per-address order is the
+// per-block order.
 type Device struct {
-	mu      sync.RWMutex // guards durable + lastSeq for concurrent fence/commit
+	// arenaMu is held shared by every commit and read and exclusively by
+	// whole-arena operations (Snapshot, Save, Crash); per-address mutual
+	// exclusion among committers comes from the stripe locks.
+	arenaMu sync.RWMutex
 	durable []byte
-	lastSeq map[Addr]uint64 // last committed sequence per write address
+	stripes [numStripes]stripe
 
-	seq     atomic.Uint64
-	threads []threadBuf
-	clk     *simclock.Clock
-	stats   obs.Holder
+	seq          atomic.Uint64
+	drainWorkers atomic.Int32
+	threads      []threadBuf
+	clk          *simclock.Clock
+	stats        obs.Holder
+
+	// drainMu serializes whole-device steals (Drain, Crash) and guards
+	// their reusable scratch.
+	drainMu      sync.Mutex
+	drainAll     []stagedWrite
+	drainBatches []stolenBatch
 
 	crashRNG *rand.Rand
 	rngMu    sync.Mutex
+}
+
+// stolenBatch remembers which thread a stolen batch came from so its
+// buffers can be recycled after the commit.
+type stolenBatch struct {
+	b     *threadBuf
+	batch []stagedWrite
 }
 
 // SetRecorder attaches an observability recorder; WriteBack, Fence,
@@ -87,22 +219,31 @@ func NewDevice(size int, maxThreads int, clk *simclock.Clock) *Device {
 	if maxThreads < 1 {
 		maxThreads = 1
 	}
-	return &Device{
+	d := &Device{
 		durable: make([]byte, size),
-		lastSeq: make(map[Addr]uint64),
 		threads: make([]threadBuf, maxThreads+1), // +1 for daemon
 		clk:     clk,
 	}
+	for i := range d.stripes {
+		d.stripes[i].lastSeq = make(map[Addr]uint64)
+	}
+	return d
 }
 
-// commitLocked applies a staged write unless a newer write to the same
-// address has already committed. Callers hold d.mu.
-func (d *Device) commitLocked(w stagedWrite) {
-	if d.lastSeq[w.addr] > w.seq {
-		return
+// SetDrainWorkers fixes the number of workers a Drain partitions its
+// combined batch over. n <= 0 restores the default: GOMAXPROCS capped at
+// 8, scaled down for small batches. Safe to call while the device is in
+// use.
+func (d *Device) SetDrainWorkers(n int) {
+	if n < 0 {
+		n = 0
 	}
-	d.lastSeq[w.addr] = w.seq
-	copy(d.durable[w.addr:], w.data)
+	d.drainWorkers.Store(int32(n))
+}
+
+// stripeFor hashes a block address to its coherence stripe.
+func (d *Device) stripeFor(addr Addr) *stripe {
+	return &d.stripes[(uint64(addr)*0x9E3779B97F4A7C15)>>60&(numStripes-1)]
 }
 
 // Size returns the arena size in bytes.
@@ -127,24 +268,82 @@ func (d *Device) check(addr Addr, n int) error {
 
 // WriteBack stages data for persistence at addr, charging tid the
 // write-back cost. The data does not become durable until the next Fence
-// by the same thread. The slice is copied.
+// by the same thread. The slice is copied into a pooled staging buffer; a
+// later WriteBack by the same thread to the same block overwrites the
+// staged copy in place (newest wins), so repeated updates to one payload
+// commit once.
 func (d *Device) WriteBack(tid int, addr Addr, data []byte) error {
 	if err := d.check(addr, len(data)); err != nil {
 		return err
 	}
 	b := d.buf(tid)
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	b.mu.Lock()
-	b.staged = append(b.staged, stagedWrite{addr, cp, d.seq.Add(1)})
+	dst, coalesced := b.stageLocked(d, addr, len(data))
+	copy(dst, data)
 	b.mu.Unlock()
-	d.clk.ChargeNVMWrite(tid, len(data))
-	d.clk.ChargeWriteBack(tid, len(data))
+	d.finishStage(tid, len(data), coalesced)
+	return nil
+}
+
+// Encoder fills a staging buffer with a block's serialized image. Payload
+// blocks implement it so the persistence pipeline can serialize header and
+// data directly into the (pooled) staging copy in one write-back, without
+// an intermediate allocation.
+type Encoder interface {
+	PEncodeInto(dst []byte)
+}
+
+// WriteBackEncoded stages an n-byte block at addr, letting enc serialize
+// directly into the staging buffer. Combining, pooling, virtual-time
+// charges, and durability semantics are identical to WriteBack.
+func (d *Device) WriteBackEncoded(tid int, addr Addr, n int, enc Encoder) error {
+	if err := d.check(addr, n); err != nil {
+		return err
+	}
+	b := d.buf(tid)
+	b.mu.Lock()
+	dst, coalesced := b.stageLocked(d, addr, n)
+	enc.PEncodeInto(dst)
+	b.mu.Unlock()
+	d.finishStage(tid, n, coalesced)
+	return nil
+}
+
+// finishStage charges the virtual-time and statistics cost of one staged
+// write-back.
+func (d *Device) finishStage(tid, n int, coalesced bool) {
+	d.clk.ChargeNVMWrite(tid, n)
+	d.clk.ChargeWriteBack(tid, n)
 	if rec := d.stats.Get(); rec != nil {
 		rec.Inc(tid, obs.CWriteBacks)
-		rec.Add(tid, obs.CWriteBackBytes, uint64(len(data)))
+		rec.Add(tid, obs.CWriteBackBytes, uint64(n))
+		if coalesced {
+			rec.Inc(tid, obs.CWriteBackCoalesced)
+		}
 	}
-	return nil
+}
+
+// commitBatch applies a batch of staged writes to the media, skipping any
+// write superseded by a newer committed write to the same block. It
+// returns the batch's byte count. Entries touch only their own block's
+// stripe, so concurrent commitBatch calls (worker fences, parallel drain
+// workers) proceed independently.
+func (d *Device) commitBatch(batch []stagedWrite) uint64 {
+	var bytes uint64
+	d.arenaMu.RLock()
+	for i := range batch {
+		w := &batch[i]
+		st := d.stripeFor(w.addr)
+		st.mu.Lock()
+		if st.lastSeq[w.addr] <= w.seq {
+			st.lastSeq[w.addr] = w.seq
+			copy(d.durable[w.addr:], w.data)
+		}
+		st.mu.Unlock()
+		bytes += uint64(len(w.data))
+	}
+	d.arenaMu.RUnlock()
+	return bytes
 }
 
 // Fence commits all writes staged by tid to the durable arena, charging
@@ -152,68 +351,140 @@ func (d *Device) WriteBack(tid int, addr Addr, data []byte) error {
 func (d *Device) Fence(tid int) {
 	b := d.buf(tid)
 	b.mu.Lock()
-	staged := b.staged
-	b.staged = nil
+	batch, writes := b.stealLocked()
 	b.mu.Unlock()
-	if len(staged) > 0 {
-		d.mu.Lock()
-		for _, w := range staged {
-			d.commitLocked(w)
-		}
-		d.mu.Unlock()
+	var bytes uint64
+	if len(batch) > 0 {
+		bytes = d.commitBatch(batch)
 	}
 	d.clk.ChargeFence(tid)
 	if rec := d.stats.Get(); rec != nil {
 		rec.Inc(tid, obs.CFences)
-		rec.Observe(tid, obs.HFenceBatch, uint64(len(staged)))
-		d.recordCommits(rec, tid, staged)
+		rec.Observe(tid, obs.HFenceBatch, uint64(len(batch)))
+		if len(batch) > 0 {
+			rec.Observe(tid, obs.HCombineRatio, writes*100/uint64(len(batch)))
+			rec.Add(tid, obs.CCommits, uint64(len(batch)))
+			rec.Add(tid, obs.CCommitBytes, bytes)
+		}
+	}
+	if len(batch) > 0 {
+		b.mu.Lock()
+		b.recycleLocked(batch)
+		b.mu.Unlock()
 	}
 }
 
-// recordCommits charges the committed-write counters for a fenced or
-// drained batch.
-func (d *Device) recordCommits(rec *obs.Recorder, tid int, staged []stagedWrite) {
-	if len(staged) == 0 {
-		return
+// stealAllLocked detaches every thread's staged batch into the device
+// scratch, in global sequence order. The caller holds d.drainMu and is
+// responsible for recycling via recycleAllLocked.
+func (d *Device) stealAllLocked() (all []stagedWrite, writes uint64) {
+	all = d.drainAll[:0]
+	d.drainBatches = d.drainBatches[:0]
+	for i := range d.threads {
+		b := &d.threads[i]
+		b.mu.Lock()
+		batch, w := b.stealLocked()
+		b.mu.Unlock()
+		if len(batch) > 0 {
+			all = append(all, batch...)
+			d.drainBatches = append(d.drainBatches, stolenBatch{b, batch})
+			writes += w
+		}
 	}
-	var bytes uint64
-	for _, w := range staged {
-		bytes += uint64(len(w.data))
+	// Global write order: the combined batch is sequenced by the global
+	// write stamp, not by per-thread append order, so cross-thread writes
+	// to one block commit (and crash-sample) oldest to newest.
+	slices.SortFunc(all, func(a, b stagedWrite) int { return cmp.Compare(a.seq, b.seq) })
+	d.drainAll = all
+	return all, writes
+}
+
+// recycleAllLocked returns the stolen batches' buffers to their threads'
+// pools. The caller holds d.drainMu.
+func (d *Device) recycleAllLocked() {
+	for i := range d.drainBatches {
+		s := &d.drainBatches[i]
+		s.b.mu.Lock()
+		s.b.recycleLocked(s.batch)
+		s.b.mu.Unlock()
+		*s = stolenBatch{}
 	}
-	rec.Add(tid, obs.CCommits, uint64(len(staged)))
-	rec.Add(tid, obs.CCommitBytes, bytes)
+	d.drainBatches = d.drainBatches[:0]
+}
+
+// drainParallelism picks the number of commit workers for an n-entry
+// combined batch.
+func (d *Device) drainParallelism(n int) int {
+	nw := int(d.drainWorkers.Load())
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+		if nw > 8 {
+			nw = 8
+		}
+	}
+	// Partitioning has a per-worker handoff cost; keep chunks substantial.
+	const minPerWorker = 32
+	if maxW := n / minPerWorker; nw > maxW {
+		nw = maxW
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
 }
 
 // Drain commits every staged write from every thread, in global write
 // order. It models the epoch daemon waiting for all outstanding
 // write-backs — including those issued incrementally by worker threads —
-// to reach the persistence domain before advancing the epoch clock.
+// to reach the persistence domain before advancing the epoch clock. Large
+// combined batches are partitioned across workers (see SetDrainWorkers);
+// per-block coherence is preserved by the stripes' newest-wins check, so
+// partition boundaries need no alignment.
 func (d *Device) Drain(tid int) {
-	var all []stagedWrite
-	for i := range d.threads {
-		b := &d.threads[i]
-		b.mu.Lock()
-		all = append(all, b.staged...)
-		b.staged = nil
-		b.mu.Unlock()
-	}
+	d.drainMu.Lock()
+	all, writes := d.stealAllLocked()
+	var bytes uint64
+	nw := 1
 	if len(all) > 0 {
-		d.mu.Lock()
-		for _, w := range all {
-			d.commitLocked(w)
+		nw = d.drainParallelism(len(all))
+		if nw > 1 {
+			chunk := (len(all) + nw - 1) / nw
+			var wg sync.WaitGroup
+			var byteCount atomic.Uint64
+			for lo := 0; lo < len(all); lo += chunk {
+				hi := lo + chunk
+				if hi > len(all) {
+					hi = len(all)
+				}
+				wg.Add(1)
+				go func(part []stagedWrite) {
+					defer wg.Done()
+					byteCount.Add(d.commitBatch(part))
+				}(all[lo:hi])
+			}
+			wg.Wait()
+			bytes = byteCount.Load()
+		} else {
+			bytes = d.commitBatch(all)
 		}
-		d.mu.Unlock()
+		d.recycleAllLocked()
 	}
+	d.drainMu.Unlock()
 	d.clk.ChargeFenceAll(tid)
 	if rec := d.stats.Get(); rec != nil {
 		rec.Inc(tid, obs.CDrains)
 		rec.Observe(tid, obs.HDrainBatch, uint64(len(all)))
-		d.recordCommits(rec, tid, all)
+		rec.Observe(tid, obs.HDrainWorkers, uint64(nw))
+		if len(all) > 0 {
+			rec.Observe(tid, obs.HCombineRatio, writes*100/uint64(len(all)))
+			rec.Add(tid, obs.CCommits, uint64(len(all)))
+			rec.Add(tid, obs.CCommitBytes, bytes)
+		}
 	}
 }
 
-// PendingWrites returns the number of staged (not yet fenced) writes for
-// tid. Intended for tests.
+// PendingWrites returns the number of staged (not yet fenced) blocks for
+// tid. Coalesced write-backs count once. Intended for tests.
 func (d *Device) PendingWrites(tid int) int {
 	b := d.buf(tid)
 	b.mu.Lock()
@@ -227,9 +498,12 @@ func (d *Device) Read(tid int, addr Addr, dst []byte) error {
 	if err := d.check(addr, len(dst)); err != nil {
 		return err
 	}
-	d.mu.RLock()
+	d.arenaMu.RLock()
+	st := d.stripeFor(addr)
+	st.mu.Lock()
 	copy(dst, d.durable[addr:])
-	d.mu.RUnlock()
+	st.mu.Unlock()
+	d.arenaMu.RUnlock()
 	d.clk.ChargeNVMRead(tid, len(dst))
 	if rec := d.stats.Get(); rec != nil {
 		rec.Inc(tid, obs.CReads)
@@ -245,9 +519,16 @@ func (d *Device) WriteDurable(addr Addr, data []byte) error {
 	if err := d.check(addr, len(data)); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.commitLocked(stagedWrite{addr, data, d.seq.Add(1)})
-	d.mu.Unlock()
+	seq := d.seq.Add(1)
+	d.arenaMu.RLock()
+	st := d.stripeFor(addr)
+	st.mu.Lock()
+	if st.lastSeq[addr] <= seq {
+		st.lastSeq[addr] = seq
+		copy(d.durable[addr:], data)
+	}
+	st.mu.Unlock()
+	d.arenaMu.RUnlock()
 	if rec := d.stats.Get(); rec != nil {
 		rec.Inc(simclock.DaemonTID, obs.CCommits)
 		rec.Add(simclock.DaemonTID, obs.CCommitBytes, uint64(len(data)))
@@ -277,40 +558,48 @@ func (d *Device) SeedCrashRNG(seed int64) {
 }
 
 // Crash simulates a power failure: staged writes are dropped (or, in
-// CrashPartial mode, each staged write independently persists with
-// probability 1/2, modeling out-of-order eviction). After Crash the
-// durable arena is all that remains; the caller is expected to discard
-// every volatile structure and run recovery.
+// CrashPartial mode, each staged block independently persists with
+// probability 1/2, modeling out-of-order eviction). Sampling operates on
+// the coalesced staged set — one decision per dirty block, since a cache
+// holds one line per block, not one per store — and walks it in global
+// sequence order, so a fixed seed maps decisions to writes independent of
+// thread layout. After Crash the durable arena is all that remains; the
+// caller is expected to discard every volatile structure and run recovery.
 func (d *Device) Crash(mode CrashMode) {
 	rec := d.stats.Get()
 	var kept, keptBytes, lost, lostBytes uint64
-	d.mu.Lock()
-	for i := range d.threads {
-		b := &d.threads[i]
-		b.mu.Lock()
-		if mode == CrashPartial && d.crashRNG != nil {
-			d.rngMu.Lock()
-			for _, w := range b.staged {
-				if d.crashRNG.Intn(2) == 0 {
-					d.commitLocked(w)
-					kept++
-					keptBytes += uint64(len(w.data))
-				} else {
-					lost++
-					lostBytes += uint64(len(w.data))
+	d.drainMu.Lock()
+	all, _ := d.stealAllLocked()
+	if mode == CrashPartial && d.crashRNG != nil {
+		d.rngMu.Lock()
+		d.arenaMu.Lock()
+		for i := range all {
+			w := &all[i]
+			if d.crashRNG.Intn(2) == 0 {
+				st := d.stripeFor(w.addr)
+				if st.lastSeq[w.addr] <= w.seq {
+					st.lastSeq[w.addr] = w.seq
+					copy(d.durable[w.addr:], w.data)
 				}
-			}
-			d.rngMu.Unlock()
-		} else {
-			lost += uint64(len(b.staged))
-			for _, w := range b.staged {
+				kept++
+				keptBytes += uint64(len(w.data))
+			} else {
+				lost++
 				lostBytes += uint64(len(w.data))
 			}
 		}
-		b.staged = nil
-		b.mu.Unlock()
+		d.arenaMu.Unlock()
+		d.rngMu.Unlock()
+	} else {
+		lost = uint64(len(all))
+		for i := range all {
+			lostBytes += uint64(len(all[i].data))
+		}
 	}
-	d.mu.Unlock()
+	if len(all) > 0 {
+		d.recycleAllLocked()
+	}
+	d.drainMu.Unlock()
 	if rec != nil {
 		tid := simclock.DaemonTID
 		rec.Inc(tid, obs.CCrashes)
@@ -325,8 +614,8 @@ func (d *Device) Crash(mode CrashMode) {
 // Snapshot returns a copy of the durable arena. Intended for tests that
 // compare post-crash media images.
 func (d *Device) Snapshot() []byte {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.arenaMu.Lock()
+	defer d.arenaMu.Unlock()
 	cp := make([]byte, len(d.durable))
 	copy(cp, d.durable)
 	return cp
@@ -336,8 +625,8 @@ func (d *Device) Snapshot() []byte {
 // (or a later NewDeviceFromFile in the same process) to reopen it — the
 // moral equivalent of a DAX-mapped file surviving a reboot.
 func (d *Device) Save(path string) error {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.arenaMu.Lock()
+	defer d.arenaMu.Unlock()
 	return os.WriteFile(path, d.durable, 0o644)
 }
 

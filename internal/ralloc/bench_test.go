@@ -1,0 +1,45 @@
+package ralloc
+
+import "testing"
+
+// BenchmarkClassFor exercises the size→class mapping across the whole
+// request-size spectrum, the lookup every Alloc performs.
+func BenchmarkClassFor(b *testing.B) {
+	sizes := make([]int, 256)
+	for i := range sizes {
+		// Spread requests over all classes, biased small like real payloads.
+		sizes[i] = 32 + (i*67)%(sizeClasses[len(sizeClasses)-1]-32)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += classFor(sizes[i%len(sizes)])
+	}
+	benchSink = sink
+}
+
+var benchSink int
+
+// TestClassForMatchesScan pins the lookup table to the linear-scan
+// definition over the whole request range, including both edge cases:
+// size 0 (smallest class) and anything past the largest class (-1).
+func TestClassForMatchesScan(t *testing.T) {
+	scan := func(n int) int {
+		for i, c := range sizeClasses {
+			if c >= n {
+				return i
+			}
+		}
+		return -1
+	}
+	max := sizeClasses[len(sizeClasses)-1]
+	for n := 0; n <= max+64; n++ {
+		if got, want := classFor(n), scan(n); got != want {
+			t.Fatalf("classFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := classFor(-1); got != -1 {
+		t.Fatalf("classFor(-1) = %d, want -1", got)
+	}
+}

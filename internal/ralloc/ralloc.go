@@ -62,15 +62,29 @@ var ErrOutOfMemory = errors.New("ralloc: out of persistent memory")
 // ErrTooLarge reports an allocation request above the largest size class.
 var ErrTooLarge = errors.New("ralloc: allocation exceeds largest size class")
 
+// classLUT maps ceil(n/8) to the index of the smallest size class that
+// holds n bytes. Size classes are multiples of 8, so 8-byte granularity
+// is exact, and the table keeps classFor — on the critical path of every
+// Alloc and Free — to a bounds check and one load instead of a scan.
+var classLUT [16384/8 + 1]int8
+
+func init() {
+	c := 0
+	for i := range classLUT {
+		for sizeClasses[c] < i*8 {
+			c++
+		}
+		classLUT[i] = int8(c)
+	}
+}
+
 // classFor returns the index of the smallest size class that can hold n
 // bytes, or -1.
 func classFor(n int) int {
-	for i, c := range sizeClasses {
-		if c >= n {
-			return i
-		}
+	if uint(n) > uint(sizeClasses[len(sizeClasses)-1]) {
+		return -1
 	}
-	return -1
+	return int(classLUT[(n+7)/8])
 }
 
 // threadCacheMax is how many free blocks a per-thread cache holds per

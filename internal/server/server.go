@@ -124,6 +124,9 @@ type Config struct {
 	DefaultMode AckMode
 	// MaxItemSize bounds one item's value (default 1 MiB).
 	MaxItemSize int
+	// DrainWorkers fixes each shard's epoch-boundary drain parallelism
+	// (0: automatic; 1: serial). See core.Config.DrainWorkers.
+	DrainWorkers int
 	// AllowCrash enables the "crash" protocol extension.
 	AllowCrash bool
 	// Recorder, when non-nil, receives the server's counters; when nil
@@ -165,10 +168,11 @@ func (c Config) maxThreads() int { return c.MaxConns + 2 }
 
 func (c Config) coreConfig() core.Config {
 	return core.Config{
-		ArenaSize:  c.ArenaSize,
-		MaxThreads: c.maxThreads(),
-		Epoch:      epoch.Config{EpochLength: c.EpochLength, PersistDelay: c.PersistDelay},
-		Recorder:   c.Recorder,
+		ArenaSize:    c.ArenaSize,
+		MaxThreads:   c.maxThreads(),
+		Epoch:        epoch.Config{EpochLength: c.EpochLength, PersistDelay: c.PersistDelay},
+		DrainWorkers: c.DrainWorkers,
+		Recorder:     c.Recorder,
 	}
 }
 
