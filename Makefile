@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke serve-smoke clean
+.PHONY: build test race vet bench bench-smoke serve-smoke chaos-smoke clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ vet:
 # asserting nonzero acked throughput and a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Crash-consistency sweep: 1000+ seeded crash schedules (shard counts
+# 1/2/4 × drop-all/partial crashes × armed mid-fence/mid-drain/
+# mid-durable-write and op-count triggers, ~25% with a second crash
+# inside the recovery sweep) plus a net-mode batch through the live TCP
+# server, all checked for buffered durable linearizability. Any
+# violation prints its reproduce command and fails the target.
+chaos-smoke:
+	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 1200 -q
+	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 60 -net -shards 2 -q
 
 # Quick-scale figure regeneration with a runtime-stats stream.
 bench:

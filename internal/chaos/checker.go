@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation is one checker finding: a way the recovered state cannot be
+// explained by any linearization of the recorded history prefix.
+type Violation struct {
+	Key  string
+	Kind string
+	// Detail is a human-readable account naming the ops involved.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: key %q: %s", v.Kind, v.Key, v.Detail)
+}
+
+// CheckInput is a recovered schedule presented to the checker.
+type CheckInput struct {
+	// Ops is the full recorded history (workers joined).
+	Ops []Op
+	// CrashSeq is the stamp of the crash instant.
+	CrashSeq uint64
+	// Cutoffs[shard] is the shard's persist watermark as recovery derived
+	// it (durable clock - 2), read after the crash and before recovery.
+	// nil means the watermarks are unknown (net mode), which disables the
+	// tag-based checks and keeps only the binding-ack ones.
+	Cutoffs []uint64
+	// Recovered maps key -> recovered value.
+	Recovered map[string]string
+}
+
+// Check verifies the three buffered-durable-linearizability invariants
+// (see the package comment) against a recovered schedule and returns
+// every violation found. It is conservative: an ack that raced the crash
+// is non-binding, and the per-key absence check accepts any delete that
+// could have survived, so a reported violation is a real one under every
+// interleaving consistent with the recorded stamps.
+func Check(in CheckInput) []Violation {
+	var out []Violation
+
+	// durable reports whether op o's payload is at or below its shard's
+	// persist watermark — with known cutoffs, recovery keeps exactly the
+	// epochs <= cutoff, so this decides post-recovery visibility.
+	durable := func(o *Op) bool {
+		if in.Cutoffs == nil || o.Tag.IsZero() || o.Tag.Shard >= len(in.Cutoffs) {
+			return false
+		}
+		return o.Tag.Epoch <= in.Cutoffs[o.Tag.Shard]
+	}
+	// mayBeVisible is durable's conservative complement: could o's effect
+	// be in the recovered state? Unknown cutoffs make everything possible.
+	mayBeVisible := func(o *Op) bool {
+		if in.Cutoffs == nil {
+			return true
+		}
+		return durable(o)
+	}
+	// must reports whether o is required to survive recovery: it was
+	// acked under a blocking mode before the crash instant, or its tag
+	// sits at or below the shard watermark (the two-epoch promise covers
+	// buffered ops too). End < CrashSeq keeps the tag branch sound when
+	// the crash raced an in-flight op.
+	must := func(o *Op) bool {
+		if o.Acked && o.AckSeq != 0 && o.AckSeq < in.CrashSeq &&
+			(o.Mode == AckSync || o.Mode == AckEpochWait) &&
+			!(o.Kind == OpDelete && !o.Found) {
+			return true
+		}
+		return durable(o) && o.End != 0 && o.End < in.CrashSeq
+	}
+
+	byKey := make(map[string][]*Op)
+	valueOwner := make(map[string]*Op, len(in.Ops))
+	for i := range in.Ops {
+		o := &in.Ops[i]
+		byKey[o.Key] = append(byKey[o.Key], o)
+		if o.Kind == OpSet {
+			valueOwner[o.Value] = o
+		}
+	}
+
+	// Deterministic key order keeps violation lists reproducible.
+	keys := make(map[string]bool, len(byKey)+len(in.Recovered))
+	for k := range byKey {
+		keys[k] = true
+	}
+	for k := range in.Recovered {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for _, key := range sorted {
+		ops := byKey[key]
+		val, present := in.Recovered[key]
+
+		if present {
+			p := valueOwner[val]
+			if p == nil || p.Key != key {
+				out = append(out, Violation{Key: key, Kind: "unknown-value",
+					Detail: fmt.Sprintf("recovered value %q was never written to this key", val)})
+				continue
+			}
+			// Invariant 2: nothing above the watermark survives.
+			if in.Cutoffs != nil && !durable(p) {
+				out = append(out, Violation{Key: key, Kind: "future-epoch",
+					Detail: fmt.Sprintf("recovered value %q has tag {shard %d, epoch %d} above watermark %d",
+						val, p.Tag.Shard, p.Tag.Epoch, cutoffFor(in.Cutoffs, p.Tag.Shard))})
+			}
+			// Invariants 1+3: no must-survive op strictly after the
+			// recovered producer may be missing. m.Start > p.End means m
+			// linearized after p in every linearization, so a prefix
+			// containing m reflects m's effect, not p's stale value.
+			for _, m := range ops {
+				if m == p || !must(m) {
+					continue
+				}
+				if m.Start > p.End {
+					out = append(out, Violation{Key: key, Kind: "lost-acked",
+						Detail: fmt.Sprintf("recovered value %q (w%d#%d, end=%d) predates %s %s w%d#%d (start=%d, ack=%d < crash=%d)",
+							val, p.Worker, p.Index, p.End, m.Mode, m.Kind, m.Worker, m.Index, m.Start, m.AckSeq, in.CrashSeq)})
+				}
+			}
+			continue
+		}
+
+		// Key absent: every must-survive write needs an explaining delete
+		// that (a) could itself have survived and (b) is not strictly
+		// before the write — otherwise no linearization prefix containing
+		// the write ends with the key absent.
+		for _, m := range ops {
+			if m.Kind != OpSet || !must(m) {
+				continue
+			}
+			explained := false
+			for _, d := range ops {
+				if d.Kind != OpDelete || !d.Found {
+					continue
+				}
+				if !mayBeVisible(d) {
+					continue
+				}
+				if d.End != 0 && d.End < m.Start {
+					continue // strictly before the write: cannot undo it
+				}
+				explained = true
+				break
+			}
+			if !explained {
+				out = append(out, Violation{Key: key, Kind: "lost-acked",
+					Detail: fmt.Sprintf("%s set w%d#%d value %q (ack=%d, tag {shard %d, epoch %d}, crash=%d) lost with no surviving delete to explain it",
+						m.Mode, m.Worker, m.Index, m.Value, m.AckSeq, m.Tag.Shard, m.Tag.Epoch, in.CrashSeq)})
+			}
+		}
+	}
+	return out
+}
+
+func cutoffFor(cutoffs []uint64, shard int) uint64 {
+	if shard >= 0 && shard < len(cutoffs) {
+		return cutoffs[shard]
+	}
+	return 0
+}

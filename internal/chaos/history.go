@@ -1,0 +1,156 @@
+// Package chaos is a seeded crash-schedule explorer and buffered-
+// durable-linearizability history checker for the Montage runtime.
+//
+// A schedule drives worker goroutines through randomized kvstore
+// operations — directly against a sharded pool, or through the live TCP
+// server — while every operation is recorded with its real-time interval,
+// its DurabilityTag{Shard,Epoch}, and the durability-ack mode it was
+// acknowledged under. A crash is injected at a seeded point: a plain
+// whole-pool power failure between operations, or an armed in-device
+// crash at one of the interleavings that matter (mid-fence, mid-drain,
+// mid-epoch-advance, mid-recovery; see pmem.ArmCrash). After recovery the
+// checker verifies the paper's guarantee as a property of the recorded
+// history (in the sense of Ben-David et al.'s buffered durable
+// linearizability, and Izraelevitz-style durable linearizability for the
+// acked prefix):
+//
+//  1. every operation acked under sync or epoch-wait before the crash
+//     instant survives recovery, as does every operation whose tag is at
+//     or below its shard's persist watermark;
+//  2. nothing from epochs above the watermark survives;
+//  3. the recovered state is reachable by some linearization of the
+//     recorded history prefix (checked per key: the recovered value's
+//     producer must not be dominated by a must-survive operation that
+//     started strictly after it ended, and an absent key must be
+//     explained by a delete that could have survived).
+//
+// Every check is sound for any goroutine interleaving: "binding" acks are
+// decided by comparing real-time stamps against the stamp taken at the
+// crash instant, so an ack that raced the crash is conservatively treated
+// as non-binding. A schedule is reproduced from its seed alone.
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"montage/internal/kvstore"
+)
+
+// OpKind is the kind of a recorded operation.
+type OpKind uint8
+
+const (
+	// OpSet is a write of a schedule-unique value.
+	OpSet OpKind = iota
+	// OpDelete is a delete.
+	OpDelete
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	if k == OpDelete {
+		return "delete"
+	}
+	return "set"
+}
+
+// AckMode is how a recorded operation was acknowledged.
+type AckMode uint8
+
+const (
+	// AckBuffered acks at linearization; durability follows only from the
+	// two-epoch rule (the op's tag against its shard's watermark).
+	AckBuffered AckMode = iota
+	// AckSync forces the owning shard's Sync before acking.
+	AckSync
+	// AckEpochWait parks the ack on the owning shard's persist watermark.
+	AckEpochWait
+)
+
+// String names the mode.
+func (m AckMode) String() string {
+	switch m {
+	case AckSync:
+		return "sync"
+	case AckEpochWait:
+		return "epoch-wait"
+	}
+	return "buffered"
+}
+
+// Op is one recorded operation. Start/End/AckSeq are stamps from the
+// history's global sequence; an Op is binding for the checker only if its
+// ack stamp precedes the crash stamp.
+type Op struct {
+	Worker int
+	Index  int
+	Kind   OpKind
+	Mode   AckMode
+	Key    string
+	// Value is the schedule-unique value written (OpSet only); recovered
+	// values identify their producing op through it.
+	Value string
+	// Found is whether a delete found the key (a not-found delete wrote
+	// no anti-payload and explains nothing).
+	Found bool
+	// Acked is whether the durability step completed successfully (a
+	// WaitPersisted aborted by teardown clears it).
+	Acked bool
+	// Tag is the operation's durability tag; zero for not-found deletes.
+	Tag kvstore.DurabilityTag
+	// Start/End bracket the operation's real-time interval; AckSeq stamps
+	// the instant the client had the ack in hand.
+	Start, End, AckSeq uint64
+}
+
+// History records a schedule's operations and its crash instant on one
+// global real-time sequence.
+type History struct {
+	seq       atomic.Uint64
+	crashSeq  atomic.Uint64
+	completed atomic.Uint64
+
+	mu      sync.Mutex
+	workers [][]Op
+}
+
+// NewHistory creates a history for the given worker count.
+func NewHistory(workers int) *History {
+	return &History{workers: make([][]Op, workers)}
+}
+
+// Next returns the next global real-time stamp.
+func (h *History) Next() uint64 { return h.seq.Add(1) }
+
+// MarkCrash stamps the crash instant (first caller wins). Acks stamped
+// after it are non-binding: the client cannot have relied on them.
+func (h *History) MarkCrash() {
+	h.crashSeq.CompareAndSwap(0, h.Next())
+}
+
+// CrashSeq returns the crash stamp, 0 if no crash has been marked.
+func (h *History) CrashSeq() uint64 { return h.crashSeq.Load() }
+
+// Record appends a completed op to its worker's log. Workers call it
+// serially for their own ops, so only the slice header needs the lock.
+func (h *History) Record(op Op) {
+	h.mu.Lock()
+	h.workers[op.Worker] = append(h.workers[op.Worker], op)
+	h.mu.Unlock()
+	h.completed.Add(1)
+}
+
+// Completed returns the number of recorded ops.
+func (h *History) Completed() uint64 { return h.completed.Load() }
+
+// Ops returns every recorded op. Call only after the workers have joined.
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var all []Op
+	for _, w := range h.workers {
+		all = append(all, w...)
+	}
+	return all
+}

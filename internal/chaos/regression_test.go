@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"testing"
+
+	"montage/internal/pmem"
+)
+
+// Pinned-seed regressions: every schedule here reproduced a real bug
+// found by the chaos harness and fixed in this tree. Each entry names
+// the bug; the deterministic unit tests for the same bugs live next to
+// the fixed code (internal/core, internal/epoch, internal/pmem).
+//
+// Same-epoch version reversion (internal/core/pblk.go, op.Set): a Set
+// in the payload's birth epoch that outgrew the block's size class took
+// the copying path and left two same-uid, same-epoch images; recovery
+// has no intra-epoch order, so the stale image could win the scan and a
+// sync-acked value reverted after the crash. Fixed by killing the
+// superseded image eagerly (dead-mark + staged header invalidation).
+// Unit test: core.TestSameEpochSetGrowthKeepsNewestAfterCrash.
+var reversionSchedules = []Config{
+	{Seed: 350, Shards: 4, Mode: pmem.CrashPartial},
+	{Seed: 350, Shards: 4, Mode: pmem.CrashDropAll},
+	{Seed: 263, Shards: 4, Mode: pmem.CrashPartial},
+	{Seed: 509, Shards: 4, Mode: pmem.CrashPartial},
+	{Seed: 517, Shards: 2, Mode: pmem.CrashPartial},
+	{Seed: 521, Shards: 4, Mode: pmem.CrashPartial},
+	{Seed: 535, Shards: 2, Mode: pmem.CrashPartial},
+}
+
+func TestRegressionSameEpochReversion(t *testing.T) {
+	for _, cfg := range reversionSchedules {
+		res, err := RunSchedule(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", cfg.Seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d shards=%d mode=%v (trigger=%s): %s",
+				cfg.Seed, cfg.Shards, cfg.Mode, res.Trigger, v)
+		}
+	}
+}

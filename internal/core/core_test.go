@@ -374,6 +374,75 @@ func TestSameEpochDeleteOfFlushedAlloc(t *testing.T) {
 	}
 }
 
+func TestSameEpochSetGrowthKeepsNewestAfterCrash(t *testing.T) {
+	// A Set in the payload's birth epoch that outgrows the block's size
+	// class takes the copying path, leaving two blocks with the same uid
+	// AND the same epoch. Recovery has no intra-epoch order among a uid's
+	// versions, so the superseded image must never be durable next to the
+	// new one — the chaos harness caught the stale value winning the
+	// recovery scan (seed 350; see internal/chaos regression tests).
+	for name, bufSize := range map[string]int{"buffered": 0, "preflushed": 1} {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{ArenaSize: 1 << 22, MaxThreads: 2}
+			// bufSize 1 forces the small image onto the device before the
+			// growing Set, exercising the staged-header invalidation.
+			cfg.Epoch.BufferSize = bufSize
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var big []byte
+			if err := s.DoOp(0, func(op Op) error {
+				p, err := op.PNew([]byte("small"))
+				if err != nil {
+					return err
+				}
+				if bufSize == 1 {
+					// Overflow the 1-entry buffer so p's bytes get staged.
+					if _, err := op.PNew([]byte("filler")); err != nil {
+						return err
+					}
+					if !p.flushed.Load() {
+						t.Fatal("test setup: p was not incrementally flushed")
+					}
+				}
+				big = bytes.Repeat([]byte("G"), s.Heap().DataCapacity(p.addr)+1)
+				np, err := op.Set(p, big)
+				if err != nil {
+					return err
+				}
+				if np == p {
+					t.Fatal("test setup: Set did not take the copying path")
+				}
+				if np.BirthEpoch() != p.BirthEpoch() || np.UID() != p.UID() {
+					t.Fatal("test setup: versions must share uid and epoch")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			s.Sync(0)
+			s.Device().Crash(pmem.CrashDropAll)
+			_, got, err := Recover(s.Device(), cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wide *PBlk
+			for _, p := range got {
+				if bytes.Equal(p.data, []byte("small")) {
+					t.Fatal("superseded same-epoch image survived recovery")
+				}
+				if bytes.Equal(p.data, big) {
+					wide = p
+				}
+			}
+			if wide == nil {
+				t.Fatalf("sync-acked value missing after recovery (%d payloads)", len(got))
+			}
+		})
+	}
+}
+
 func TestDoubleCrashNoResurrection(t *testing.T) {
 	// Recovery must durably invalidate discarded blocks: after recovering
 	// past a crash, a second crash must not bring discarded payloads back.

@@ -29,7 +29,7 @@ type PBlk struct {
 
 	buffered atomic.Bool // queued in a to_persist buffer
 	flushed  atomic.Bool // written back at least once (bytes may be durable)
-	dead     atomic.Bool // cancelled before ever being written back
+	dead     atomic.Bool // cancelled or superseded: skip queued write-backs
 }
 
 // PAddr implements epoch.Persistable.
@@ -172,6 +172,23 @@ func (op Op) Set(p *PBlk, data []byte) (*PBlk, error) {
 		data:  cp,
 	}
 	s.esys.AddToPersist(op.tid, op.epoch, np)
+	if p.epoch == op.epoch {
+		// Same-epoch size-class overflow: the superseded block shares the
+		// new one's uid AND epoch, and recovery has no intra-epoch order,
+		// so two valid images would let the stale value win arbitrarily.
+		// Kill the old image now: dead skips its queued write-back, and a
+		// staged header invalidation voids any bytes already on the
+		// device. This epoch only becomes durable once the boundary drain
+		// that commits both the invalidation and the new image has
+		// completed (the durable clock is written after Drain), so every
+		// recovery either discards the epoch entirely or sees exactly one
+		// image.
+		p.dead.Store(true)
+		var zero [8]byte
+		if err := s.dev.WriteBack(op.tid, p.addr, zero[:]); err != nil {
+			return nil, err
+		}
+	}
 	s.esys.AddToFree(op.tid, op.epoch, p.addr)
 	return np, nil
 }

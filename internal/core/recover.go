@@ -47,6 +47,10 @@ func Recover(dev *pmem.Device, cfg Config, workers int) (*System, []*PBlk, error
 	// also inherits the configured drain parallelism.
 	dev.SetRecorder(rec)
 	dev.SetDrainWorkers(cfg.DrainWorkers)
+	// The machine has restarted: lift the device's fail-stop so the sweep's
+	// invalidations and the new system's clock can reach the media. Writes
+	// staged before the crash stay dead behind the crash floor.
+	dev.Revive()
 	heap, err := ralloc.New(dev, cfg.MaxThreads, ralloc.Options{SuperblockSize: cfg.SuperblockSize})
 	if err != nil {
 		return nil, nil, err

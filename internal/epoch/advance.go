@@ -79,13 +79,22 @@ func (s *Sys) advanceLocked(chargeTid int) {
 		}
 	}
 
-	// (5) Publish and persist the new clock value. The volatile clock is
-	// published first so new operations start in the new epoch; a crash
-	// before the durable clock commits merely discards one more epoch.
-	s.epoch.Store(curr + 1)
+	// (5) Persist, then publish, the new clock value — in that order. The
+	// durability watermark (PersistedEpoch, and every sync/epoch-wait ack
+	// riding it) derives from the volatile clock, so the durable clock
+	// must commit FIRST: publishing before the commit opens a window in
+	// which a waiter observes epoch curr-1 as durable and acks a client,
+	// yet a crash still recovers with durable clock curr and cutoff
+	// curr-2, discarding the acked epoch. (The chaos harness's mid-advance
+	// schedules catch exactly this inversion; see
+	// TestAdvancePublishesDurableClockFirst.) With this order, a crash
+	// between the two steps merely leaves a durable clock one ahead of
+	// anything announced — epoch curr-1's payloads were already drained
+	// above, so the higher cutoff is safe.
 	if !s.cfg.Transient {
 		s.writeClock(chargeTid, curr+1)
 	}
+	s.epoch.Store(curr + 1)
 	if s.clk != nil {
 		s.lastAdvV.Store(s.clk.Max())
 	}
@@ -259,13 +268,15 @@ func (s *Sys) startDaemon() {
 
 // Close stops the background daemon, if any, and performs two final
 // advances so that all completed work is durable — the shutdown analogue
-// of sync.
+// of sync. It then releases any remaining WaitPersisted waiters: the
+// clock will never move again.
 func (s *Sys) Close() {
-	s.Abandon()
+	s.stopDaemon()
 	if !s.cfg.Transient {
 		s.Advance()
 		s.Advance()
 	}
+	s.markDown()
 }
 
 // Abandon stops the background daemon, if any, WITHOUT the final
@@ -273,8 +284,18 @@ func (s *Sys) Close() {
 // has crashed (or is about to be crashed deliberately): the stale
 // system's buffers must never be flushed onto a device that recovery is
 // rebuilding, and its clock must never overwrite the recovered one.
-// After Abandon the system must simply be dropped.
+// Waiters parked in WaitPersisted are released — with the daemon gone and
+// the system dropped, no persist tick will ever come, and before this
+// broadcast a waiter with a nil abort channel hung forever on crash
+// teardown (see TestWaitPersistedReleasedOnTeardown). After Abandon the
+// system must simply be dropped.
 func (s *Sys) Abandon() {
+	s.stopDaemon()
+	s.markDown()
+}
+
+// stopDaemon stops the background advance goroutine, if running.
+func (s *Sys) stopDaemon() {
 	if s.daemonStop != nil {
 		close(s.daemonStop)
 		<-s.daemonDone

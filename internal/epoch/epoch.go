@@ -199,6 +199,13 @@ type Sys struct {
 	persistMu sync.Mutex
 	persistCh chan struct{}
 
+	// down is closed (once) when the system is torn down — Close after its
+	// final advances, or Abandon after a crash. Persist ticks stop at that
+	// point, so WaitPersisted waiters must be released through this channel
+	// or they would block forever on a clock that will never move again.
+	down     chan struct{}
+	downOnce sync.Once
+
 	daemonStop chan struct{}
 	daemonDone chan struct{}
 }
@@ -229,6 +236,7 @@ func NewAt(heap *ralloc.Heap, cfg Config, start uint64) *Sys {
 		mind:    mindicator.New(cfg.MaxThreads),
 	}
 	s.persistCh = make(chan struct{})
+	s.down = make(chan struct{})
 	// Inherit any recorder already attached to the device so the
 	// background daemon is instrumented from its first tick.
 	s.stats.Set(heap.Device().Recorder())
@@ -306,9 +314,14 @@ func (s *Sys) PersistTick() <-chan struct{} {
 // WaitPersisted blocks until PersistedEpoch() >= e, i.e. until every
 // operation that ran in epoch e is durable. It rides the persist-tick
 // broadcast rather than polling. If abort is closed first (e.g. the
-// system is being torn down by a crash), WaitPersisted returns whether
-// the target had been reached by then — a false return means the epoch-e
-// work may not have survived. A nil abort never fires.
+// caller's session is going away), WaitPersisted returns whether the
+// target had been reached by then — a false return means the epoch-e work
+// may not have survived. A nil abort never fires; waiters are still
+// released when the system itself is torn down (Close, or Abandon after a
+// crash), since persist ticks stop forever at that point. Chaos-harness
+// note: after a crash the volatile clock is stale — a true return that
+// races the crash makes no durability promise; binding acks are the ones
+// issued before the crash instant.
 func (s *Sys) WaitPersisted(e uint64, abort <-chan struct{}) bool {
 	for {
 		if s.PersistedEpoch() >= e {
@@ -322,10 +335,21 @@ func (s *Sys) WaitPersisted(e uint64, abort <-chan struct{}) bool {
 		}
 		select {
 		case <-ch:
+		case <-s.down:
+			return s.PersistedEpoch() >= e
 		case <-abort:
 			return s.PersistedEpoch() >= e
 		}
 	}
+}
+
+// Down returns a channel closed when the system is torn down (Close or
+// Abandon); after it fires the epoch clock never moves again.
+func (s *Sys) Down() <-chan struct{} { return s.down }
+
+// markDown releases every current and future WaitPersisted waiter.
+func (s *Sys) markDown() {
+	s.downOnce.Do(func() { close(s.down) })
 }
 
 // Advances returns the number of completed epoch advances (statistics).

@@ -52,17 +52,17 @@ const (
 	CWriteBacks         // WriteBack calls (staged cacheline write-backs)
 	CWriteBackBytes     // bytes staged by WriteBack
 	CWriteBackCoalesced // write-backs absorbed in place by an already-staged block (write combining)
-	CFences         // Fence calls
-	CDrains         // Drain calls (epoch-boundary full drains)
-	CReads          // Read calls
-	CReadBytes      // bytes read
-	CCommits        // staged writes committed durable (fence/drain/durable writes)
-	CCommitBytes    // bytes committed durable
-	CCrashes        // simulated crashes
-	CCrashDiscarded // staged writes discarded by a crash
-	CCrashDiscBytes // bytes discarded by a crash
-	CCrashKept      // staged writes committed by a partial crash (out-of-order eviction)
-	CCrashKeptBytes // bytes committed by a partial crash
+	CFences             // Fence calls
+	CDrains             // Drain calls (epoch-boundary full drains)
+	CReads              // Read calls
+	CReadBytes          // bytes read
+	CCommits            // staged writes committed durable (fence/drain/durable writes)
+	CCommitBytes        // bytes committed durable
+	CCrashes            // simulated crashes
+	CCrashDiscarded     // staged writes discarded by a crash
+	CCrashDiscBytes     // bytes discarded by a crash
+	CCrashKept          // staged writes committed by a partial crash (out-of-order eviction)
+	CCrashKeptBytes     // bytes committed by a partial crash
 
 	// Montage runtime (internal/core).
 	COps              // operations started (BeginOp)
@@ -97,6 +97,12 @@ const (
 	CNetAcksEpoch    // write acks parked until the epoch persisted naturally
 	CNetAcksAborted  // parked acks failed by a crash before durability
 	CNetCrashes      // crash injections served while the listener stayed up
+
+	// Crash-consistency chaos harness (internal/chaos).
+	CChaosSchedules  // seeded crash schedules executed
+	CChaosOps        // operations driven by chaos workers across schedules
+	CChaosCrashes    // crashes injected by chaos schedules
+	CChaosViolations // history-checker violations found
 
 	numCounters
 )

@@ -45,17 +45,17 @@ type DeviceStats struct {
 	// already-staged copy of the same block; the staging layer's write
 	// combining turns these into zero commit work.
 	WriteBackCoalesced uint64 `json:"write_backs_coalesced"`
-	Fences         uint64 `json:"fences"`
-	Drains         uint64 `json:"drains"`
-	Reads          uint64 `json:"reads"`
-	ReadBytes      uint64 `json:"read_bytes"`
-	Commits        uint64 `json:"commits"`
-	CommitBytes    uint64 `json:"commit_bytes"`
-	Crashes        uint64 `json:"crashes"`
-	CrashDiscarded uint64 `json:"crash_discarded_writes"`
-	CrashDiscBytes uint64 `json:"crash_discarded_bytes"`
-	CrashKept      uint64 `json:"crash_committed_writes"`
-	CrashKeptBytes uint64 `json:"crash_committed_bytes"`
+	Fences             uint64 `json:"fences"`
+	Drains             uint64 `json:"drains"`
+	Reads              uint64 `json:"reads"`
+	ReadBytes          uint64 `json:"read_bytes"`
+	Commits            uint64 `json:"commits"`
+	CommitBytes        uint64 `json:"commit_bytes"`
+	Crashes            uint64 `json:"crashes"`
+	CrashDiscarded     uint64 `json:"crash_discarded_writes"`
+	CrashDiscBytes     uint64 `json:"crash_discarded_bytes"`
+	CrashKept          uint64 `json:"crash_committed_writes"`
+	CrashKeptBytes     uint64 `json:"crash_committed_bytes"`
 }
 
 // RuntimeStats are the Montage operation and recovery counters.
@@ -101,6 +101,15 @@ type ServerStats struct {
 	Crashes      uint64 `json:"crash_injections"`
 }
 
+// ChaosStats are the crash-consistency chaos harness's counters
+// (internal/chaos).
+type ChaosStats struct {
+	Schedules  uint64 `json:"schedules"`
+	Ops        uint64 `json:"ops"`
+	Crashes    uint64 `json:"crashes"`
+	Violations uint64 `json:"violations"`
+}
+
 // HistStats summarizes one log-bucketed histogram. Percentiles and Max
 // are bucket upper bounds, so they are approximations with at most 2x
 // relative error.
@@ -139,6 +148,7 @@ type Snapshot struct {
 	Runtime RuntimeStats `json:"runtime"`
 	Alloc   AllocStats   `json:"alloc"`
 	Server  ServerStats  `json:"server"`
+	Chaos   ChaosStats   `json:"chaos"`
 	Latency LatencyStats `json:"latency"`
 
 	raw *rawStats
@@ -267,17 +277,17 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		WriteBacks:         c[CWriteBacks],
 		WriteBackBytes:     c[CWriteBackBytes],
 		WriteBackCoalesced: c[CWriteBackCoalesced],
-		Fences:         c[CFences],
-		Drains:         c[CDrains],
-		Reads:          c[CReads],
-		ReadBytes:      c[CReadBytes],
-		Commits:        c[CCommits],
-		CommitBytes:    c[CCommitBytes],
-		Crashes:        c[CCrashes],
-		CrashDiscarded: c[CCrashDiscarded],
-		CrashDiscBytes: c[CCrashDiscBytes],
-		CrashKept:      c[CCrashKept],
-		CrashKeptBytes: c[CCrashKeptBytes],
+		Fences:             c[CFences],
+		Drains:             c[CDrains],
+		Reads:              c[CReads],
+		ReadBytes:          c[CReadBytes],
+		Commits:            c[CCommits],
+		CommitBytes:        c[CCommitBytes],
+		Crashes:            c[CCrashes],
+		CrashDiscarded:     c[CCrashDiscarded],
+		CrashDiscBytes:     c[CCrashDiscBytes],
+		CrashKept:          c[CCrashKept],
+		CrashKeptBytes:     c[CCrashKeptBytes],
 	}
 	s.Runtime = RuntimeStats{
 		Ops:                c[COps],
@@ -314,6 +324,12 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		AcksEpoch:    c[CNetAcksEpoch],
 		AcksAborted:  c[CNetAcksAborted],
 		Crashes:      c[CNetCrashes],
+	}
+	s.Chaos = ChaosStats{
+		Schedules:  c[CChaosSchedules],
+		Ops:        c[CChaosOps],
+		Crashes:    c[CChaosCrashes],
+		Violations: c[CChaosViolations],
 	}
 	s.Latency = LatencyStats{
 		AdvanceNs:     summarize(&raw.hists[HAdvanceNs]),

@@ -195,6 +195,22 @@ type Device struct {
 
 	crashRNG *rand.Rand
 	rngMu    sync.Mutex
+
+	// failed is the fail-stop flag: set by Crash (the machine is off),
+	// cleared by Revive when recovery reopens the media. While set, new
+	// staging and durable writes are silently discarded, so a stale thread
+	// that raced the crash cannot seed writes for a post-recovery fence to
+	// commit.
+	failed atomic.Bool
+	// crashFloor is the global sequence stamp at the most recent crash.
+	// Every staged write with seq <= crashFloor died in that crash; a
+	// commit attempt for one (a fence or drain worker that had already
+	// stolen its batch when the power failed) must not reach the media.
+	crashFloor atomic.Uint64
+
+	// armMu guards the (at most one) armed in-device crash.
+	armMu sync.Mutex
+	armed *armedCrash
 }
 
 // stolenBatch remembers which thread a stolen batch came from so its
@@ -276,6 +292,9 @@ func (d *Device) WriteBack(tid int, addr Addr, data []byte) error {
 	if err := d.check(addr, len(data)); err != nil {
 		return err
 	}
+	if d.failed.Load() {
+		return nil
+	}
 	b := d.buf(tid)
 	b.mu.Lock()
 	dst, coalesced := b.stageLocked(d, addr, len(data))
@@ -299,6 +318,9 @@ type Encoder interface {
 func (d *Device) WriteBackEncoded(tid int, addr Addr, n int, enc Encoder) error {
 	if err := d.check(addr, n); err != nil {
 		return err
+	}
+	if d.failed.Load() {
+		return nil
 	}
 	b := d.buf(tid)
 	b.mu.Lock()
@@ -331,8 +353,18 @@ func (d *Device) finishStage(tid, n int, coalesced bool) {
 func (d *Device) commitBatch(batch []stagedWrite) uint64 {
 	var bytes uint64
 	d.arenaMu.RLock()
+	// Writes staged at or below the crash floor died with the machine: a
+	// fence or drain worker that had already stolen its batch when Crash
+	// fired must not land it on the media afterward and let recovery see
+	// blocks that were never fenced. Crash publishes the floor under the
+	// exclusive arena lock, so a batch is committed entirely before the
+	// crash or dropped entirely after it.
+	floor := d.crashFloor.Load()
 	for i := range batch {
 		w := &batch[i]
+		if w.seq <= floor {
+			continue
+		}
 		st := d.stripeFor(w.addr)
 		st.mu.Lock()
 		if st.lastSeq[w.addr] <= w.seq {
@@ -353,6 +385,22 @@ func (d *Device) Fence(tid int) {
 	b.mu.Lock()
 	batch, writes := b.stealLocked()
 	b.mu.Unlock()
+	if a := d.takeArmed(CrashAtFence); a != nil {
+		// The power failed between this fence's steal of its staged batch
+		// and the commit. The batch is part of the crash's staged
+		// population (sampling-eligible under CrashPartial) but must never
+		// be committed here.
+		d.crashWith(a.mode, batch)
+		if len(batch) > 0 {
+			b.mu.Lock()
+			b.recycleLocked(batch)
+			b.mu.Unlock()
+		}
+		if a.notify != nil {
+			a.notify()
+		}
+		return
+	}
 	var bytes uint64
 	if len(batch) > 0 {
 		bytes = d.commitBatch(batch)
@@ -443,6 +491,23 @@ func (d *Device) drainParallelism(n int) int {
 func (d *Device) Drain(tid int) {
 	d.drainMu.Lock()
 	all, writes := d.stealAllLocked()
+	if a := d.takeArmed(CrashAtDrain); a != nil {
+		// Crash between the drain's whole-device steal and its commits:
+		// the stolen batch is exactly the staged population at the crash
+		// instant. None of it may be committed here — a stolen-but-
+		// uncommitted block is not fenced, and handing it to the media
+		// would show recovery state the device never persisted (see
+		// TestDrainStealNotFenced).
+		d.failLocked(a.mode, all, nil)
+		if len(all) > 0 {
+			d.recycleAllLocked()
+		}
+		d.drainMu.Unlock()
+		if a.notify != nil {
+			a.notify()
+		}
+		return
+	}
 	var bytes uint64
 	nw := 1
 	if len(all) > 0 {
@@ -519,6 +584,18 @@ func (d *Device) WriteDurable(addr Addr, data []byte) error {
 	if err := d.check(addr, len(data)); err != nil {
 		return err
 	}
+	if a := d.takeArmed(CrashAtDurable); a != nil {
+		// Crash at the head of a direct durable write (mid-formatting or
+		// mid-recovery-sweep): the write itself is lost with the machine.
+		d.crashWith(a.mode, nil)
+		if a.notify != nil {
+			a.notify()
+		}
+		return nil
+	}
+	if d.failed.Load() {
+		return nil
+	}
 	seq := d.seq.Add(1)
 	d.arenaMu.RLock()
 	st := d.stripeFor(addr)
@@ -563,16 +640,47 @@ func (d *Device) SeedCrashRNG(seed int64) {
 // the coalesced staged set — one decision per dirty block, since a cache
 // holds one line per block, not one per store — and walks it in global
 // sequence order, so a fixed seed maps decisions to writes independent of
-// thread layout. After Crash the durable arena is all that remains; the
+// thread layout. After Crash the durable arena is all that remains and the
+// device is fail-stopped (new writes are discarded until Revive); the
 // caller is expected to discard every volatile structure and run recovery.
+// A thread racing the crash itself may still slip a write into its staging
+// buffer; the caller must quiesce workers before recovery, as a real
+// restart does.
 func (d *Device) Crash(mode CrashMode) {
-	rec := d.stats.Get()
-	var kept, keptBytes, lost, lostBytes uint64
+	d.crashWith(mode, nil)
+}
+
+// crashWith runs a full crash while the caller may itself be holding a
+// stolen-but-uncommitted batch (extra): the batch joins the staged
+// population for fate sampling but is never committed by the caller. The
+// caller must not hold drainMu.
+func (d *Device) crashWith(mode CrashMode, extra []stagedWrite) {
 	d.drainMu.Lock()
 	all, _ := d.stealAllLocked()
+	d.failLocked(mode, all, extra)
+	if len(all) > 0 {
+		d.recycleAllLocked()
+	}
+	d.drainMu.Unlock()
+}
+
+// failLocked is the crash core: it fail-stops the device, publishes the
+// crash floor, and resolves the fate of the staged population (staged in
+// global seq order, plus the caller-owned extra). The caller holds
+// d.drainMu and is responsible for recycling both slices afterward.
+func (d *Device) failLocked(mode CrashMode, staged, extra []stagedWrite) {
+	all := staged
+	if len(extra) > 0 {
+		all = make([]stagedWrite, 0, len(staged)+len(extra))
+		all = append(append(all, staged...), extra...)
+		slices.SortFunc(all, func(a, b stagedWrite) int { return cmp.Compare(a.seq, b.seq) })
+	}
+	var kept, keptBytes, lost, lostBytes uint64
+	d.rngMu.Lock()
+	d.arenaMu.Lock()
+	d.failed.Store(true)
+	d.crashFloor.Store(d.seq.Load())
 	if mode == CrashPartial && d.crashRNG != nil {
-		d.rngMu.Lock()
-		d.arenaMu.Lock()
 		for i := range all {
 			w := &all[i]
 			if d.crashRNG.Intn(2) == 0 {
@@ -588,19 +696,15 @@ func (d *Device) Crash(mode CrashMode) {
 				lostBytes += uint64(len(w.data))
 			}
 		}
-		d.arenaMu.Unlock()
-		d.rngMu.Unlock()
 	} else {
 		lost = uint64(len(all))
 		for i := range all {
 			lostBytes += uint64(len(all[i].data))
 		}
 	}
-	if len(all) > 0 {
-		d.recycleAllLocked()
-	}
-	d.drainMu.Unlock()
-	if rec != nil {
+	d.arenaMu.Unlock()
+	d.rngMu.Unlock()
+	if rec := d.stats.Get(); rec != nil {
 		tid := simclock.DaemonTID
 		rec.Inc(tid, obs.CCrashes)
 		rec.Add(tid, obs.CCrashDiscarded, lost)
@@ -609,6 +713,94 @@ func (d *Device) Crash(mode CrashMode) {
 		rec.Add(tid, obs.CCrashKeptBytes, keptBytes)
 		rec.Trace(tid, obs.TraceCrash, 0, lost)
 	}
+}
+
+// Revive clears the fail-stop flag so the recovery path can write to the
+// media again (recovery invalidations, allocator formatting). Writes
+// staged before the crash stay dead: the crash floor drops them if a stale
+// thread's fence tries to commit them. core.Recover calls this before
+// touching the heap.
+func (d *Device) Revive() { d.failed.Store(false) }
+
+// Failed reports whether the device is fail-stopped (crashed and not yet
+// revived by recovery).
+func (d *Device) Failed() bool { return d.failed.Load() }
+
+// CrashPoint identifies an internal device instant at which an armed
+// crash fires. The chaos harness uses these to pin crash schedules to the
+// interleavings that matter: between a steal and its commit, and inside
+// the recovery sweep itself.
+type CrashPoint int
+
+const (
+	// CrashAtFence fires inside a Fence, after it has stolen the calling
+	// thread's staged batch but before any of it commits; the stolen batch
+	// dies with the crash (it is part of the sampled staged population).
+	CrashAtFence CrashPoint = iota
+	// CrashAtDrain fires inside a Drain, after the whole-device steal but
+	// before any commit.
+	CrashAtDrain
+	// CrashAtDurable fires at the head of a WriteDurable, before the
+	// bypass write lands — a crash mid-formatting or mid-recovery-sweep.
+	CrashAtDurable
+)
+
+// String names the crash point for schedule logs.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashAtFence:
+		return "fence"
+	case CrashAtDrain:
+		return "drain"
+	case CrashAtDurable:
+		return "durable"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+type armedCrash struct {
+	point  CrashPoint
+	skip   int
+	mode   CrashMode
+	notify func()
+}
+
+// ArmCrash schedules a crash to fire from inside the device itself: the
+// skip-th future occurrence of point triggers a Crash(mode) at exactly
+// that interleaving. notify (may be nil) runs at the crash instant, before
+// the triggering call returns — harnesses use it to stamp the crash point
+// into a recorded history. At most one crash is armed at a time (a new arm
+// replaces a pending one), and the arm is consumed when it fires.
+func (d *Device) ArmCrash(point CrashPoint, skip int, mode CrashMode, notify func()) {
+	d.armMu.Lock()
+	d.armed = &armedCrash{point: point, skip: skip, mode: mode, notify: notify}
+	d.armMu.Unlock()
+}
+
+// DisarmCrash cancels a pending ArmCrash. It reports whether an arm was
+// still pending — false means the crash already fired (or none was set).
+func (d *Device) DisarmCrash() bool {
+	d.armMu.Lock()
+	pending := d.armed != nil
+	d.armed = nil
+	d.armMu.Unlock()
+	return pending
+}
+
+// takeArmed consumes the armed crash for point, honoring its skip count.
+func (d *Device) takeArmed(point CrashPoint) *armedCrash {
+	d.armMu.Lock()
+	defer d.armMu.Unlock()
+	a := d.armed
+	if a == nil || a.point != point {
+		return nil
+	}
+	if a.skip > 0 {
+		a.skip--
+		return nil
+	}
+	d.armed = nil
+	return a
 }
 
 // Snapshot returns a copy of the durable arena. Intended for tests that

@@ -410,6 +410,17 @@ func (s *Server) Sync() {
 	}
 }
 
+// SeedCrashRNG seeds the current pool's partial-crash sampler, making
+// "crash partial" injections reproducible (chaos harness). No-op for
+// transient backends.
+func (s *Server) SeedCrashRNG(seed int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cur.pool != nil {
+		s.cur.pool.SeedCrashRNG(seed)
+	}
+}
+
 // SavePool syncs and writes the pool image to path (a single file for
 // one shard, a manifest directory for several).
 func (s *Server) SavePool(path string) error {
