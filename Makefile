@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke serve-smoke chaos-smoke clean
+.PHONY: build test race vet bench bench-smoke bench-suite-smoke bench-check serve-smoke chaos-smoke clean
 
 build:
 	$(GO) build ./...
@@ -47,5 +47,20 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/pmem ./internal/ralloc
 
+# Continuous-regression smoke: run the benchmark suite at CI size,
+# write a BENCH artifact, and diff it against the committed baseline.
+# Shared runners are noisy, so findings are reported but never fail
+# the target; use bench-check for a hard gate on quiet hardware.
+bench-suite-smoke:
+	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_6.json BENCH_head.json
+
+# Hard regression gate: nonzero exit on a throughput drop beyond the
+# band, and -strict escalates latency/memory warnings too. Run on
+# dedicated hardware where the baseline was recorded.
+bench-check:
+	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -strict BENCH_6.json BENCH_head.json
+
 clean:
-	rm -f stats_quick.json
+	rm -f stats_quick.json BENCH_head.json

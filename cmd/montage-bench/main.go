@@ -13,6 +13,16 @@
 // Figures: 4, 5, 6, 7a, 7b, 8a, 8b, 9, 10, 11, 12, recovery, all.
 // Scales: quick, default, paper.
 //
+// Two subcommands wrap the continuous-regression harness
+// (internal/benchsuite):
+//
+//	montage-bench run-suite -quick -out BENCH_head.json
+//	montage-bench compare BENCH_6.json BENCH_head.json
+//
+// run-suite executes the suite's sections and writes a versioned
+// machine-readable BENCH artifact; compare diffs two artifacts under
+// per-metric tolerance bands and exits nonzero on regression.
+//
 // The extra "net" figure benchmarks the TCP front end (internal/server)
 // on loopback, sweeping the three durability-ack modes across
 // connection counts in real wall-clock time; "shard" sweeps the pool's
@@ -51,6 +61,18 @@ type rowRecord struct {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run-suite":
+			os.Exit(runSuiteMain(os.Args[2:]))
+		case "compare":
+			os.Exit(compareMain(os.Args[2:]))
+		}
+	}
+	legacyMain()
+}
+
+func legacyMain() {
 	var (
 		figure  = flag.String("figure", "all", "figure to regenerate: 4,5,6,7a,7b,8a,8b,9,10,11,12,recovery,net,shard,writeback,all")
 		scale   = flag.String("scale", "default", "workload scale: quick, default, paper")

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"montage/internal/benchsuite"
+)
+
+// runSuiteMain implements `montage-bench run-suite`: run the benchmark
+// suite and write a versioned BENCH_<n>.json artifact.
+func runSuiteMain(argv []string) int {
+	fs := flag.NewFlagSet("run-suite", flag.ExitOnError)
+	var (
+		quick       = fs.Bool("quick", false, "CI-smoke sizing: trimmed sweeps, sub-second cells")
+		out         = fs.String("out", "", "artifact path (default: next free BENCH_<n>.json in -dir)")
+		dir         = fs.String("dir", ".", "directory scanned for the next BENCH_<n>.json slot")
+		sections    = fs.String("sections", "", "comma-separated subset of sections (default: "+strings.Join(benchsuite.AllSections, ",")+")")
+		duration    = fs.Duration("duration", 0, "timed phase per wall-clock cell (default: 150ms quick, 1s full)")
+		memInterval = fs.Duration("mem-interval", 25*time.Millisecond, "background memory-sampling period")
+		seed        = fs.Int64("seed", 0, "workload seed override")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof here for the duration of the run")
+		name        = fs.String("name", "", "label stored in the artifact (e.g. a git describe)")
+	)
+	fs.Parse(argv)
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "run-suite: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	var secs []string
+	if *sections != "" {
+		for _, tok := range strings.Split(*sections, ",") {
+			secs = append(secs, strings.TrimSpace(tok))
+		}
+	}
+
+	art, err := benchsuite.Run(benchsuite.Config{
+		Quick:        *quick,
+		Sections:     secs,
+		Seed:         *seed,
+		LoadDuration: *duration,
+		MemInterval:  *memInterval,
+		MetricsAddr:  *metricsAddr,
+		Name:         *name,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run-suite: %v\n", err)
+		return 1
+	}
+
+	path := *out
+	if path == "" {
+		path, err = benchsuite.NextArtifactPath(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "run-suite: %v\n", err)
+			return 1
+		}
+	}
+	if err := benchsuite.WriteArtifact(path, art); err != nil {
+		fmt.Fprintf(os.Stderr, "run-suite: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(art.Rows))
+	return 0
+}
+
+// compareMain implements `montage-bench compare <base> <head>`: diff
+// two BENCH artifacts under tolerance bands. Exit status: 0 clean (or
+// -warn-only), 1 on regression — or on warnings under -strict.
+func compareMain(argv []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		tolThroughput = fs.Float64("tol-throughput", benchsuite.DefaultTolerances().Throughput,
+			"relative throughput drop allowed before FAIL")
+		tolLatency = fs.Float64("tol-latency", benchsuite.DefaultTolerances().Latency,
+			"relative p99 increase allowed before WARN")
+		tolMemory = fs.Float64("tol-memory", benchsuite.DefaultTolerances().Memory,
+			"relative peak-heap increase allowed before WARN")
+		warnOnly = fs.Bool("warn-only", false, "report findings but always exit 0 (shared/noisy runners)")
+		strict   = fs.Bool("strict", false, "escalate WARN findings to a failing exit")
+	)
+	fs.Parse(argv)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: montage-bench compare [flags] <base.json> <head.json>")
+		return 2
+	}
+	base, err := benchsuite.LoadArtifact(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	head, err := benchsuite.LoadArtifact(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+
+	rep := benchsuite.Compare(base, head, benchsuite.Tolerances{
+		Throughput: *tolThroughput,
+		Latency:    *tolLatency,
+		Memory:     *tolMemory,
+	})
+	rep.Write(os.Stdout)
+
+	if *warnOnly {
+		return 0
+	}
+	if len(rep.Regressions()) > 0 {
+		return 1
+	}
+	if *strict && len(rep.Warnings()) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"montage/internal/obs"
 	"montage/internal/server"
 )
 
@@ -34,12 +35,26 @@ func main() {
 	pipeline := flag.Int("pipeline", 16, "outstanding requests per connection")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	shards := flag.Int("shards", 1, "server's shard count: tallies the per-shard key distribution (routing happens server-side)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address during the run (empty: disabled)")
 	flag.Parse()
 
 	mode, err := server.ParseAckMode(*modeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	// The loadgen records its acked ops and client-observed latency into
+	// this recorder; -metrics-addr exposes the counters live mid-run.
+	rec := obs.New(*conns + 1)
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, rec.Snapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("montage-load: /metrics and /debug/pprof on %s\n", ms.Addr())
 	}
 
 	res, err := server.RunLoad(server.LoadConfig{
@@ -53,6 +68,7 @@ func main() {
 		Pipeline:  *pipeline,
 		Seed:      *seed,
 		Shards:    *shards,
+		Recorder:  rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montage-load: %v\n", err)

@@ -50,6 +50,7 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "shutdown drain timeout")
 	statsFile := flag.String("stats-file", "", "stream runtime-stats snapshots as JSONL to this file")
 	statsInterval := flag.Duration("stats-interval", time.Second, "sample interval for -stats-file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty: disabled)")
 	flag.Parse()
 
 	mode, err := server.ParseAckMode(*durability)
@@ -71,6 +72,15 @@ func main() {
 		defer f.Close()
 		sampler = obs.NewSampler(rec, f, *statsInterval)
 		defer sampler.Stop()
+	}
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, rec.Snapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("montage-serve: /metrics and /debug/pprof on %s\n", ms.Addr())
 	}
 
 	srv, err := server.New(server.Config{
@@ -133,6 +143,23 @@ func main() {
 		snap.Server.Conns, snap.Server.OpsGet, snap.Server.OpsSet,
 		snap.Server.AcksBuffered, snap.Server.AcksSync, snap.Server.AcksEpoch,
 		snap.Server.AcksAborted)
+	for _, h := range []struct {
+		name string
+		st   obs.HistStats
+	}{
+		{"sync-ack", snap.Latency.AckSyncNs},
+		{"epoch-wait-ack", snap.Latency.AckEpochNs},
+	} {
+		if h.st.Count == 0 {
+			continue
+		}
+		fmt.Printf("montage-serve: %s latency p50=%v p95=%v p99=%v max=%v (n=%d)\n",
+			h.name,
+			time.Duration(h.st.Percentile(0.50)).Round(time.Microsecond),
+			time.Duration(h.st.Percentile(0.95)).Round(time.Microsecond),
+			time.Duration(h.st.Percentile(0.99)).Round(time.Microsecond),
+			time.Duration(h.st.Max).Round(time.Microsecond), h.st.Count)
+	}
 	if *pool != "" {
 		fmt.Printf("montage-serve: pool saved to %s\n", *pool)
 	}

@@ -83,13 +83,14 @@ func FigNet(sc Scale, conns []int, modes []server.AckMode) ([]Result, error) {
 			res, err := server.RunLoad(server.LoadConfig{
 				Addr:      addr,
 				Conns:     c,
-				Duration:  time.Second,
+				Duration:  sc.loadDuration(),
 				Records:   records,
 				ValueSize: valueSize,
 				ReadFrac:  0, // write-only: the ack path is the subject
 				Mode:      mode,
 				Pipeline:  64,
 				Seed:      sc.Seed,
+				Recorder:  rec,
 			})
 			if err != nil {
 				srv.Shutdown(time.Second)

@@ -75,7 +75,7 @@ func FigShard(sc Scale, shardCounts []int, modes []server.AckMode) ([]Result, er
 			res, err := server.RunLoad(server.LoadConfig{
 				Addr:      srv.Addr().String(),
 				Conns:     conns,
-				Duration:  time.Second,
+				Duration:  sc.loadDuration(),
 				Records:   records,
 				ValueSize: valueSize,
 				ReadFrac:  0, // write-only: the ack path is the subject
@@ -83,6 +83,7 @@ func FigShard(sc Scale, shardCounts []int, modes []server.AckMode) ([]Result, er
 				Pipeline:  64,
 				Seed:      sc.Seed,
 				Shards:    shards,
+				Recorder:  rec,
 			})
 			if err != nil {
 				srv.Shutdown(time.Second)

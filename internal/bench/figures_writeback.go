@@ -6,6 +6,7 @@ import (
 	"montage/internal/core"
 	"montage/internal/epoch"
 	"montage/internal/kvstore"
+	"montage/internal/obs"
 	"montage/internal/pds"
 	"montage/internal/simclock"
 	"montage/internal/ycsb"
@@ -50,13 +51,14 @@ func FigWriteback(scale Scale, keyRanges []int) ([]Result, error) {
 	var out []Result
 	for _, s := range series {
 		for _, keys := range keyRanges {
-			mops, ratio, err := runWriteback(scale, threads, keys, s.workers)
+			mops, ratio, stats, err := runWriteback(scale, threads, keys, s.workers)
 			if err != nil {
 				return nil, fmt.Errorf("writeback %s/keys=%d: %w", s.name, keys, err)
 			}
 			out = append(out, Result{
 				Figure: "writeback", Series: s.name,
 				Label: fmt.Sprintf("keys=%d", keys), X: float64(keys), Mops: mops,
+				Stats: stats,
 			})
 			out = append(out, Result{
 				Figure: "writeback-combine", Series: s.name, Unit: "combined %",
@@ -70,8 +72,8 @@ func FigWriteback(scale Scale, keyRanges []int) ([]Result, error) {
 // runWriteback runs one cell: a write-only zipfian YCSB load over keys
 // distinct keys against a fresh Montage store with the given drain
 // parallelism. It returns (Mops virtual, combined write-backs per 100
-// staged).
-func runWriteback(scale Scale, threads, keys, drainWorkers int) (float64, float64, error) {
+// staged, the cell's runtime-counter delta).
+func runWriteback(scale Scale, threads, keys, drainWorkers int) (float64, float64, *obs.Snapshot, error) {
 	costs := simclock.DefaultCosts()
 	sys, err := core.NewSystem(core.Config{
 		ArenaSize:  scale.ArenaSize,
@@ -88,7 +90,7 @@ func runWriteback(scale Scale, threads, keys, drainWorkers int) (float64, float6
 		Recorder:     scale.Recorder,
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer sys.Close()
 	store := kvstore.New(kvstore.NewMontageBackend(pds.NewHashMap(sys, scale.Buckets)), 0)
@@ -97,7 +99,7 @@ func runWriteback(scale Scale, threads, keys, drainWorkers int) (float64, float6
 	records := uint64(keys)
 	for i := uint64(0); i < records; i++ {
 		if err := store.Set(0, ycsb.Key(i), val); err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 	}
 	sys.Sync(0)
@@ -118,7 +120,7 @@ func runWriteback(scale Scale, threads, keys, drainWorkers int) (float64, float6
 		}
 	})
 	if firstErr != nil {
-		return 0, 0, firstErr
+		return 0, 0, nil, firstErr
 	}
 
 	delta := sys.Stats().Sub(base)
@@ -127,5 +129,5 @@ func runWriteback(scale Scale, threads, keys, drainWorkers int) (float64, float6
 	if staged > 0 {
 		ratio = float64(delta.Device.WriteBackCoalesced) / float64(staged) * 100
 	}
-	return mops, ratio, nil
+	return mops, ratio, &delta, nil
 }

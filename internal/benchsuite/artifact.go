@@ -1,0 +1,128 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// SchemaVersion is bumped whenever a Row or Artifact field changes
+// meaning, so compare can refuse to diff artifacts it would
+// misinterpret.
+const SchemaVersion = 1
+
+// Artifact is the machine-readable record of one suite run — the
+// BENCH_<n>.json file. Everything a later comparison needs to judge a
+// regression (or to discount one: a different GOMAXPROCS, a quick run
+// against a full run) rides inside the file.
+type Artifact struct {
+	Schema     int      `json:"schema"`
+	Name       string   `json:"name,omitempty"`
+	CreatedUTC string   `json:"created_utc"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	MaxProcs   int      `json:"max_procs"`
+	Quick      bool     `json:"quick"`
+	Sections   []string `json:"sections"`
+	Rows       []Row    `json:"rows"`
+}
+
+// Row is one benchmark cell: a (section, figure, series, label) cell
+// with its throughput, its latency percentiles when the cell produced
+// a latency histogram, its write-combining ratio when the device
+// reported one, and its window of the process-memory curve.
+type Row struct {
+	Section    string  `json:"section"`
+	Figure     string  `json:"figure"`
+	Series     string  `json:"series"`
+	Label      string  `json:"label"`
+	X          float64 `json:"x"`
+	Throughput float64 `json:"throughput"`
+	Unit       string  `json:"unit"`
+
+	// LatencySource names the histogram the percentiles came from
+	// ("load_ns" for client-observed latency, else the densest runtime
+	// histogram the cell populated). Empty when the cell had none.
+	LatencySource string `json:"latency_source,omitempty"`
+	P50Ns         uint64 `json:"p50_ns,omitempty"`
+	P95Ns         uint64 `json:"p95_ns,omitempty"`
+	P99Ns         uint64 `json:"p99_ns,omitempty"`
+
+	// CombinePct is the device's write-combining ratio for the cell
+	// (combined write-backs per 100 staged), when the cell measured it.
+	CombinePct float64 `json:"combine_pct,omitempty"`
+
+	// Ops and EpochAdvances summarize the cell's runtime counters.
+	Ops           uint64 `json:"ops,omitempty"`
+	EpochAdvances uint64 `json:"epoch_advances,omitempty"`
+
+	// Memory is the cell's window of the background memory curve,
+	// downsampled to at most maxMemPoints samples.
+	Memory []MemSample `json:"memory,omitempty"`
+}
+
+// Key identifies a row across runs: two artifacts' rows are compared
+// cell by cell under this key.
+func (r Row) Key() string {
+	return r.Section + "|" + r.Figure + "|" + r.Series + "|" + r.Label
+}
+
+// WriteArtifact writes the artifact as indented JSON.
+func WriteArtifact(path string, a *Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads and validates a BENCH artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this build understands %d",
+			path, a.Schema, SchemaVersion)
+	}
+	return &a, nil
+}
+
+var benchNameRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextArtifactPath scans dir for BENCH_<n>.json files and returns the
+// path with the smallest unused n (starting at 1), so successive suite
+// runs in a checkout version their artifacts without clobbering.
+func NextArtifactPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var used []int
+	for _, e := range entries {
+		if m := benchNameRe.FindStringSubmatch(e.Name()); m != nil {
+			var n int
+			fmt.Sscanf(m[1], "%d", &n)
+			used = append(used, n)
+		}
+	}
+	sort.Ints(used)
+	next := 1
+	for _, n := range used {
+		if n == next {
+			next++
+		} else if n > next {
+			break
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}

@@ -1,0 +1,187 @@
+package benchsuite
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Tolerances are the per-metric relative bands a head run may move
+// within before Compare flags it. Throughput is the hard gate — a drop
+// beyond the band is a Fail — while latency and memory are noisier on
+// shared runners and escalate only to Warn by default (the CLI's
+// -strict flag promotes Warn to a failing exit).
+type Tolerances struct {
+	// Throughput: relative drop allowed before Fail (0.10 = 10%).
+	Throughput float64
+	// Latency: relative p99 increase allowed before Warn.
+	Latency float64
+	// Memory: relative peak-heap increase allowed before Warn.
+	Memory float64
+}
+
+// DefaultTolerances returns the bands the CLI defaults to. The 10%
+// throughput band is deliberately tighter than half of the 20%
+// regression the harness's own test injects.
+func DefaultTolerances() Tolerances {
+	return Tolerances{Throughput: 0.10, Latency: 0.50, Memory: 0.50}
+}
+
+// Severity ranks a finding.
+type Severity int
+
+const (
+	// Info findings are context (new rows, improvements), never failing.
+	Info Severity = iota
+	// Warn findings fail only under -strict.
+	Warn
+	// Fail findings always fail the comparison.
+	Fail
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Fail:
+		return "FAIL"
+	case Warn:
+		return "WARN"
+	default:
+		return "INFO"
+	}
+}
+
+// Finding is one comparison result for one row and metric.
+type Finding struct {
+	Severity Severity
+	Key      string  // Row.Key()
+	Metric   string  // "throughput", "p99_ns", "mem_peak", "row"
+	Base     float64 // baseline value (0 when not applicable)
+	Head     float64 // head value (0 when not applicable)
+	Delta    float64 // relative change, head/base - 1
+	Msg      string
+}
+
+// Report is the full outcome of comparing two artifacts.
+type Report struct {
+	Tol      Tolerances
+	Findings []Finding
+}
+
+// Regressions returns the Fail findings.
+func (r *Report) Regressions() []Finding { return r.bySeverity(Fail) }
+
+// Warnings returns the Warn findings.
+func (r *Report) Warnings() []Finding { return r.bySeverity(Warn) }
+
+func (r *Report) bySeverity(s Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Write renders the report, most severe first, one finding per line.
+func (r *Report) Write(w io.Writer) {
+	fs := make([]Finding, len(r.Findings))
+	copy(fs, r.Findings)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Severity > fs[j].Severity })
+	for _, f := range fs {
+		fmt.Fprintf(w, "%s %s: %s\n", f.Severity, f.Key, f.Msg)
+	}
+	fmt.Fprintf(w, "compared with tolerances throughput=%.0f%% latency=%.0f%% memory=%.0f%%: %d fail, %d warn, %d info\n",
+		r.Tol.Throughput*100, r.Tol.Latency*100, r.Tol.Memory*100,
+		len(r.Regressions()), len(r.Warnings()),
+		len(r.Findings)-len(r.Regressions())-len(r.Warnings()))
+}
+
+// relDelta returns head/base - 1, guarding base == 0.
+func relDelta(base, head float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return head/base - 1
+}
+
+// Compare diffs head against base, cell by cell under Row.Key. A
+// throughput drop beyond the band is a regression (Fail); latency and
+// memory growth beyond their bands, and rows the head run lost, are
+// Warn; improvements and new rows are Info.
+func Compare(base, head *Artifact, tol Tolerances) *Report {
+	rep := &Report{Tol: tol}
+	baseRows := map[string]Row{}
+	for _, r := range base.Rows {
+		baseRows[r.Key()] = r
+	}
+	headSeen := map[string]bool{}
+
+	for _, h := range head.Rows {
+		key := h.Key()
+		headSeen[key] = true
+		b, ok := baseRows[key]
+		if !ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: Info, Key: key, Metric: "row",
+				Msg: "new row (absent from baseline)",
+			})
+			continue
+		}
+
+		if b.Throughput > 0 {
+			d := relDelta(b.Throughput, h.Throughput)
+			switch {
+			case d < -tol.Throughput:
+				rep.Findings = append(rep.Findings, Finding{
+					Severity: Fail, Key: key, Metric: "throughput",
+					Base: b.Throughput, Head: h.Throughput, Delta: d,
+					Msg: fmt.Sprintf("throughput %.3f -> %.3f %s (%.1f%%, band ±%.0f%%)",
+						b.Throughput, h.Throughput, h.Unit, d*100, tol.Throughput*100),
+				})
+			case d > tol.Throughput:
+				rep.Findings = append(rep.Findings, Finding{
+					Severity: Info, Key: key, Metric: "throughput",
+					Base: b.Throughput, Head: h.Throughput, Delta: d,
+					Msg: fmt.Sprintf("throughput improved %.3f -> %.3f %s (+%.1f%%)",
+						b.Throughput, h.Throughput, h.Unit, d*100),
+				})
+			}
+		}
+
+		if b.P99Ns > 0 && h.P99Ns > 0 {
+			d := relDelta(float64(b.P99Ns), float64(h.P99Ns))
+			if d > tol.Latency {
+				rep.Findings = append(rep.Findings, Finding{
+					Severity: Warn, Key: key, Metric: "p99_ns",
+					Base: float64(b.P99Ns), Head: float64(h.P99Ns), Delta: d,
+					Msg: fmt.Sprintf("p99 latency %dns -> %dns (+%.1f%%, band +%.0f%%)",
+						b.P99Ns, h.P99Ns, d*100, tol.Latency*100),
+				})
+			}
+		}
+
+		bPeak, hPeak := peakHeapInuse(b.Memory), peakHeapInuse(h.Memory)
+		if bPeak > 0 && hPeak > 0 {
+			d := relDelta(float64(bPeak), float64(hPeak))
+			if d > tol.Memory {
+				rep.Findings = append(rep.Findings, Finding{
+					Severity: Warn, Key: key, Metric: "mem_peak",
+					Base: float64(bPeak), Head: float64(hPeak), Delta: d,
+					Msg: fmt.Sprintf("peak heap %dB -> %dB (+%.1f%%, band +%.0f%%)",
+						bPeak, hPeak, d*100, tol.Memory*100),
+				})
+			}
+		}
+	}
+
+	for _, b := range base.Rows {
+		if !headSeen[b.Key()] {
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: Warn, Key: b.Key(), Metric: "row",
+				Msg: "row missing from head run",
+			})
+		}
+	}
+	return rep
+}

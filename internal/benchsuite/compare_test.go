@@ -1,0 +1,106 @@
+package benchsuite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkArtifact(rows ...Row) *Artifact {
+	return &Artifact{Schema: SchemaVersion, Rows: rows}
+}
+
+func mkRow(series string, tput float64) Row {
+	return Row{
+		Section: "net", Figure: "net", Series: series, Label: "conns=4",
+		X: 4, Throughput: tput, Unit: "Mops/s (wall)",
+		LatencySource: "load_ns", P50Ns: 1000, P95Ns: 5000, P99Ns: 9000,
+		Memory: []MemSample{{HeapInuseBytes: 1 << 20}},
+	}
+}
+
+// TestCompareThroughputRegression is the harness's own acceptance gate:
+// an injected 20% throughput drop must come back as a Fail finding
+// under the default 10% band, while a 5% wobble must not.
+func TestCompareThroughputRegression(t *testing.T) {
+	base := mkArtifact(mkRow("buffered", 10.0))
+
+	head := mkArtifact(mkRow("buffered", 8.0)) // -20%
+	rep := Compare(base, head, DefaultTolerances())
+	regs := rep.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("want 1 regression for a 20%% drop, got %d: %+v", len(regs), rep.Findings)
+	}
+	if regs[0].Metric != "throughput" || regs[0].Delta > -0.19 {
+		t.Fatalf("bad regression finding: %+v", regs[0])
+	}
+
+	head = mkArtifact(mkRow("buffered", 9.5)) // -5%: inside the band
+	rep = Compare(base, head, DefaultTolerances())
+	if len(rep.Regressions()) != 0 || len(rep.Warnings()) != 0 {
+		t.Fatalf("5%% wobble should be clean, got %+v", rep.Findings)
+	}
+
+	head = mkArtifact(mkRow("buffered", 12.0)) // +20%: improvement, Info only
+	rep = Compare(base, head, DefaultTolerances())
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", rep.Findings)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Severity != Info {
+		t.Fatalf("improvement should be one Info finding, got %+v", rep.Findings)
+	}
+}
+
+// TestCompareLatencyAndMemoryWarn: p99 and peak-heap growth beyond the
+// bands escalate to Warn, not Fail.
+func TestCompareLatencyAndMemoryWarn(t *testing.T) {
+	base := mkArtifact(mkRow("sync", 10.0))
+	h := mkRow("sync", 10.0)
+	h.P99Ns = 20000                                   // +122% vs band +50%
+	h.Memory = []MemSample{{HeapInuseBytes: 4 << 20}} // 4x vs band +50%
+	rep := Compare(base, mkArtifact(h), DefaultTolerances())
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("latency/memory growth must not Fail: %+v", rep.Findings)
+	}
+	warns := rep.Warnings()
+	if len(warns) != 2 {
+		t.Fatalf("want p99 + mem_peak warnings, got %+v", rep.Findings)
+	}
+	metrics := map[string]bool{}
+	for _, w := range warns {
+		metrics[w.Metric] = true
+	}
+	if !metrics["p99_ns"] || !metrics["mem_peak"] {
+		t.Fatalf("wrong warn metrics: %+v", warns)
+	}
+}
+
+// TestCompareRowChurn: rows the head lost warn, new rows inform.
+func TestCompareRowChurn(t *testing.T) {
+	base := mkArtifact(mkRow("buffered", 10.0), mkRow("sync", 3.0))
+	head := mkArtifact(mkRow("buffered", 10.0), mkRow("epoch-wait", 7.0))
+	rep := Compare(base, head, DefaultTolerances())
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("row churn must not Fail: %+v", rep.Findings)
+	}
+	warns, infos := rep.Warnings(), 0
+	for _, f := range rep.Findings {
+		if f.Severity == Info {
+			infos++
+		}
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0].Msg, "missing") {
+		t.Fatalf("want one missing-row warn, got %+v", rep.Findings)
+	}
+	if infos != 1 {
+		t.Fatalf("want one new-row info, got %+v", rep.Findings)
+	}
+
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "WARN") || !strings.Contains(out, "INFO") ||
+		!strings.Contains(out, "1 warn") {
+		t.Fatalf("report rendering missing pieces:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+package benchsuite
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// MemSample is one point of the process-memory curve a suite run
+// records alongside each benchmark cell. Sizes come straight from
+// runtime.ReadMemStats, so the curve reflects the Go heap the harness
+// and the system under test share — the quantity a regression in
+// payload lifetime or epoch retention shows up in first.
+type MemSample struct {
+	UnixMs         int64  `json:"unix_ms"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+// memMonitor samples the runtime's memory statistics on a fixed
+// interval in a background goroutine. Cells bracket their run with
+// Mark/Since to carve out their own window of the shared timeline.
+type memMonitor struct {
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu      sync.Mutex
+	samples []MemSample
+}
+
+// startMemMonitor begins sampling every interval until Stop.
+func startMemMonitor(interval time.Duration) *memMonitor {
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	m := &memMonitor{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m.SampleNow()
+	go m.run()
+	return m
+}
+
+func (m *memMonitor) run() {
+	defer close(m.done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.SampleNow()
+		}
+	}
+}
+
+// SampleNow takes one sample immediately and returns it.
+func (m *memMonitor) SampleNow() MemSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := MemSample{
+		UnixMs:         time.Now().UnixMilli(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapInuseBytes: ms.HeapInuse,
+		HeapSysBytes:   ms.HeapSys,
+		SysBytes:       ms.Sys,
+		NumGC:          ms.NumGC,
+	}
+	m.mu.Lock()
+	m.samples = append(m.samples, s)
+	m.mu.Unlock()
+	return s
+}
+
+// Stop halts the background sampler. Idempotent is not needed: the
+// suite stops it exactly once, after the last cell.
+func (m *memMonitor) Stop() {
+	close(m.stop)
+	<-m.done
+}
+
+// Mark returns a position in the sample timeline; Since(mark) later
+// returns a copy of everything recorded from that position on.
+func (m *memMonitor) Mark() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
+
+// Since returns the samples recorded at or after mark, always ending
+// with a fresh sample so even a sub-interval cell gets a window.
+func (m *memMonitor) Since(mark int) []MemSample {
+	m.SampleNow()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mark < 0 {
+		mark = 0
+	}
+	if mark > len(m.samples) {
+		mark = len(m.samples)
+	}
+	out := make([]MemSample, len(m.samples)-mark)
+	copy(out, m.samples[mark:])
+	return out
+}
+
+// maxMemPoints bounds the per-row curve so a long run's artifact stays
+// small; downsampling keeps the first and last points and strides the
+// middle evenly.
+const maxMemPoints = 32
+
+func downsample(s []MemSample, max int) []MemSample {
+	if max <= 0 || len(s) <= max {
+		return s
+	}
+	out := make([]MemSample, 0, max)
+	// Evenly spaced indices over [0, len-1], endpoints included.
+	for i := 0; i < max; i++ {
+		idx := i * (len(s) - 1) / (max - 1)
+		out = append(out, s[idx])
+	}
+	return out
+}
+
+// peakHeapInuse is the memory scalar the regression comparison uses.
+func peakHeapInuse(s []MemSample) uint64 {
+	var peak uint64
+	for _, x := range s {
+		if x.HeapInuseBytes > peak {
+			peak = x.HeapInuseBytes
+		}
+	}
+	return peak
+}

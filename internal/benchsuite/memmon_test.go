@@ -1,0 +1,68 @@
+package benchsuite
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMemMonitorWindows(t *testing.T) {
+	mon := startMemMonitor(time.Millisecond)
+	mark := mon.Mark()
+	// Hold allocations live across a few sampling periods.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<16))
+		time.Sleep(200 * time.Microsecond)
+	}
+	win := mon.Since(mark)
+	mon.Stop()
+	_ = sink
+
+	if len(win) == 0 {
+		t.Fatal("empty memory window")
+	}
+	for i, s := range win {
+		if s.HeapAllocBytes == 0 || s.HeapSysBytes == 0 || s.UnixMs == 0 {
+			t.Fatalf("sample %d has zero fields: %+v", i, s)
+		}
+		if i > 0 && s.UnixMs < win[i-1].UnixMs {
+			t.Fatalf("samples not time-ordered at %d", i)
+		}
+	}
+	if peakHeapInuse(win) == 0 {
+		t.Fatal("zero peak heap")
+	}
+}
+
+func TestMemMonitorSinceAlwaysSamples(t *testing.T) {
+	mon := startMemMonitor(time.Hour) // ticker will never fire
+	defer mon.Stop()
+	mark := mon.Mark()
+	win := mon.Since(mark)
+	if len(win) != 1 {
+		t.Fatalf("Since must append a fresh sample, got %d", len(win))
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var s []MemSample
+	for i := 0; i < 100; i++ {
+		s = append(s, MemSample{UnixMs: int64(i)})
+	}
+	d := downsample(s, maxMemPoints)
+	if len(d) != maxMemPoints {
+		t.Fatalf("len = %d, want %d", len(d), maxMemPoints)
+	}
+	if d[0].UnixMs != 0 || d[len(d)-1].UnixMs != 99 {
+		t.Fatalf("endpoints not kept: first=%d last=%d", d[0].UnixMs, d[len(d)-1].UnixMs)
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i].UnixMs <= d[i-1].UnixMs {
+			t.Fatalf("not strictly increasing at %d", i)
+		}
+	}
+	short := downsample(s[:10], maxMemPoints)
+	if len(short) != 10 {
+		t.Fatalf("short input must pass through, got %d", len(short))
+	}
+}

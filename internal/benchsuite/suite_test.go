@@ -1,0 +1,141 @@
+package benchsuite
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"montage/internal/bench"
+)
+
+// tinyScale keeps the suite test to a couple of seconds: minimal key
+// ranges, few ops, tiny arena, short wall-clock cells.
+func tinyScale() *bench.Scale {
+	s := bench.QuickScale()
+	s.ArenaSize = 64 << 20
+	s.KeyRange = 2_000
+	s.Preload = 500
+	s.Buckets = 4_096
+	s.ValueSize = 64
+	s.OpsPerThread = 200
+	return &s
+}
+
+// TestSuiteRunArtifact runs every section at tiny scale and checks the
+// artifact is schema-complete: rows for each section, sane throughput
+// and units, latency percentiles where a histogram existed, combine
+// ratios on the writeback rows, and a memory curve everywhere.
+func TestSuiteRunArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real wall-clock load cells")
+	}
+	var logbuf bytes.Buffer
+	art, err := Run(Config{
+		Quick:        true,
+		Seed:         7,
+		LoadDuration: 60 * time.Millisecond,
+		MemInterval:  5 * time.Millisecond,
+		Name:         "suite-test",
+		Log:          &logbuf,
+		Scale:        tinyScale(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, logbuf.String())
+	}
+
+	if art.Schema != SchemaVersion || art.GoVersion == "" || art.CreatedUTC == "" ||
+		art.MaxProcs == 0 || !art.Quick || art.Name != "suite-test" {
+		t.Fatalf("artifact header incomplete: %+v", art)
+	}
+
+	perSection := map[string]int{}
+	keys := map[string]bool{}
+	for _, r := range art.Rows {
+		perSection[r.Section]++
+		if keys[r.Key()] {
+			t.Errorf("duplicate row key %q", r.Key())
+		}
+		keys[r.Key()] = true
+		if r.Unit == "" || r.Figure == "" || r.Series == "" || r.Label == "" {
+			t.Errorf("row missing identity fields: %+v", r)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("row %s throughput = %v", r.Key(), r.Throughput)
+		}
+		if len(r.Memory) == 0 || len(r.Memory) > maxMemPoints {
+			t.Errorf("row %s memory curve has %d points", r.Key(), len(r.Memory))
+		}
+		if r.LatencySource != "" && (r.P50Ns == 0 || r.P99Ns < r.P50Ns || r.P95Ns > r.P99Ns) {
+			t.Errorf("row %s percentiles broken: p50=%d p95=%d p99=%d",
+				r.Key(), r.P50Ns, r.P95Ns, r.P99Ns)
+		}
+	}
+	for _, sec := range AllSections {
+		if perSection[sec] == 0 {
+			t.Errorf("no rows for section %s; log:\n%s", sec, logbuf.String())
+		}
+	}
+
+	// The wire sections measured client-observed latency.
+	for _, r := range art.Rows {
+		if (r.Section == "net" || r.Section == "serve") && r.LatencySource != "load_ns" {
+			t.Errorf("row %s latency source %q, want load_ns", r.Key(), r.LatencySource)
+		}
+		if r.Section == "writeback" && r.Figure == "writeback-combine" {
+			t.Errorf("combine row %s not merged into its throughput row", r.Key())
+		}
+	}
+
+	// Round-trip through the versioned artifact file.
+	dir := t.TempDir()
+	p1, err := NextArtifactPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first artifact path = %s", p1)
+	}
+	if err := WriteArtifact(p1, art); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArtifact(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(art.Rows) {
+		t.Fatalf("round trip lost rows: %d != %d", len(back.Rows), len(art.Rows))
+	}
+
+	// A self-comparison is clean.
+	rep := Compare(art, back, DefaultTolerances())
+	if len(rep.Regressions()) != 0 || len(rep.Warnings()) != 0 {
+		t.Fatalf("self-compare not clean: %+v", rep.Findings)
+	}
+
+	p2, err := NextArtifactPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Fatalf("second artifact path = %s", p2)
+	}
+}
+
+func TestSuiteUnknownSection(t *testing.T) {
+	if _, err := Run(Config{Sections: []string{"nope"}}); err == nil {
+		t.Fatal("unknown section must error")
+	}
+}
+
+func TestLoadArtifactSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "BENCH_9.json")
+	if err := os.WriteFile(p, []byte(`{"schema": 999, "rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(p); err == nil {
+		t.Fatal("wrong schema must be rejected")
+	}
+}

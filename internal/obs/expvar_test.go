@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestExpvarReopenDeterministic: an open/close/reopen cycle must reuse
+// the released name every time instead of growing a numeric suffix, and
+// must never panic on the (re)registration.
+func TestExpvarReopenDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		r := New(1)
+		r.Add(0, COps, uint64(i+1))
+		name := PublishExpvar("obs-reopen", r)
+		if name != "obs-reopen" {
+			t.Fatalf("cycle %d: name = %q, want stable \"obs-reopen\"", i, name)
+		}
+		// The live registration serves the current recorder's data.
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(expvar.Get(name).String()), &snap); err != nil {
+			t.Fatalf("cycle %d: expvar value: %v", i, err)
+		}
+		if snap.Runtime.Ops != uint64(i+1) {
+			t.Fatalf("cycle %d: expvar serves stale recorder: ops=%d", i, snap.Runtime.Ops)
+		}
+		UnpublishExpvar(name)
+	}
+}
+
+// TestExpvarUnpublishedServesEmpty: a released name's registration stays
+// valid (expvar cannot delete) but reports an empty snapshot.
+func TestExpvarUnpublishedServesEmpty(t *testing.T) {
+	r := New(1)
+	r.Add(0, COps, 9)
+	name := PublishExpvar("obs-released", r)
+	UnpublishExpvar(name)
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(expvar.Get(name).String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Runtime.Ops != 0 {
+		t.Fatalf("released name still serves data: ops=%d", snap.Runtime.Ops)
+	}
+	// Unpublishing twice (or an unknown name) is a no-op.
+	UnpublishExpvar(name)
+	UnpublishExpvar("obs-never-published")
+}
+
+// TestExpvarLiveDuplicatesSuffixed: two recorders live under the same
+// name at once get deterministic lowest-free suffixes, and releasing
+// the base name frees it for reuse while the suffixed one stays live.
+func TestExpvarLiveDuplicatesSuffixed(t *testing.T) {
+	a, b, c := New(1), New(1), New(1)
+	n1 := PublishExpvar("obs-dup", a)
+	n2 := PublishExpvar("obs-dup", b)
+	if n1 != "obs-dup" || n2 != "obs-dup-2" {
+		t.Fatalf("names = %q, %q; want obs-dup, obs-dup-2", n1, n2)
+	}
+	UnpublishExpvar(n1)
+	// The base name was released: the next publish reuses it even though
+	// obs-dup-2 is still live.
+	if n3 := PublishExpvar("obs-dup", c); n3 != "obs-dup" {
+		t.Fatalf("reuse after release = %q, want obs-dup", n3)
+	}
+	// And a further duplicate skips the live -2 deterministically.
+	if n4 := PublishExpvar("obs-dup", New(1)); !strings.HasPrefix(n4, "obs-dup-") || n4 == "obs-dup-2" {
+		t.Fatalf("fourth publish = %q, want a fresh suffix past the live -2", n4)
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import "testing"
+
+// TestMergeShards merges per-shard snapshots the way the sharded pool
+// does: counters must sum, histogram buckets must add (count, sum, and
+// recomputed percentiles), and Max must take the max across shards.
+func TestMergeShards(t *testing.T) {
+	shard0 := New(2)
+	shard1 := New(2)
+	shard0.Add(0, COps, 10)
+	shard0.Add(1, CWriteBacks, 3)
+	shard1.Add(0, COps, 32)
+	shard1.Add(0, CCommitBytes, 4096)
+	for i := 0; i < 50; i++ {
+		shard0.Observe(0, HSyncNs, 10) // bucket [8,15]
+	}
+	for i := 0; i < 50; i++ {
+		shard1.Observe(0, HSyncNs, 5000) // bucket [4096,8191]
+	}
+
+	m := Merge(shard0.Snapshot(), shard1.Snapshot())
+
+	if m.Runtime.Ops != 42 {
+		t.Errorf("merged Ops = %d, want 42", m.Runtime.Ops)
+	}
+	if m.Device.WriteBacks != 3 || m.Device.CommitBytes != 4096 {
+		t.Errorf("merged device counters = %+v", m.Device)
+	}
+	h := m.Latency.SyncNs
+	if h.Count != 100 {
+		t.Errorf("merged hist count = %d, want 100", h.Count)
+	}
+	if want := uint64(50*10 + 50*5000); h.Sum != want {
+		t.Errorf("merged hist sum = %d, want %d", h.Sum, want)
+	}
+	// Max takes the max across shards: shard1's 5000-bucket bound.
+	if h.Max != 8191 {
+		t.Errorf("merged Max = %d, want 8191 (shard1's bucket bound)", h.Max)
+	}
+	// The median straddles the two shards' buckets; both halves must be
+	// present in the merged distribution.
+	if p25, p75 := h.Percentile(0.25), h.Percentile(0.75); p25 > 15 || p75 < 4096 {
+		t.Errorf("merged percentiles lost a shard: p25=%.0f p75=%.0f", p25, p75)
+	}
+	// Merged snapshots support further Sub/Percentile use: raw carried.
+	if m.raw == nil {
+		t.Error("merged snapshot dropped raw buckets")
+	}
+}
+
+// TestMergeEmpty covers the edge cases: no inputs, zero-value snapshots
+// (no raw data), and empty+nonempty mixes must neither panic nor skew
+// the aggregate.
+func TestMergeEmpty(t *testing.T) {
+	m := Merge()
+	if m.Runtime.Ops != 0 || m.Enabled {
+		t.Fatalf("empty merge not zero: %+v", m)
+	}
+
+	r := New(1)
+	r.Add(0, COps, 7)
+	r.Observe(0, HAdvanceNs, 99)
+
+	// A zero-value Snapshot (e.g. JSON-decoded or default-initialized)
+	// has no raw stats and must contribute nothing.
+	m = Merge(Snapshot{}, r.Snapshot(), Snapshot{})
+	if m.Runtime.Ops != 7 {
+		t.Fatalf("merge with empties: Ops = %d, want 7", m.Runtime.Ops)
+	}
+	if m.Latency.AdvanceNs.Count != 1 {
+		t.Fatalf("merge with empties: hist count = %d, want 1", m.Latency.AdvanceNs.Count)
+	}
+	if !m.Enabled {
+		t.Fatal("merge dropped Enabled from the live input")
+	}
+
+	// Merging only empties is a valid zero aggregate.
+	m = Merge(Snapshot{}, Snapshot{})
+	if m.Runtime.Ops != 0 || m.Latency.AdvanceNs.Count != 0 {
+		t.Fatalf("all-empty merge not zero: %+v", m.Runtime)
+	}
+}
+
+// TestMergeUnixNsLatest: the merged timestamp is the latest input's.
+func TestMergeUnixNsLatest(t *testing.T) {
+	a, b := Snapshot{UnixNs: 100}, Snapshot{UnixNs: 300}
+	if m := Merge(a, b, Snapshot{UnixNs: 200}); m.UnixNs != 300 {
+		t.Fatalf("merged UnixNs = %d, want 300", m.UnixNs)
+	}
+}

@@ -104,6 +104,14 @@ const (
 	CChaosCrashes    // crashes injected by chaos schedules
 	CChaosViolations // history-checker violations found
 
+	// Client load generator (internal/server.RunLoad, cmd/montage-load).
+	// These are recorded on the CLIENT side of the wire, so a recorder
+	// shared with the server under test carries both halves of a run.
+	CLoadOps    // operations acknowledged to the loadgen client
+	CLoadReads  // acknowledged reads
+	CLoadWrites // acknowledged writes
+	CLoadErrors // SERVER_ERROR acks observed by the client
+
 	numCounters
 )
 
@@ -121,6 +129,7 @@ const (
 	HAckSyncNs                   // sync-mode ack wait: forced Sync on the request path (wall ns)
 	HAckEpochNs                  // epoch-wait-mode ack park time until the epoch persisted (wall ns)
 	HPipelineDepth               // per-connection response-queue depth sampled at each enqueue
+	HLoadNs                      // loadgen client-observed request latency, send to ack (wall ns)
 
 	numHists
 )

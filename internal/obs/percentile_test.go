@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestPercentileInterpolation checks the interpolated percentiles land
+// inside their log2 bucket and track the analytic quantiles of a
+// uniform distribution far tighter than the bucket bounds would.
+func TestPercentileInterpolation(t *testing.T) {
+	r := New(1)
+	for v := uint64(1); v <= 1024; v++ {
+		r.Observe(0, HSyncNs, v)
+	}
+	h := r.Snapshot().Latency.SyncNs
+	if h.Count != 1024 {
+		t.Fatalf("count = %d, want 1024", h.Count)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 512}, {0.90, 921.6}, {0.95, 972.8}, {0.99, 1013.8}} {
+		got := h.Percentile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.15 {
+			t.Errorf("P%.0f = %.1f, want ~%.1f (rel err %.2f)", tc.q*100, got, tc.want, rel)
+		}
+	}
+	// The precomputed fields agree with the helper (rounded).
+	if want := uint64(h.Percentile(0.95) + 0.5); h.P95 != want {
+		t.Errorf("P95 field = %d, helper rounds to %d", h.P95, want)
+	}
+	// Monotone in q, and bounded by Max.
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		p := h.Percentile(q)
+		if p < prev {
+			t.Fatalf("Percentile not monotone: q=%.2f gives %.1f < %.1f", q, p, prev)
+		}
+		prev = p
+	}
+	if prev > float64(h.Max) {
+		t.Fatalf("Percentile(1) = %.1f exceeds Max %d", prev, h.Max)
+	}
+}
+
+// TestPercentileSingleBucket: identical observations interpolate within
+// their bucket, never outside it.
+func TestPercentileSingleBucket(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		r.Observe(0, HAdvanceNs, 100) // bucket 7: [64,127]
+	}
+	h := r.Snapshot().Latency.AdvanceNs
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		if p := h.Percentile(q); p < 64 || p > 127 {
+			t.Fatalf("Percentile(%.2f) = %.1f escapes bucket [64,127]", q, p)
+		}
+	}
+	if h.P50 > h.P90 || h.P90 > h.P95 || h.P95 > h.P99 || h.P99 > h.Max {
+		t.Fatalf("percentile fields not ordered: %+v", h)
+	}
+}
+
+// TestPercentileEmptyAndZero: empty histograms yield 0 everywhere, and
+// zero-valued observations stay in the zero bucket.
+func TestPercentileEmptyAndZero(t *testing.T) {
+	var empty HistStats
+	if p := empty.Percentile(0.99); p != 0 {
+		t.Fatalf("empty Percentile = %v, want 0", p)
+	}
+	r := New(1)
+	r.Observe(0, HSyncNs, 0)
+	h := r.Snapshot().Latency.SyncNs
+	if p := h.Percentile(0.5); p != 0 {
+		t.Fatalf("zero-bucket Percentile = %v, want 0", p)
+	}
+}
+
+// TestPercentileAfterJSON: a HistStats that lost its buckets to a JSON
+// round trip falls back to interpolating the precomputed fields.
+func TestPercentileAfterJSON(t *testing.T) {
+	r := New(1)
+	for v := uint64(1); v <= 1000; v++ {
+		r.Observe(0, HSyncNs, v)
+	}
+	orig := r.Snapshot().Latency.SyncNs
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistStats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.buckets != nil {
+		t.Fatal("buckets survived JSON round trip")
+	}
+	if got, want := back.Percentile(0.95), float64(orig.P95); math.Abs(got-want) > want*0.10 {
+		t.Fatalf("fallback P95 = %.1f, want ~%.1f", got, want)
+	}
+	if p := back.Percentile(0.5); p != float64(back.P50) {
+		t.Fatalf("fallback at a stored point = %.1f, want %d exactly", p, back.P50)
+	}
+}

@@ -110,17 +110,64 @@ type ChaosStats struct {
 	Violations uint64 `json:"violations"`
 }
 
-// HistStats summarizes one log-bucketed histogram. Percentiles and Max
-// are bucket upper bounds, so they are approximations with at most 2x
-// relative error.
+// LoadStats are the client-side load generator's counters (what the
+// loadgen saw acknowledged over the wire, as opposed to ServerStats'
+// server-side view).
+type LoadStats struct {
+	Ops    uint64 `json:"ops"`
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	Errors uint64 `json:"errors"`
+}
+
+// HistStats summarizes one log-bucketed histogram. The percentile
+// fields are linearly interpolated within their log2 bucket (rounded to
+// the nearest integer), so they carry sub-bucket resolution; Max is the
+// highest occupied bucket's upper bound, an approximation with at most
+// 2x relative error.
 type HistStats struct {
 	Count uint64  `json:"count"`
 	Sum   uint64  `json:"sum"`
 	Mean  float64 `json:"mean"`
 	P50   uint64  `json:"p50"`
 	P90   uint64  `json:"p90"`
+	P95   uint64  `json:"p95"`
 	P99   uint64  `json:"p99"`
 	Max   uint64  `json:"max"`
+
+	// buckets backs Percentile for snapshots built in-process
+	// (Snapshot, Sub, Merge). It does not survive a JSON round trip:
+	// decoded HistStats fall back to the precomputed fields.
+	buckets *[histBuckets]uint64
+}
+
+// Percentile returns the q-quantile (q in [0,1]) of the histogram,
+// linearly interpolated within its log2 bucket. For a HistStats that
+// lost its buckets to serialization it interpolates between the nearest
+// precomputed percentile fields instead; an empty histogram yields 0.
+func (h HistStats) Percentile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if h.buckets != nil {
+		return percentileInterp(h.buckets, h.Count, q)
+	}
+	// Bucketless fallback: piecewise between the stored summary points.
+	pts := []struct {
+		q float64
+		v uint64
+	}{{0, 0}, {0.50, h.P50}, {0.90, h.P90}, {0.95, h.P95}, {0.99, h.P99}, {1, h.Max}}
+	if q <= 0 {
+		return 0
+	}
+	for i := 1; i < len(pts); i++ {
+		if q <= pts[i].q {
+			span := pts[i].q - pts[i-1].q
+			frac := (q - pts[i-1].q) / span
+			return float64(pts[i-1].v) + frac*(float64(pts[i].v)-float64(pts[i-1].v))
+		}
+	}
+	return float64(h.Max)
 }
 
 // LatencyStats groups the histograms.
@@ -135,6 +182,7 @@ type LatencyStats struct {
 	AckSyncNs     HistStats `json:"ack_sync_ns"`
 	AckEpochNs    HistStats `json:"ack_epoch_wait_ns"`
 	PipelineDepth HistStats `json:"pipeline_depth"`
+	LoadNs        HistStats `json:"load_ns"`
 }
 
 // Snapshot is a point-in-time aggregate of a Recorder's counters and
@@ -149,6 +197,7 @@ type Snapshot struct {
 	Alloc   AllocStats   `json:"alloc"`
 	Server  ServerStats  `json:"server"`
 	Chaos   ChaosStats   `json:"chaos"`
+	Load    LoadStats    `json:"load"`
 	Latency LatencyStats `json:"latency"`
 
 	raw *rawStats
@@ -331,6 +380,12 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		Crashes:    c[CChaosCrashes],
 		Violations: c[CChaosViolations],
 	}
+	s.Load = LoadStats{
+		Ops:    c[CLoadOps],
+		Reads:  c[CLoadReads],
+		Writes: c[CLoadWrites],
+		Errors: c[CLoadErrors],
+	}
 	s.Latency = LatencyStats{
 		AdvanceNs:     summarize(&raw.hists[HAdvanceNs]),
 		WaitAllNs:     summarize(&raw.hists[HWaitAllNs]),
@@ -342,6 +397,7 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		AckSyncNs:     summarize(&raw.hists[HAckSyncNs]),
 		AckEpochNs:    summarize(&raw.hists[HAckEpochNs]),
 		PipelineDepth: summarize(&raw.hists[HPipelineDepth]),
+		LoadNs:        summarize(&raw.hists[HLoadNs]),
 	}
 	return s
 }
@@ -359,10 +415,13 @@ func summarize(h *rawHist) HistStats {
 	if h.count == 0 {
 		return st
 	}
+	buckets := h.buckets // copy: the raw aggregate stays mutable-free
+	st.buckets = &buckets
 	st.Mean = float64(h.sum) / float64(h.count)
-	st.P50 = percentile(h, 0.50)
-	st.P90 = percentile(h, 0.90)
-	st.P99 = percentile(h, 0.99)
+	st.P50 = uint64(percentileInterp(&buckets, h.count, 0.50) + 0.5)
+	st.P90 = uint64(percentileInterp(&buckets, h.count, 0.90) + 0.5)
+	st.P95 = uint64(percentileInterp(&buckets, h.count, 0.95) + 0.5)
+	st.P99 = uint64(percentileInterp(&buckets, h.count, 0.99) + 0.5)
 	for b := histBuckets - 1; b >= 0; b-- {
 		if h.buckets[b] > 0 {
 			st.Max = bucketBound(b)
@@ -372,17 +431,49 @@ func summarize(h *rawHist) HistStats {
 	return st
 }
 
-func percentile(h *rawHist, q float64) uint64 {
-	target := uint64(q * float64(h.count))
-	if target < 1 {
-		target = 1
+// bucketLow is the inclusive lower bound of bucket i (values of bit
+// length i): 0 for the zero bucket, 2^(i-1) otherwise.
+func bucketLow(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i > 63 {
+		i = 63
+	}
+	return 1 << uint(i-1)
+}
+
+// percentileInterp finds the bucket holding the q-quantile's rank and
+// interpolates linearly between the bucket's bounds by the rank's
+// position among the bucket's observations — sub-bucket resolution on
+// top of the log2 layout (within a bucket the estimate assumes a
+// uniform spread, so it is exact at bucket edges and at most half a
+// bucket off inside).
+func percentileInterp(buckets *[histBuckets]uint64, count uint64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	if rank < 1 {
+		rank = 1
 	}
 	var cum uint64
 	for b := 0; b < histBuckets; b++ {
-		cum += h.buckets[b]
-		if cum >= target {
-			return bucketBound(b)
+		n := buckets[b]
+		if n == 0 {
+			continue
 		}
+		if float64(cum)+float64(n) >= rank {
+			lo, hi := bucketLow(b), bucketBound(b)
+			frac := (rank - float64(cum)) / float64(n)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += n
 	}
-	return bucketBound(histBuckets - 1)
+	return float64(bucketBound(histBuckets - 1))
 }

@@ -3,12 +3,12 @@ package server
 import (
 	"bufio"
 	"fmt"
-	"math/bits"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
+	"montage/internal/obs"
 	"montage/internal/pool"
 	"montage/internal/ycsb"
 )
@@ -44,6 +44,13 @@ type LoadConfig struct {
 	// the server's shard count for the tally to mean anything; it does
 	// not change the generated load.
 	Shards int
+	// Recorder, when non-nil, receives the client-side counters
+	// (obs.CLoad*) and the per-request latency histogram (obs.HLoadNs).
+	// Sharing the server's recorder puts both halves of a run in one
+	// stream; nil uses a private recorder, so the latency percentiles in
+	// LoadResult always come from the same log2 histograms the runtime
+	// reports everywhere else.
+	Recorder *obs.Recorder
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -69,8 +76,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 }
 
 // LoadResult is RunLoad's aggregate: acked operations, their rate, and
-// client-observed latency percentiles (log2-bucketed, so bounds carry
-// at most 2x relative error, like the runtime's own histograms).
+// client-observed latency percentiles (interpolated within the
+// runtime's log2 histogram buckets; Max is a bucket bound with at most
+// 2x relative error).
 type LoadResult struct {
 	Ops       uint64 // operations acknowledged
 	Reads     uint64
@@ -80,17 +88,22 @@ type LoadResult struct {
 	OpsPerSec float64
 	P50       time.Duration
 	P90       time.Duration
+	P95       time.Duration
 	P99       time.Duration
 	Max       time.Duration
+	// Latency is the full client-observed latency summary for the timed
+	// phase (the obs.HLoadNs interval histogram the percentiles above
+	// are drawn from).
+	Latency obs.HistStats
 	// ShardOps[i] counts timed-phase operations whose key routes to pool
 	// shard i (only populated when LoadConfig.Shards > 1).
 	ShardOps []uint64
 }
 
 func (r LoadResult) String() string {
-	s := fmt.Sprintf("%d ops in %v (%.0f ops/s, %d errors) latency p50=%v p90=%v p99=%v max=%v",
+	s := fmt.Sprintf("%d ops in %v (%.0f ops/s, %d errors) latency p50=%v p95=%v p99=%v max=%v",
 		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Errors,
-		r.P50, r.P90, r.P99, r.Max)
+		r.P50, r.P95, r.P99, r.Max)
 	if dist := r.ShardDistribution(); dist != "" {
 		s += "\n" + dist
 	}
@@ -125,60 +138,11 @@ func (r LoadResult) ShardDistribution() string {
 	return b.String()
 }
 
-// latHist is a log2-bucketed latency histogram (bucket i holds values
-// of bit length i), mergeable across connections.
-type latHist struct {
-	count   uint64
-	sum     uint64
-	buckets [64]uint64
-}
-
-func (h *latHist) add(d time.Duration) {
-	v := uint64(d)
-	h.count++
-	h.sum += v
-	h.buckets[bits.Len64(v)&63]++
-}
-
-func (h *latHist) merge(o *latHist) {
-	h.count += o.count
-	h.sum += o.sum
-	for i := range h.buckets {
-		h.buckets[i] += o.buckets[i]
-	}
-}
-
-func (h *latHist) percentile(q float64) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	target := uint64(q * float64(h.count))
-	if target < 1 {
-		target = 1
-	}
-	var cum uint64
-	for b, n := range h.buckets {
-		cum += n
-		if cum >= target {
-			return time.Duration(uint64(1)<<uint(b) - 1)
-		}
-	}
-	return 0
-}
-
-func (h *latHist) max() time.Duration {
-	for b := len(h.buckets) - 1; b >= 0; b-- {
-		if h.buckets[b] > 0 {
-			return time.Duration(uint64(1)<<uint(b) - 1)
-		}
-	}
-	return 0
-}
-
-// connStats is one connection's tally.
+// connStats is one connection's tally. Latency is not tallied here: it
+// goes straight into the recorder's per-thread HLoadNs histogram, the
+// same log2 pipeline every other runtime latency uses.
 type connStats struct {
 	ops, reads, writes, errors uint64
-	lat                        latHist
 	shardOps                   []uint64
 }
 
@@ -193,6 +157,10 @@ type reqToken struct {
 // client-observed latency.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.New(cfg.Conns)
+	}
 	stats := make([]connStats, cfg.Conns)
 	errs := make([]error, cfg.Conns)
 	start := make(chan struct{})
@@ -207,11 +175,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			// A worker that fails before the start barrier must still
 			// signal, or the barrier would stall instead of reporting.
 			defer signalReady()
-			errs[id] = runLoadConn(cfg, id, &stats[id], signalReady, start)
+			errs[id] = runLoadConn(cfg, id, rec, &stats[id], signalReady, start)
 		}(i)
 	}
 	// Wait for every connection to finish preloading, then start the
-	// timed phase together.
+	// timed phase together. The latency delta brackets exactly the timed
+	// phase, so a shared recorder carrying earlier runs stays clean.
 	for i := 0; i < cfg.Conns; i++ {
 		select {
 		case <-ready:
@@ -219,13 +188,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			return nil, fmt.Errorf("loadgen: preload stalled")
 		}
 	}
+	prev := rec.Snapshot()
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	lat := rec.Snapshot().Sub(prev).Latency.LoadNs
 
-	res := &LoadResult{Elapsed: elapsed}
-	var lat latHist
+	res := &LoadResult{Elapsed: elapsed, Latency: lat}
 	for i := range stats {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("loadgen conn %d: %w", i, errs[i])
@@ -234,7 +204,6 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		res.Reads += stats[i].reads
 		res.Writes += stats[i].writes
 		res.Errors += stats[i].errors
-		lat.merge(&stats[i].lat)
 		if stats[i].shardOps != nil {
 			if res.ShardOps == nil {
 				res.ShardOps = make([]uint64, len(stats[i].shardOps))
@@ -247,17 +216,18 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
 	}
-	res.P50 = lat.percentile(0.50)
-	res.P90 = lat.percentile(0.90)
-	res.P99 = lat.percentile(0.99)
-	res.Max = lat.max()
+	res.P50 = time.Duration(lat.Percentile(0.50))
+	res.P90 = time.Duration(lat.Percentile(0.90))
+	res.P95 = time.Duration(lat.Percentile(0.95))
+	res.P99 = time.Duration(lat.Percentile(0.99))
+	res.Max = time.Duration(lat.Max)
 	return res, nil
 }
 
 // runLoadConn is one connection's worker: handshake, preload its key
 // shard, then pump pipelined requests until the deadline while a reader
 // goroutine matches responses to in-flight tokens.
-func runLoadConn(cfg LoadConfig, id int, st *connStats, signalReady func(), start <-chan struct{}) error {
+func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signalReady func(), start <-chan struct{}) error {
 	// Dial and handshake, retrying while the server's connection slots
 	// are full (a previous load round's connections drain asynchronously
 	// and hold their slots for a moment after the client side closes).
@@ -312,7 +282,7 @@ func runLoadConn(cfg LoadConfig, id int, st *connStats, signalReady func(), star
 	}
 	inflight := make(chan reqToken, cfg.Pipeline)
 	readerDone := make(chan error, 1)
-	go func() { readerDone <- loadReader(br, inflight, st) }()
+	go func() { readerDone <- loadReader(br, inflight, rec, id, st) }()
 
 	deadline := time.Now().Add(cfg.Duration)
 	sinceFlush := 0
@@ -359,7 +329,7 @@ func runLoadConn(cfg LoadConfig, id int, st *connStats, signalReady func(), star
 
 // loadReader drains responses for every in-flight token, recording
 // latency and classifying acks.
-func loadReader(br *bufio.Reader, inflight <-chan reqToken, st *connStats) error {
+func loadReader(br *bufio.Reader, inflight <-chan reqToken, rec *obs.Recorder, tid int, st *connStats) error {
 	for tok := range inflight {
 		if tok.kind == ycsb.Read {
 			for {
@@ -381,6 +351,8 @@ func loadReader(br *bufio.Reader, inflight <-chan reqToken, st *connStats) error
 			}
 			st.reads++
 			st.ops++
+			rec.Inc(tid, obs.CLoadReads)
+			rec.Inc(tid, obs.CLoadOps)
 		} else {
 			line, err := readAck(br)
 			if err != nil {
@@ -390,13 +362,16 @@ func loadReader(br *bufio.Reader, inflight <-chan reqToken, st *connStats) error
 			case line == "STORED":
 				st.writes++
 				st.ops++
+				rec.Inc(tid, obs.CLoadWrites)
+				rec.Inc(tid, obs.CLoadOps)
 			case strings.HasPrefix(line, "SERVER_ERROR"):
 				st.errors++
+				rec.Inc(tid, obs.CLoadErrors)
 			default:
 				return fmt.Errorf("unexpected set response %q", line)
 			}
 		}
-		st.lat.add(time.Since(tok.start))
+		rec.Observe(tid, obs.HLoadNs, uint64(time.Since(tok.start)))
 	}
 	return nil
 }

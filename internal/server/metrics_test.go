@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"montage/internal/obs"
+)
+
+// metricLineRe is the Prometheus text exposition (version 0.0.4) grammar
+// for a sample line: name, optional label set, space, float value.
+var metricLineRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-][0-9]+)?$`)
+
+// TestMetricsEndpointScrape is the end-to-end observability check: it
+// drives real traffic through the TCP server with the loadgen, mounts
+// the server's recorder on an obs metrics endpoint, scrapes /metrics
+// over HTTP, and asserts the exposition is valid Prometheus text format
+// with nonzero operation counters that agree with the acked load.
+func TestMetricsEndpointScrape(t *testing.T) {
+	s := newTestServer(t, Config{MaxConns: 8})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+
+	ms, err := obs.ServeMetrics("127.0.0.1:0", s.Recorder().Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	res, err := RunLoad(LoadConfig{
+		Addr:     addr.String(),
+		Conns:    2,
+		Duration: 150 * time.Millisecond,
+		Records:  64,
+		Pipeline: 8,
+		Mode:     AckBuffered,
+		ReadFrac: -1, // YCSB-A
+		Recorder: s.Recorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Writes == 0 {
+		t.Fatalf("load saw no traffic: %+v", res)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Validate every line against the exposition grammar and collect
+	// the sample values.
+	vals := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		lines++
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") && !strings.HasPrefix(line, "# HELP ") {
+				t.Fatalf("bad comment line: %q", line)
+			}
+			continue
+		}
+		if !metricLineRe.MatchString(line) {
+			t.Fatalf("bad metric line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		vals[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// The server also counts the preload's noreply sets, so its set
+	// counter is the acked writes plus the preloaded records.
+	if got := vals["montage_server_ops_set_total"]; got < float64(res.Writes) || got == 0 {
+		t.Errorf("montage_server_ops_set_total = %v, want >= %d", got, res.Writes)
+	}
+	if vals["montage_server_conns_total"] == 0 {
+		t.Error("montage_server_conns_total = 0, want nonzero")
+	}
+	// The loadgen shared the server's recorder, so the client-side view
+	// is exported too: acked-op counters and the latency histogram.
+	if vals["montage_load_ops_total"] == 0 {
+		t.Error("montage_load_ops_total = 0, want nonzero")
+	}
+	if c := vals["montage_latency_load_ns_count"]; c != vals["montage_load_ops_total"] {
+		t.Errorf("load_ns_count = %v, want %v (one observation per acked op)",
+			c, vals["montage_load_ops_total"])
+	}
+	if vals[`montage_latency_load_ns_bucket{le="+Inf"}`] != vals["montage_latency_load_ns_count"] {
+		t.Error("+Inf bucket disagrees with histogram count")
+	}
+}
