@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-suite-smoke bench-check serve-smoke chaos-smoke clean
+.PHONY: build test race vet bench bench-smoke bench-suite-smoke bench-check serve-smoke cluster-smoke chaos-smoke clean
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,10 @@ test: vet serve-smoke
 # crashing daemon), the observability recorder (hammered from every
 # worker), the epoch system, the data structures, the sharded pool
 # (concurrent writers + whole-pool crash/recovery), and the striped-LRU
-# kvstore.
+# kvstore, and the cluster proxy (per-client executor/collector pairs
+# multiplexing pipelines over shared backend fleets).
 race:
-	$(GO) test -race ./internal/pmem ./internal/obs ./internal/epoch ./internal/pds ./internal/pool ./internal/kvstore
+	$(GO) test -race ./internal/pmem ./internal/obs ./internal/epoch ./internal/pds ./internal/pool ./internal/kvstore ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,14 @@ vet:
 # asserting nonzero acked throughput and a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# End-to-end smoke of the cluster layer: a 3-node montage-serve fleet
+# behind montage-proxy, YCSB bursts through the proxy (with a ring
+# keyspace-balance assertion), a hard kill + in-place restart of one
+# node mid-fleet, and 60 seeded chaos schedules with mid-schedule node
+# kill+revive checked for cluster-wide buffered durable linearizability.
+cluster-smoke:
+	sh scripts/cluster-smoke.sh
 
 # Crash-consistency sweep: 1000+ seeded crash schedules (shard counts
 # 1/2/4 × drop-all/partial crashes × armed mid-fence/mid-drain/
@@ -53,14 +62,14 @@ bench-smoke:
 # the target; use bench-check for a hard gate on quiet hardware.
 bench-suite-smoke:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_6.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_7.json BENCH_head.json
 
 # Hard regression gate: nonzero exit on a throughput drop beyond the
 # band, and -strict escalates latency/memory warnings too. Run on
 # dedicated hardware where the baseline was recorded.
 bench-check:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -strict BENCH_6.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -strict BENCH_7.json BENCH_head.json
 
 clean:
 	rm -f stats_quick.json BENCH_head.json

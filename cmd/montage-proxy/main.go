@@ -1,0 +1,241 @@
+// Command montage-proxy fronts a fleet of montage-serve nodes with a
+// consistent-hash router speaking the memcached text protocol: clients
+// connect to it as if it were one big montage-serve, and every
+// request is forwarded to the node that owns its key on a ketama-style
+// ring. Durability acks pass through unchanged — a STORED from a sync
+// or epoch-wait backend already carries that node's persistence
+// promise — and broadcast commands (flush_all, sync) combine one ack
+// per node, so a flush_all in epoch-wait mode waits on every backend's
+// persist watermark.
+//
+// Usage:
+//
+//	montage-proxy -nodes 127.0.0.1:11211,127.0.0.1:11212
+//	montage-proxy rebalance -ring a:11211,b:11211 \
+//	    -images a:11211=/data/a.img,b:11211=/data/b.img
+//
+// The rebalance subcommand runs OFFLINE (no node may be serving the
+// images): it opens every node's pool image, recovers it, moves each
+// key whose ring owner changed to the new owner's image, and saves all
+// images back. Fresh pools are created for nodes whose image does not
+// exist yet, so growing a ring is "stop fleet, rebalance with the new
+// member listed, start fleet". -adopt moves one whole image (file or
+// MANIFEST shard directory) to a new path without opening it.
+//
+// A crashed backend is retried with backoff for -retry-window before
+// its requests fail with SERVER_ERROR, giving a node killed mid-run
+// that grace to recover in place; requests meanwhile queue against the
+// client's bounded pipeline window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"montage/internal/cluster"
+	"montage/internal/core"
+	"montage/internal/obs"
+	"montage/internal/pool"
+)
+
+// writeAddrFile publishes the bound address atomically (temp file +
+// rename in the same directory), mirroring montage-serve's -addr-file,
+// so scripts polling the path never read a partial address.
+func writeAddrFile(path, addr string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".addr-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(addr + "\n"); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "rebalance" {
+		os.Exit(rebalanceMain(os.Args[2:]))
+	}
+	serveMain()
+}
+
+func serveMain() {
+	addr := flag.String("addr", "127.0.0.1:11311", "TCP listen address (\":0\" picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts using \":0\")")
+	nodes := flag.String("nodes", "", "comma-separated backend montage-serve addresses (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0: default)")
+	maxConns := flag.Int("max-conns", 64, "max concurrent client connections")
+	durability := flag.String("durability", "buffered", "ack mode handshaken onto backends: buffered, sync, or epoch-wait")
+	retryWindow := flag.Duration("retry-window", 5*time.Second, "how long requests to a dead node retry before SERVER_ERROR")
+	backendTimeout := flag.Duration("backend-timeout", 30*time.Second, "per-response backend read deadline")
+	drain := flag.Duration("drain", 5*time.Second, "shutdown drain timeout")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty: disabled)")
+	flag.Parse()
+
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "montage-proxy: -nodes is required")
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, tok := range strings.Split(*nodes, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			addrs = append(addrs, tok)
+		}
+	}
+
+	rec := obs.New(*maxConns + 2)
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr, rec.Snapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("montage-proxy: /metrics and /debug/pprof on %s\n", ms.Addr())
+	}
+
+	px, err := cluster.NewProxy(cluster.Config{
+		Addr:           *addr,
+		Nodes:          addrs,
+		VNodes:         *vnodes,
+		MaxConns:       *maxConns,
+		DefaultMode:    *durability,
+		RetryWindow:    *retryWindow,
+		BackendTimeout: *backendTimeout,
+		Recorder:       rec,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bound, err := px.Listen()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, bound.String()); err != nil {
+			fmt.Fprintf(os.Stderr, "addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("montage-proxy: listening on %s, routing to %d nodes (durability=%s)\n",
+		bound, len(addrs), *durability)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- px.Serve() }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("montage-proxy: %v: draining...\n", sig)
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := px.Shutdown(*drain); err != nil {
+		fmt.Fprintf(os.Stderr, "montage-proxy: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	snap := rec.Snapshot()
+	fmt.Printf("montage-proxy: drained; %d client conns, %d ops (%d forwards, %d broadcasts), %d redials, %d node errors\n",
+		snap.Cluster.Conns, snap.Cluster.Ops, snap.Cluster.Forwards,
+		snap.Cluster.Bcasts, snap.Cluster.Redials, snap.Cluster.NodeErrors)
+}
+
+func rebalanceMain(argv []string) int {
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	ring := fs.String("ring", "", "comma-separated node names (serve addresses) of the NEW ring (required)")
+	images := fs.String("images", "", "comma-separated name=path pool-image map; missing paths default to <name>.img with ':' replaced by '_'")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per backend — must match the serving proxy (0: default)")
+	buckets := fs.Int("buckets", 4096, "index bucket count used when scanning images")
+	arena := fs.Int("arena", 64<<20, "arena size for freshly created images (per shard)")
+	shards := fs.Int("shards", 1, "shard count for freshly created images")
+	adoptFrom := fs.String("adopt", "", "instead of rebalancing: move this whole image (file or MANIFEST dir)...")
+	adoptTo := fs.String("to", "", "...to this path (with -adopt)")
+	fs.Parse(argv)
+
+	if *adoptFrom != "" || *adoptTo != "" {
+		if *adoptFrom == "" || *adoptTo == "" {
+			fmt.Fprintln(os.Stderr, "montage-proxy rebalance: -adopt and -to go together")
+			return 2
+		}
+		if err := cluster.AdoptImage(*adoptFrom, *adoptTo); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("montage-proxy: adopted %s -> %s\n", *adoptFrom, *adoptTo)
+		return 0
+	}
+
+	if *ring == "" {
+		fmt.Fprintln(os.Stderr, "montage-proxy rebalance: -ring is required")
+		return 2
+	}
+	paths := map[string]string{}
+	if *images != "" {
+		for _, tok := range strings.Split(*images, ",") {
+			name, path, ok := strings.Cut(strings.TrimSpace(tok), "=")
+			if !ok || name == "" || path == "" {
+				fmt.Fprintf(os.Stderr, "montage-proxy rebalance: bad -images entry %q (want name=path)\n", tok)
+				return 2
+			}
+			paths[name] = path
+		}
+	}
+	var nodes []cluster.NodeImage
+	for _, tok := range strings.Split(*ring, ",") {
+		name := strings.TrimSpace(tok)
+		if name == "" {
+			continue
+		}
+		path, ok := paths[name]
+		if !ok {
+			path = strings.ReplaceAll(name, ":", "_") + ".img"
+		}
+		nodes = append(nodes, cluster.NodeImage{Name: name, Path: path})
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "montage-proxy rebalance: -ring has no nodes")
+		return 2
+	}
+
+	st, err := cluster.Rebalance(nodes, *vnodes, *buckets, pool.Config{
+		Shards: *shards,
+		Core:   core.Config{ArenaSize: *arena, MaxThreads: 4},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("montage-proxy: rebalanced %d nodes: %d keys scanned, %d moved", st.Nodes, st.Keys, st.Moved)
+	if len(st.Created) > 0 {
+		fmt.Printf(", created %s", strings.Join(st.Created, " "))
+	}
+	fmt.Println()
+	return 0
+}

@@ -24,12 +24,41 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"montage/internal/obs"
 	"montage/internal/server"
 )
+
+// writeAddrFile publishes the bound address atomically (temp file +
+// rename in the same directory), so a proxy or test harness polling the
+// path never reads a partially written address.
+func writeAddrFile(path, addr string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".addr-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(addr + "\n"); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:11211", "TCP listen address (\":0\" picks a free port)")
@@ -111,7 +140,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound.String()+"\n"), 0o644); err != nil {
+		if err := writeAddrFile(*addrFile, bound.String()); err != nil {
 			fmt.Fprintf(os.Stderr, "addr-file: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"montage/internal/cluster"
+	"montage/internal/obs"
+	"montage/internal/server"
+)
+
+// FigCluster is the scale-OUT companion to the shard figure: where
+// FigShard multiplies epoch domains inside one process, this sweeps the
+// number of whole montage-serve nodes behind the consistent-hash proxy
+// and plots acked throughput per durability-ack mode.
+//
+// Each node is a single-shard server, so the sweep isolates what the
+// cluster layer adds over sharding: independent arenas, epoch clocks,
+// AND accept loops per node, at the price of a proxy hop on every
+// request. The sweep is WEAK scaling — offered load grows with the
+// fleet (connsPerNode pipelined connections per node, each affine to
+// its node the way routing-aware memcached clients are) — because
+// epoch-wait throughput under a FIXED load is window-bound: ops/s ==
+// total pipeline window / epoch-park latency regardless of node count,
+// so a fixed-load sweep would plot a flat line no matter how well the
+// cluster scales. Under weak scaling, epoch-wait acks — batched per
+// node by its background clock — should scale monotonically with the
+// node count at flat per-op latency; sync acks spread their forced
+// advances across the nodes' clocks just as they spread across shards.
+// The proxy hop is a constant tax paid even at one node, so the
+// curves' shape (not their absolute level against FigNet) is the
+// claim.
+func FigCluster(sc Scale, nodeCounts []int, modes []server.AckMode) ([]Result, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 3}
+	}
+	if len(modes) == 0 {
+		modes = []server.AckMode{server.AckSync, server.AckEpochWait}
+	}
+
+	// Per-node offered load is kept small (2 conns x 32-deep pipelines
+	// per node) so even the widest cell stays below one core's capacity;
+	// past that ceiling the curve measures scheduler thrash, not the
+	// cluster.
+	const connsPerNode = 2
+	records := uint64(sc.KeyRange)
+	if records > 10_000 {
+		records = 10_000
+	}
+	valueSize := sc.ValueSize
+	if valueSize > 256 {
+		valueSize = 256
+	}
+
+	var results []Result
+	for _, mode := range modes {
+		for _, nodes := range nodeCounts {
+			res, delta, err := runClusterCell(sc, mode, nodes, connsPerNode*nodes, records, valueSize)
+			if err != nil {
+				return nil, fmt.Errorf("cluster bench %s/nodes=%d: %w", mode, nodes, err)
+			}
+			results = append(results, Result{
+				Figure: "cluster",
+				Series: mode.String(),
+				Label:  fmt.Sprintf("nodes=%d", nodes),
+				X:      float64(nodes),
+				Mops:   res.OpsPerSec / 1e6,
+				Unit:   "Mops/s (wall)",
+				Stats:  delta,
+			})
+		}
+	}
+	return results, nil
+}
+
+// runClusterCell measures one (mode, node-count) cell: fresh nodes and a
+// fresh proxy per cell, like the shard figure's fresh server per cell.
+func runClusterCell(sc Scale, mode server.AckMode, nodes, conns int, records uint64, valueSize int) (*server.LoadResult, *obs.Snapshot, error) {
+	rec := sc.Recorder
+	if rec == nil {
+		rec = obs.New(conns + 2)
+		rec.SetEnabled(true)
+	}
+	srvs := make([]*server.Server, 0, nodes)
+	addrs := make([]string, 0, nodes)
+	defer func() {
+		for _, s := range srvs {
+			s.Shutdown(5 * time.Second)
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		srv, err := server.New(server.Config{
+			Addr:      "127.0.0.1:0",
+			ArenaSize: sc.ArenaSize,
+			Buckets:   sc.Buckets,
+			Shards:    1, // one epoch domain per node: the node count is the sweep
+			MaxConns:  conns + 2,
+			// Same clock tuning as the net and shard figures: short epochs
+			// keep epoch-wait latency small, and an emulated persist fence
+			// makes sync mode pay its true per-advance price.
+			EpochLength:  time.Millisecond,
+			PersistDelay: 100 * time.Microsecond,
+			Recorder:     rec,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := srv.Listen(); err != nil {
+			return nil, nil, err
+		}
+		go srv.Serve()
+		srvs = append(srvs, srv)
+		addrs = append(addrs, srv.Addr().String())
+	}
+
+	px, err := cluster.NewProxy(cluster.Config{
+		Nodes:       addrs,
+		MaxConns:    conns + 2,
+		DefaultMode: "buffered",
+		Recorder:    rec,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := px.Listen(); err != nil {
+		return nil, nil, err
+	}
+	go px.Serve()
+	defer px.Shutdown(5 * time.Second)
+
+	ring := cluster.NewRing(addrs, 0)
+	prev := rec.Snapshot()
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:       px.Addr().String(),
+		Conns:      conns,
+		Duration:   sc.loadDuration(),
+		Records:    records,
+		ValueSize:  valueSize,
+		ReadFrac:   0, // write-only: the ack path is the subject
+		Mode:       mode,
+		Pipeline:   32,
+		Seed:       sc.Seed,
+		NodeRouter: ring.Node,
+		NodeCount:  nodes,
+		// Affine conns, like routing-aware memcached clients: a pipeline
+		// multiplexed across nodes waits on the SLOWEST node's epoch
+		// boundary for every in-order response, measuring clock stagger
+		// rather than fleet capacity.
+		NodeAffine: true,
+		Recorder:   rec,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Errors > 0 {
+		return nil, nil, fmt.Errorf("%d errored acks", res.Errors)
+	}
+	delta := rec.Snapshot().Sub(prev)
+	return res, &delta, nil
+}

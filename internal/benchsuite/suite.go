@@ -21,7 +21,7 @@ import (
 )
 
 // AllSections lists the suite's sections in run order.
-var AllSections = []string{"micro", "writeback", "net", "shard", "serve"}
+var AllSections = []string{"micro", "writeback", "net", "shard", "cluster", "serve"}
 
 // Config parameterizes a suite run.
 type Config struct {
@@ -135,6 +135,8 @@ func Run(cfg Config) (*Artifact, error) {
 			rows, err = runNet(cfg, scale, mon, logw)
 		case "shard":
 			rows, err = runShard(cfg, scale, mon, logw)
+		case "cluster":
+			rows, err = runCluster(cfg, scale, mon, logw)
 		case "serve":
 			rows, err = runServe(cfg, scale, mon, logw)
 		}
@@ -316,6 +318,39 @@ func runShard(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([
 			m, s := m, s
 			rs, err := cell("shard", mon, logw, func() ([]bench.Result, error) {
 				return bench.FigShard(scale, []int{s}, []server.AckMode{m})
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, rs...)
+		}
+	}
+	return rows, nil
+}
+
+// runCluster sweeps the montage-proxy's node count per ack mode, one
+// cell (fresh single-shard nodes plus a fresh proxy) per (mode, nodes)
+// pair. Epoch-wait throughput scaling monotonically with the node count
+// is the figure's claim; the committed baselines record it.
+func runCluster(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([]Row, error) {
+	nodes := []int{1, 2, 3}
+	if cfg.Quick {
+		nodes = []int{1, 3}
+	}
+	// Epoch-wait cells need enough 1ms-epoch windows to reach steady
+	// state; at the quick scale's 150ms a cell measures ramp-up noise
+	// and the monotonic-scaling claim drowns. Floor the cluster cells
+	// at one second regardless of -quick.
+	if scale.LoadDuration < time.Second {
+		scale.LoadDuration = time.Second
+	}
+	modes := []server.AckMode{server.AckSync, server.AckEpochWait}
+	var rows []Row
+	for _, m := range modes {
+		for _, n := range nodes {
+			m, n := m, n
+			rs, err := cell("cluster", mon, logw, func() ([]bench.Result, error) {
+				return bench.FigCluster(scale, []int{n}, []server.AckMode{m})
 			})
 			if err != nil {
 				return nil, err

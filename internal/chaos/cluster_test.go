@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"testing"
+
+	"montage/internal/pmem"
+)
+
+// TestClusterSchedule drives schedules through the consistent-hash proxy
+// over a 3-node fleet, each with a mid-schedule victim kill+revive and a
+// final cluster-wide crash. Binding-ack-only checks apply; any violation
+// is a real lost ack. The full ≥60-schedule sweep lives in the
+// cluster-smoke make target; this keeps a representative slice in
+// `go test`.
+func TestClusterSchedule(t *testing.T) {
+	modes := []pmem.CrashMode{pmem.CrashDropAll, pmem.CrashPartial}
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		cfg := Config{Seed: seed, Mode: modes[seed%2], Net: true, Nodes: 3}
+		res, err := RunSchedule(cfg)
+		if err != nil {
+			t.Fatalf("cluster seed %d: %v", seed, err)
+		}
+		if res.Nodes != 3 {
+			t.Fatalf("cluster seed %d: Nodes = %d, want 3", seed, res.Nodes)
+		}
+		if res.CrashSeq == 0 {
+			t.Fatalf("cluster seed %d: no crash recorded", seed)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("cluster seed %d (trigger=%s): %s", seed, res.Trigger, v)
+		}
+	}
+}

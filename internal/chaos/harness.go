@@ -39,6 +39,13 @@ type Config struct {
 	// the weaker binding-ack-only checks (per-shard watermarks are not
 	// observable through the wire).
 	Net bool
+	// Nodes, when >1 (net mode only), drives the schedule through a
+	// consistent-hash cluster proxy over that many servers instead of a
+	// single server: the seed additionally draws a victim node that is
+	// killed and revived mid-schedule (not a recorded crash — the
+	// checker's binding acks must survive it), and the final crash kills
+	// and revives every node.
+	Nodes int
 	// ArenaSize is the per-shard arena (default 4 MiB).
 	ArenaSize int
 	// Recorder, when non-nil, receives the schedule's runtime counters
@@ -62,15 +69,20 @@ func (c Config) withDefaults() Config {
 	if c.ArenaSize <= 0 {
 		c.ArenaSize = 1 << 22
 	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
 	return c
 }
 
 // Result summarizes one executed schedule.
 type Result struct {
-	Seed    int64
-	Shards  int
-	Mode    pmem.CrashMode
-	Net     bool
+	Seed   int64
+	Shards int
+	Mode   pmem.CrashMode
+	Net    bool
+	// Nodes is the cluster width (1 for single-server schedules).
+	Nodes   int
 	Trigger string
 	// Ops is the number of recorded (completed) operations.
 	Ops      int
@@ -147,9 +159,12 @@ func (p crashPlan) trigger(net bool) string {
 func RunSchedule(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Net {
+		if cfg.Nodes > 1 {
+			return runClusterSchedule(cfg)
+		}
 		return runNetSchedule(cfg)
 	}
-	res := Result{Seed: cfg.Seed, Shards: cfg.Shards, Mode: cfg.Mode}
+	res := Result{Seed: cfg.Seed, Shards: cfg.Shards, Mode: cfg.Mode, Nodes: 1}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	plan := drawPlan(rng, cfg)
 	res.Trigger = plan.trigger(false)

@@ -92,7 +92,7 @@ func (c *netClient) get(key string) (string, bool, error) {
 // watermarks are not observable through the wire, so the checker runs
 // with nil cutoffs: binding-ack checks only.
 func runNetSchedule(cfg Config) (Result, error) {
-	res := Result{Seed: cfg.Seed, Shards: cfg.Shards, Mode: cfg.Mode, Net: true}
+	res := Result{Seed: cfg.Seed, Shards: cfg.Shards, Mode: cfg.Mode, Net: true, Nodes: 1}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	plan := drawPlan(rng, cfg)
 	res.Trigger = plan.trigger(true)

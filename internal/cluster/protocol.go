@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Protocol limits, matching internal/server: the proxy must frame
+// exactly the byte stream the backends frame, or a disagreement about
+// where a request ends would desynchronize every response behind it.
+const (
+	maxKeyLen = 250
+	// maxLineLen bounds one command line; longer lines are unrecoverable
+	// framing damage (the request boundary is unknown) and close the
+	// connection, exactly as the server does.
+	maxLineLen = 8192
+	// maxBodyLen bounds one item body the proxy will buffer for
+	// forwarding. The backend enforces its own MaxItemSize and answers
+	// "object too large"; the proxy's bound only exists so a hostile
+	// declared length cannot make it allocate without limit.
+	maxBodyLen = 16 << 20
+)
+
+// Canonical responses the proxy produces locally (everything else is
+// relayed verbatim from a backend).
+var (
+	respOK          = []byte("OK\r\n")
+	respEnd         = []byte("END\r\n")
+	respError       = []byte("ERROR\r\n")
+	respTooManyConn = []byte("SERVER_ERROR too many connections\r\n")
+)
+
+var (
+	// errProtocol marks unrecoverable framing damage on the client side.
+	errProtocol = errors.New("cluster: protocol framing error")
+	// errQuit is the clean "quit" exit from the command loop.
+	errQuit = errors.New("cluster: client quit")
+	// errNodeDown marks a backend request that failed because its node is
+	// dead (or died) and could not be redialed within the retry window.
+	errNodeDown = errors.New("cluster: node down")
+)
+
+func clientError(msg string) []byte {
+	return []byte("CLIENT_ERROR " + msg + "\r\n")
+}
+
+func serverError(msg string) []byte {
+	return []byte("SERVER_ERROR " + msg + "\r\n")
+}
+
+// nodeError is the proxy's answer for a request bound to a dead node.
+// It is deliberately a SERVER_ERROR: the history checker treats those
+// as non-binding acks, which is exactly right — the write may or may
+// not have been applied before the node died, and the proxy never
+// resends (a resend could double-apply).
+func nodeError(addr string) []byte {
+	return serverError("node " + addr + " unavailable")
+}
+
+// readLine reads one CRLF-terminated line (tolerating bare LF),
+// returning it without the terminator plus the bytes consumed.
+func readLine(br *bufio.Reader) ([]byte, int, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return nil, len(line), errProtocol
+		}
+		return nil, len(line), err
+	}
+	n := len(line)
+	line = line[:len(line)-1]
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	return line, n, nil
+}
+
+// splitFields splits a command line on whitespace, memcached-style.
+func splitFields(line []byte) []string {
+	var out []string
+	for _, f := range bytes.Fields(line) {
+		out = append(out, string(f))
+	}
+	return out
+}
+
+// validKey enforces memcached's key rules (1..250 bytes, no control
+// characters). The proxy checks keys itself because it must route on
+// them before any backend sees the request.
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+func hasNoreply(args []string) bool {
+	return len(args) > 0 && args[len(args)-1] == "noreply"
+}
+
+// validMode reports whether s names a durability-ack mode, mirroring
+// server.ParseAckMode (the proxy speaks the extension but holds only
+// the name — the semantics live on the backends).
+func validMode(s string) bool {
+	switch s {
+	case "buffered", "sync", "epoch_wait", "epochwait", "epoch-wait":
+		return true
+	}
+	return false
+}
+
+// storageHead is the routing-relevant prefix of a storage command: the
+// proxy needs the key (to pick a node) and the declared body size (to
+// stay framed); flags, exptime, and cas travel through verbatim.
+type storageHead struct {
+	key     string
+	bytes   int
+	noreply bool
+}
+
+// parseStorageHead parses "<key> <flags> <exptime> <bytes> [casid]
+// [noreply]" fields (verb already stripped) just far enough to route
+// and frame.
+func parseStorageHead(fields []string, wantCAS bool) (storageHead, error) {
+	var h storageHead
+	n := 4
+	if wantCAS {
+		n = 5
+	}
+	if len(fields) == n+1 && fields[n] == "noreply" {
+		h.noreply = true
+		fields = fields[:n]
+	}
+	if len(fields) != n {
+		return h, fmt.Errorf("bad command line format")
+	}
+	h.key = fields[0]
+	if !validKey(h.key) {
+		return h, fmt.Errorf("bad key")
+	}
+	sz, err := strconv.ParseUint(fields[3], 10, 31)
+	if err != nil {
+		return h, fmt.Errorf("bad data length")
+	}
+	h.bytes = int(sz)
+	return h, nil
+}

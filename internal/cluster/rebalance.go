@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+
+	"montage/internal/kvstore"
+	"montage/internal/pool"
+)
+
+// Rebalancing. Ring membership changes move key ownership between
+// nodes; the data must follow, offline, before the new ring serves
+// traffic. Two granularities:
+//
+//   - AdoptImage moves a node's whole pool image (single file or
+//     MANIFEST shard directory) to a new path — the cheap case, when a
+//     node keeps its keys but its image must live somewhere else (new
+//     disk, renamed node directory).
+//   - Rebalance redistributes individual keys between node images per a
+//     new ring: each image is opened and recovered, keys whose owner
+//     changed are copied into the new owner's store and deleted from
+//     the old, and every image is saved back. Items keep their values
+//     (client flags ride inside the value bytes); cache-local metadata
+//     — TTL and CAS generation — is reset on moved items, which a
+//     correct memcached client must tolerate anyway (a cache may drop
+//     or refresh items at will, and CAS tokens are never durable
+//     promises).
+
+// NodeImage names one node's pool image on disk.
+type NodeImage struct {
+	// Name is the node's ring name (its serve address).
+	Name string
+	// Path is the node's pool image (raw file or MANIFEST directory).
+	// Missing images mean an empty node (fresh pools are created and
+	// saved for them).
+	Path string
+}
+
+// RebalanceStats reports what a Rebalance did.
+type RebalanceStats struct {
+	Nodes   int      `json:"nodes"`
+	Keys    int      `json:"keys"`
+	Moved   int      `json:"moved"`
+	Created []string `json:"created,omitempty"`
+}
+
+// AdoptImage moves a whole pool image from oldPath to newPath (rename;
+// same filesystem). It refuses to clobber an existing image at newPath.
+func AdoptImage(oldPath, newPath string) error {
+	if _, err := os.Stat(oldPath); err != nil {
+		return fmt.Errorf("cluster: adopt: %w", err)
+	}
+	if _, err := os.Stat(newPath); err == nil {
+		return fmt.Errorf("cluster: adopt: %s already exists", newPath)
+	}
+	if err := os.Rename(oldPath, newPath); err != nil {
+		return fmt.Errorf("cluster: adopt: %w", err)
+	}
+	return nil
+}
+
+// openedImage is one image opened for rebalancing.
+type openedImage struct {
+	path    string
+	p       *pool.Pool
+	store   *kvstore.Store
+	created bool
+}
+
+// Rebalance redistributes keys among node images so that every key
+// lives on the node a ring over newNodes' names assigns it. Every
+// distinct image path is opened once (a fresh pool is created for
+// missing images), keys are moved, and all images are saved back.
+// vnodes must match what the serving proxy will use; cfg shapes fresh
+// pools and recovery (ArenaSize, MaxThreads, Shards for new images).
+func Rebalance(newNodes []NodeImage, vnodes, nBuckets int, cfg pool.Config) (RebalanceStats, error) {
+	var st RebalanceStats
+	st.Nodes = len(newNodes)
+	if len(newNodes) == 0 {
+		return st, fmt.Errorf("cluster: rebalance needs at least one node")
+	}
+	if nBuckets <= 0 {
+		nBuckets = 4096
+	}
+	names := make([]string, len(newNodes))
+	for i, n := range newNodes {
+		names[i] = n.Name
+	}
+	ring := NewRing(names, vnodes)
+
+	// Open each distinct image once; two nodes sharing a path is a
+	// configuration error worth surfacing, not silently merging.
+	byPath := make(map[string]*openedImage, len(newNodes))
+	byName := make(map[string]*openedImage, len(newNodes))
+	imgs := make([]*openedImage, 0, len(newNodes))
+	defer func() {
+		for _, img := range imgs {
+			img.p.Close()
+		}
+	}()
+	for _, n := range newNodes {
+		if _, dup := byPath[n.Path]; dup {
+			return st, fmt.Errorf("cluster: rebalance: two nodes share image %s", n.Path)
+		}
+		img, err := openImage(n.Path, nBuckets, cfg)
+		if err != nil {
+			return st, err
+		}
+		imgs = append(imgs, img)
+		byPath[n.Path] = img
+		byName[n.Name] = img
+		if img.created {
+			st.Created = append(st.Created, n.Path)
+		}
+	}
+
+	// Move every key that no longer lives where the ring says. tid 0 is
+	// fine: rebalancing is single-threaded and offline. Key lists are
+	// snapshotted before any move so a key counts once even when its new
+	// owner's image is processed after it lands there.
+	keyLists := make([][]string, len(newNodes))
+	for i, n := range newNodes {
+		keyLists[i] = byName[n.Name].store.Keys(0)
+	}
+	for i, n := range newNodes {
+		src := byName[n.Name]
+		for _, key := range keyLists[i] {
+			st.Keys++
+			dst := byName[ring.NodeName(key)]
+			if dst == src {
+				continue
+			}
+			val, ok := src.store.Get(0, key)
+			if !ok {
+				continue // expired between Keys and Get
+			}
+			if _, err := dst.store.SetTag(0, key, val, 0); err != nil {
+				return st, fmt.Errorf("cluster: rebalance: move %q: %w", key, err)
+			}
+			if _, _, err := src.store.DeleteTag(0, key); err != nil {
+				return st, fmt.Errorf("cluster: rebalance: drop %q: %w", key, err)
+			}
+			st.Moved++
+		}
+	}
+
+	for _, img := range imgs {
+		if err := img.p.Save(0, img.path); err != nil {
+			return st, fmt.Errorf("cluster: rebalance: save %s: %w", img.path, err)
+		}
+	}
+	return st, nil
+}
+
+// openImage opens (and recovers) one node's pool image, or creates a
+// fresh pool when the image does not exist yet.
+func openImage(path string, nBuckets int, cfg pool.Config) (*openedImage, error) {
+	workers := cfg.Core.MaxThreads
+	if workers < 1 {
+		workers = 1
+	}
+	p, chunks, loaded, err := pool.Open(path, cfg, workers)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rebalance: open %s: %w", path, err)
+	}
+	if loaded {
+		store, err := kvstore.RecoverShardedStore(p, nBuckets, chunks, 0)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("cluster: rebalance: rebuild %s: %w", path, err)
+		}
+		return &openedImage{path: path, p: p, store: store}, nil
+	}
+	p, err = pool.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rebalance: create %s: %w", path, err)
+	}
+	store := kvstore.New(kvstore.NewShardedBackend(p, nBuckets), 0)
+	return &openedImage{path: path, p: p, store: store, created: true}, nil
+}

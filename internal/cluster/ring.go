@@ -1,0 +1,122 @@
+// Package cluster scales the montage-serve front end past one process:
+// a ketama-style consistent-hash ring routes keys to N independent
+// montage-serve nodes, and a memcached-text-protocol proxy fronts the
+// fleet. The proxy passes each connection's durability-ack mode through
+// to every backend it touches, so buffered / sync / epoch-wait acks
+// keep their per-node meaning cluster-wide, and broadcast commands
+// (flush_all, sync) combine one ack per node — in epoch-wait mode a
+// flush_all ack therefore waits on every backend's persist watermark.
+//
+// The failure model is crash-stop with in-place revival (the cluster
+// analog of the server's crash extension): when a node dies, requests
+// routed to it fail with a SERVER_ERROR after a bounded redial window
+// rather than being resent — a resent mutation could double-apply and
+// break the history the chaos checker reasons about. Durability
+// promises are only ever made by a node that actually acked.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the default virtual-node count per backend. It is
+// deliberately higher than classic ketama's 160: the loadgen's ring
+// balance check asserts keyspace shares within ±15% of uniform, and
+// more points tighten the per-node share variance (at a few hundred KiB
+// of ring for an 8-node fleet — nothing).
+const DefaultVNodes = 512
+
+// ringPoint is one virtual node's position.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// Ring is a ketama-style consistent-hash ring: each backend owns VNodes
+// pseudo-random points on a 64-bit circle, and a key belongs to the
+// first point at or clockwise of its own hash. Membership changes move
+// only the keys whose owning arc changed hands.
+type Ring struct {
+	names  []string
+	vnodes int
+	points []ringPoint
+}
+
+// NewRing builds a ring over the given backend names (addresses,
+// usually) with vnodes virtual nodes each (<=0 means DefaultVNodes).
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for ni, name := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", name, v)),
+				node: ni,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding points order by node index so the ring is the same
+		// no matter the input order of equal hashes.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Node returns the index of the backend owning key.
+func (r *Ring) Node(key string) int {
+	if len(r.names) <= 1 {
+		return 0
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.points[i].node
+}
+
+// NodeName returns the name of the backend owning key.
+func (r *Ring) NodeName(key string) string { return r.names[r.Node(key)] }
+
+// Nodes returns the ring's backend names in index order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.names...) }
+
+// VNodes returns the virtual-node count per backend.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// ringHash places a string on the circle: FNV-1a (stable across
+// processes, like the pool's shard router — ring placement must never
+// depend on Go's per-process hash seeds) followed by a 64-bit avalanche
+// finalizer. The finalizer matters: raw FNV of near-identical strings
+// ("host:port#17", "host:port#18", ...) lands in correlated clumps,
+// skewing the arcs far past the loadgen's ±15% balance band, while the
+// mixed points spread uniformly.
+func ringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	// Murmur3 fmix64.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -44,6 +44,24 @@ type LoadConfig struct {
 	// the server's shard count for the tally to mean anything; it does
 	// not change the generated load.
 	Shards int
+	// NodeRouter, when non-nil with NodeCount > 1, maps a key to a
+	// cluster node index (cmd/montage-load passes the consistent-hash
+	// ring the proxy builds; Addr then points at the proxy). The result
+	// gains the keyspace's per-node split (ring balance, independent of
+	// workload skew) and the timed phase's per-node op tally. It does not
+	// change the generated load or routing — that happens proxy-side.
+	NodeRouter func(key string) int
+	// NodeCount is the cluster width NodeRouter maps into.
+	NodeCount int
+	// NodeAffine restricts each connection's timed-phase keys to the ones
+	// NodeRouter assigns to node (conn % NodeCount), the way routing-aware
+	// memcached clients keep each pipeline on one backend. Through the
+	// proxy this keeps a connection's in-order response stream parked on a
+	// single node's epoch clock: multiplexing one pipeline across nodes
+	// makes every response wait for the slowest node's epoch boundary
+	// (staggered clocks, in-order delivery), which measures the stagger,
+	// not the fleet.
+	NodeAffine bool
 	// Recorder, when non-nil, receives the client-side counters
 	// (obs.CLoad*) and the per-request latency histogram (obs.HLoadNs).
 	// Sharing the server's recorder puts both halves of a run in one
@@ -98,6 +116,13 @@ type LoadResult struct {
 	// ShardOps[i] counts timed-phase operations whose key routes to pool
 	// shard i (only populated when LoadConfig.Shards > 1).
 	ShardOps []uint64
+	// NodeKeys[i] counts keyspace records the NodeRouter assigns to
+	// cluster node i — the ring's static balance over a uniform keyspace
+	// (only populated when LoadConfig.NodeRouter is set).
+	NodeKeys []uint64
+	// NodeOps[i] counts timed-phase operations routed to cluster node i —
+	// the ring's balance under the actual workload skew.
+	NodeOps []uint64
 }
 
 func (r LoadResult) String() string {
@@ -105,6 +130,9 @@ func (r LoadResult) String() string {
 		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Errors,
 		r.P50, r.P95, r.P99, r.Max)
 	if dist := r.ShardDistribution(); dist != "" {
+		s += "\n" + dist
+	}
+	if dist := r.NodeDistribution(); dist != "" {
 		s += "\n" + dist
 	}
 	return s
@@ -138,12 +166,72 @@ func (r LoadResult) ShardDistribution() string {
 	return b.String()
 }
 
+// NodeDistribution renders the per-node tallies ("" when NodeRouter was
+// not set): each node's share of the keyspace and of the timed ops, so
+// ring balance is visible next to the latency numbers.
+func (r LoadResult) NodeDistribution() string {
+	if len(r.NodeKeys) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "node distribution (%d nodes):", len(r.NodeKeys))
+	var keyTotal, opTotal uint64
+	for _, n := range r.NodeKeys {
+		keyTotal += n
+	}
+	for _, n := range r.NodeOps {
+		opTotal += n
+	}
+	for i := range r.NodeKeys {
+		fmt.Fprintf(&b, " %d:", i)
+		if keyTotal > 0 {
+			fmt.Fprintf(&b, "%.1f%%keys", 100*float64(r.NodeKeys[i])/float64(keyTotal))
+		}
+		if opTotal > 0 && i < len(r.NodeOps) {
+			fmt.Fprintf(&b, "/%.1f%%ops", 100*float64(r.NodeOps[i])/float64(opTotal))
+		}
+	}
+	fmt.Fprintf(&b, " (keyspace imbalance %+.1f%%)", 100*r.NodeKeyImbalance())
+	return b.String()
+}
+
+// NodeKeyImbalance returns the largest relative deviation of any node's
+// keyspace share from uniform (0.15 = one node 15% over or under its
+// fair share), or 0 when the tally was not collected. The keyspace split
+// is the ring's own balance — workload skew (zipfian keys) rides on top
+// and shows in NodeOps instead.
+func (r LoadResult) NodeKeyImbalance() float64 {
+	if len(r.NodeKeys) < 2 {
+		return 0
+	}
+	var total uint64
+	for _, n := range r.NodeKeys {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.NodeKeys))
+	var worst float64
+	for _, n := range r.NodeKeys {
+		dev := (float64(n) - mean) / mean
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
 // connStats is one connection's tally. Latency is not tallied here: it
 // goes straight into the recorder's per-thread HLoadNs histogram, the
 // same log2 pipeline every other runtime latency uses.
 type connStats struct {
 	ops, reads, writes, errors uint64
 	shardOps                   []uint64
+	nodeOps                    []uint64
 }
 
 // reqToken tracks one in-flight pipelined request.
@@ -211,6 +299,22 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			for s, n := range stats[i].shardOps {
 				res.ShardOps[s] += n
 			}
+		}
+		if stats[i].nodeOps != nil {
+			if res.NodeOps == nil {
+				res.NodeOps = make([]uint64, len(stats[i].nodeOps))
+			}
+			for s, n := range stats[i].nodeOps {
+				res.NodeOps[s] += n
+			}
+		}
+	}
+	if cfg.NodeRouter != nil && cfg.NodeCount > 1 {
+		// The ring's static balance over the uniform keyspace, workload
+		// skew excluded: every preloaded record, routed once.
+		res.NodeKeys = make([]uint64, cfg.NodeCount)
+		for k := uint64(0); k < cfg.Records; k++ {
+			res.NodeKeys[cfg.NodeRouter(ycsb.Key(k))]++
 		}
 	}
 	if elapsed > 0 {
@@ -280,6 +384,11 @@ func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signa
 	if cfg.Shards > 1 {
 		st.shardOps = make([]uint64, cfg.Shards)
 	}
+	if cfg.NodeRouter != nil && cfg.NodeCount > 1 {
+		st.nodeOps = make([]uint64, cfg.NodeCount)
+	}
+	affine := cfg.NodeAffine && cfg.NodeRouter != nil && cfg.NodeCount > 1
+	myNode := id % max(cfg.NodeCount, 1)
 	inflight := make(chan reqToken, cfg.Pipeline)
 	readerDone := make(chan error, 1)
 	go func() { readerDone <- loadReader(br, inflight, rec, id, st) }()
@@ -289,8 +398,19 @@ func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signa
 	var sendErr error
 	for time.Now().Before(deadline) {
 		op := w.Next()
+		if affine {
+			// Redraw until the key lives on this connection's node; the
+			// ring's ±15% balance bounds the expected redraws near
+			// NodeCount. Preload covered every record, so reads still hit.
+			for cfg.NodeRouter(op.Key) != myNode {
+				op = w.Next()
+			}
+		}
 		if st.shardOps != nil {
 			st.shardOps[pool.ShardForKey(op.Key, cfg.Shards)]++
+		}
+		if st.nodeOps != nil {
+			st.nodeOps[cfg.NodeRouter(op.Key)]++
 		}
 		if op.Kind == ycsb.Read {
 			fmt.Fprintf(bw, "get %s\r\n", op.Key)

@@ -210,6 +210,12 @@ type Server struct {
 	adminTid int
 	tids     chan int
 	closed   atomic.Bool
+	// down is set by Kill and cleared by Revive: the whole node is
+	// crash-stopped (no listener, pool crashed but not yet recovered).
+	down atomic.Bool
+	// boundAddr remembers the first successful bind so Revive can reclaim
+	// the exact same address after a Kill.
+	boundAddr string
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -305,6 +311,7 @@ func (s *Server) Listen() (net.Addr, error) {
 		return nil, err
 	}
 	s.ln = ln
+	s.boundAddr = ln.Addr().String()
 	return ln.Addr(), nil
 }
 
@@ -327,7 +334,9 @@ func (s *Server) Serve() error {
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
-			if s.closed.Load() {
+			if s.closed.Load() || s.down.Load() {
+				// Shutdown or Kill closed the listener deliberately; a
+				// revived node restarts Serve on the new listener.
 				return nil
 			}
 			return err
@@ -398,6 +407,84 @@ func (s *Server) Crash(mode pmem.CrashMode) (survivors int, err error) {
 	s.cur = &rt{pool: p, store: store, crashCh: make(chan struct{})}
 	s.rec.Inc(s.adminTid, obs.CNetCrashes)
 	return len(store.Keys(s.adminTid)), nil
+}
+
+// Kill crash-stops the whole node, as a cluster chaos schedule (or an
+// operator drill) sees a machine die: the listener closes, every live
+// connection is severed, parked acks are aborted, and the pool's
+// devices fail per mode — with NO in-place recovery, unlike Crash. The
+// node refuses service until Revive. The current Serve call returns
+// nil. Montage backend only.
+func (s *Server) Kill(mode pmem.CrashMode) error {
+	s.mu.RLock()
+	noPool := s.cur.pool == nil
+	s.mu.RUnlock()
+	if noPool {
+		return errors.New("server: kill requires the montage backend")
+	}
+	if !s.down.CompareAndSwap(false, true) {
+		return errors.New("server: node is already down")
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Release parked epoch-wait acks first: their connections are about
+	// to be severed, and a waiter that missed the close could otherwise
+	// outlive the epoch clocks it waits on.
+	s.mu.Lock()
+	close(s.cur.crashCh)
+	s.mu.Unlock()
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.pool.Crash(mode)
+	s.rec.Inc(s.adminTid, obs.CNetCrashes)
+	return nil
+}
+
+// Revive recovers a Kill-ed node in place: the pool's recovery sweep
+// rebuilds the store from the crashed devices, and the listener rebinds
+// the exact address the node served before. The caller restarts the
+// accept loop with `go srv.Serve()`.
+func (s *Server) Revive() (net.Addr, error) {
+	if !s.down.Load() {
+		return nil, errors.New("server: revive without a prior kill")
+	}
+	s.mu.Lock()
+	p, chunks, err := s.cur.pool.Recover(s.cfg.maxThreads())
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	store, err := kvstore.RecoverShardedStore(p, s.cfg.Buckets, chunks, s.cfg.Capacity)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.cur = &rt{pool: p, store: store, crashCh: make(chan struct{})}
+	s.mu.Unlock()
+	// Rebind the old address. The previous listener is closed, so the
+	// port is free modulo a racing process; retry briefly to ride out
+	// kernel-side teardown.
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", s.boundAddr)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			return nil, fmt.Errorf("server: revive rebind %s: %w", s.boundAddr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.ln = ln
+	s.down.Store(false)
+	return ln.Addr(), nil
 }
 
 // Sync forces all completed operations durable on every shard (admin
