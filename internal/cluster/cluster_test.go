@@ -360,6 +360,92 @@ func TestProxyBroadcastFailsOnDeadNode(t *testing.T) {
 	}
 }
 
+// TestProxyFlushAllNoreply pipelines flush_all noreply between normal
+// commands: the backends send no response to it, so the proxy must not
+// wait for (or steal) one — every later response must stay on its own
+// command.
+func TestProxyFlushAllNoreply(t *testing.T) {
+	_, px := startCluster(t, 2, false, time.Second)
+	c := dialT(t, px.Addr().String())
+	c.set("fa-key", "v")
+	c.write("flush_all noreply\r\nget fa-key\r\nversion\r\n")
+	if got := c.line(); got != "END" {
+		t.Fatalf("get after flush_all noreply: %q, want END", got)
+	}
+	if got := c.line(); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("version after flush_all noreply: %q", got)
+	}
+	// The connection is still usable for writes.
+	c.set("fa-key2", "w")
+	if v, ok := c.get("fa-key2"); !ok || v != "w" {
+		t.Fatalf("set after flush_all noreply = %q,%v", v, ok)
+	}
+}
+
+// TestProxyMultiGetDeadNodeDrainsHealthy kills one node of three and
+// issues a cross-node get spanning all of them, pipelined ahead of
+// single-node gets. The cross-node get fails whole (SERVER_ERROR), but
+// the healthy nodes' VALUE/END responses to it must be drained — the
+// follow-up gets must see their own responses, not stale blocks.
+func TestProxyMultiGetDeadNodeDrainsHealthy(t *testing.T) {
+	nodes, px := startCluster(t, 3, true, 300*time.Millisecond)
+	keys := keysOnDistinctNodes(px.Ring(), 3)
+	c := dialT(t, px.Addr().String())
+	for i, k := range keys {
+		c.set(k, fmt.Sprintf("v%d", i))
+	}
+	victim := px.Ring().Node(keys[1])
+	if err := nodes[victim].Kill(pmem.CrashDropAll); err != nil {
+		t.Fatal(err)
+	}
+	// Pipelined behind the doomed get: overwrite keys[2] and read it back.
+	// If the failed get left keys[2]'s node's stale VALUE/END unread, the
+	// set's ack slot would collect that stale VALUE line instead of STORED.
+	c.write(fmt.Sprintf("get %s %s %s\r\nset %s 0 0 2\r\nw2\r\nget %s\r\n",
+		keys[0], keys[1], keys[2], keys[2], keys[2]))
+	if got := c.line(); !strings.HasPrefix(got, "SERVER_ERROR node ") {
+		t.Fatalf("cross-node get with dead node: %q, want SERVER_ERROR node ...", got)
+	}
+	expect := func(want string) {
+		t.Helper()
+		if got := c.line(); got != want {
+			t.Fatalf("after failed cross-node get: got %q, want %q", got, want)
+		}
+	}
+	expect("STORED")
+	expect(fmt.Sprintf("VALUE %s 0 2", keys[2]))
+	expect("w2")
+	expect("END")
+	if v, ok := c.get(keys[0]); !ok || v != "v0" {
+		t.Fatalf("healthy node get = %q,%v", v, ok)
+	}
+}
+
+// TestProxyOversizeStoreKeepsConnection: a store whose declared body
+// exceeds the proxy's buffering bound is swallowed and refused with
+// SERVER_ERROR, keeping the connection usable (noreply swallows the
+// error line too).
+func TestProxyOversizeStoreKeepsConnection(t *testing.T) {
+	_, px := startCluster(t, 1, false, time.Second)
+	c := dialT(t, px.Addr().String())
+	n := maxBodyLen - 1 // n+2 > maxBodyLen
+	body := strings.Repeat("x", n) + "\r\n"
+	c.write(fmt.Sprintf("set big 0 0 %d\r\n", n))
+	c.write(body)
+	if got := c.line(); got != "SERVER_ERROR object too large for cache" {
+		t.Fatalf("oversize set: %q", got)
+	}
+	c.write(fmt.Sprintf("set big 0 0 %d noreply\r\n", n))
+	c.write(body)
+	if got := c.cmd("version\r\n"); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("version after oversize sets: %q", got)
+	}
+	c.set("small", "ok")
+	if v, ok := c.get("small"); !ok || v != "ok" {
+		t.Fatalf("set after oversize = %q,%v", v, ok)
+	}
+}
+
 // --- rebalance ------------------------------------------------------------
 
 func rebalanceConfig() pool.Config {

@@ -60,7 +60,7 @@ func FuzzProxyProtocol(f *testing.F) {
 		"set k 0 0 5\r\nhello\r\nget k\r\n",
 		"set k 0 0 5\r\nhel",                       // torn body
 		"set k 0 0 99999999\r\n",                   // oversized declared length
-		"set k 0 0 2147483647\r\nx\r\n",            // over body cap: must close, not allocate
+		"set k 0 0 2147483647\r\nx\r\n",            // over body cap: swallowed in chunks, never allocated whole
 		"set k 0 0 -1\r\nx\r\n",                    // negative length
 		"set k 0 0 notanum\r\nx\r\n",               // bad number
 		"\x00\x01\x02 bad magic\r\n",               // binary-protocol magic byte
@@ -78,6 +78,8 @@ func FuzzProxyProtocol(f *testing.F) {
 		"stats\r\nversion\r\nverbosity 1 noreply\r\n",
 		"get a b c d\r\nset a 0 0 1\r\nz\r\nsync\r\n", // multiget + broadcast
 		"durability epoch-wait\r\nset k 0 0 1\r\nv\r\nflush_all\r\n",
+		"flush_all noreply\r\nget k\r\nversion\r\n", // responseless broadcast must not steal later responses
+		"flush_all 1 noreply\r\nsync\r\n",
 		"crash\r\ncrash partial\r\n", // not routable through the proxy
 	}
 	for _, s := range seeds {

@@ -647,8 +647,19 @@ func (c *pconn) doStore(line []byte, verb string, args []string) error {
 		return nil
 	}
 	if h.bytes+2 > maxBodyLen {
-		c.protoErr(serverError("object too large for cache"))
-		return errProtocol
+		// Too large to buffer for forwarding, but the declared length still
+		// frames the stream: swallow the body and keep the connection, as
+		// the backend (and real memcached) would.
+		m, derr := c.br.Discard(h.bytes + 2)
+		c.px.rec.Add(c.tid, obs.CCluBytesIn, uint64(m))
+		if derr != nil {
+			return derr
+		}
+		c.px.rec.Inc(c.tid, obs.CCluProtoErrors)
+		if !h.noreply {
+			c.enqueue(ppending{kind: pLocal, data: serverError("object too large for cache")})
+		}
+		return nil
 	}
 	// line aliases the client reader's internal buffer, which the body
 	// read below is about to clobber; the header must be copied first.
@@ -698,11 +709,22 @@ func (c *pconn) doBroadcast(line []byte, verb string, args []string) error {
 		}
 		bs[ni] = b
 	}
+	if noreply {
+		// The backends honor noreply and send nothing back, so there are no
+		// responses to collect; enqueuing refs here would make the collector
+		// consume the NEXT command's responses and desynchronize the stream.
+		// Forward verbatim (noreply included) and enqueue nothing, exactly
+		// like the single-key noreply paths.
+		for _, b := range bs {
+			c.send(b, line, crlf)
+		}
+		return nil
+	}
 	refs := make([]pendRef, len(bs))
 	for ni, b := range bs {
 		refs[ni] = c.send(b, line, crlf)
 	}
-	c.enqueue(ppending{kind: pBcast, refs: refs, quiet: noreply})
+	c.enqueue(ppending{kind: pBcast, refs: refs})
 	return nil
 }
 
@@ -892,11 +914,18 @@ func (c *pconn) readRefLine(ref pendRef) ([]byte, error) {
 // hit, so pretending partial success would be a lie).
 func (c *pconn) assembleGet(p ppending) []byte {
 	blocks := make(map[string][]byte, len(p.keys))
+	// Every ref must be drained even after a failure: the healthy nodes'
+	// VALUE/END responses are already in flight, and leaving them unread
+	// would misframe every later response collected from those links.
+	failed := ""
 	for _, ref := range p.refs {
-		if err := c.gatherValues(ref, blocks); err != nil {
-			c.px.rec.Inc(c.tid, obs.CCluNodeErrors)
-			return nodeError(ref.b.addr)
+		if err := c.gatherValues(ref, blocks); err != nil && failed == "" {
+			failed = ref.b.addr
 		}
+	}
+	if failed != "" {
+		c.px.rec.Inc(c.tid, obs.CCluNodeErrors)
+		return nodeError(failed)
 	}
 	var buf bytes.Buffer
 	seen := make(map[string]bool, len(p.keys))
