@@ -11,12 +11,15 @@ test: vet serve-smoke
 # Race-check the concurrency-heavy packages: the simulated device (the
 # write-combining staging pipeline under concurrent writers and a
 # crashing daemon), the observability recorder (hammered from every
-# worker), the epoch system, the data structures, the sharded pool
-# (concurrent writers + whole-pool crash/recovery), and the striped-LRU
-# kvstore, and the cluster proxy (per-client executor/collector pairs
-# multiplexing pipelines over shared backend fleets).
+# worker), the epoch system (including the nonblocking helping/claim
+# path raced by dedicated helper goroutines), the data structures, the
+# sharded pool (concurrent writers + whole-pool crash/recovery), the
+# core engine, the striped-LRU kvstore, the network front end (shared
+# epoch-wait parking lot), and the cluster proxy (per-client
+# executor/collector pairs multiplexing pipelines over shared backend
+# fleets).
 race:
-	$(GO) test -race ./internal/pmem ./internal/obs ./internal/epoch ./internal/pds ./internal/pool ./internal/kvstore ./internal/cluster
+	$(GO) test -race ./internal/pmem ./internal/obs ./internal/epoch ./internal/core ./internal/pds ./internal/pool ./internal/kvstore ./internal/server ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -37,13 +40,16 @@ cluster-smoke:
 
 # Crash-consistency sweep: 1000+ seeded crash schedules (shard counts
 # 1/2/4 × drop-all/partial crashes × armed mid-fence/mid-drain/
-# mid-durable-write and op-count triggers, ~25% with a second crash
-# inside the recovery sweep) plus a net-mode batch through the live TCP
-# server, all checked for buffered durable linearizability. Any
-# violation prints its reproduce command and fails the target.
+# mid-durable-write/mid-claim and op-count triggers, ~25% with a second
+# crash inside the recovery sweep) plus a net-mode batch through the
+# live TCP server, all checked for buffered durable linearizability.
+# Direct schedules alternate between the nonblocking and blocking epoch
+# engines (-engine both); nonblocking schedules can arm the DrainShared
+# claim point with 2-3 racing helper goroutines. Any violation prints
+# its reproduce command and fails the target.
 chaos-smoke:
-	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 1200 -q
-	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 60 -net -shards 2 -q
+	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 1200 -engine both -q
+	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 60 -net -engine both -shards 2 -q
 
 # Quick-scale figure regeneration with a runtime-stats stream.
 bench:
@@ -62,14 +68,14 @@ bench-smoke:
 # the target; use bench-check for a hard gate on quiet hardware.
 bench-suite-smoke:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_7.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_8.json BENCH_head.json
 
 # Hard regression gate: nonzero exit on a throughput drop beyond the
 # band, and -strict escalates latency/memory warnings too. Run on
 # dedicated hardware where the baseline was recorded.
 bench-check:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -strict BENCH_7.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -strict BENCH_8.json BENCH_head.json
 
 clean:
 	rm -f stats_quick.json BENCH_head.json

@@ -45,6 +45,7 @@ func main() {
 		mode      = flag.String("mode", "mix", "crash mode: drop, partial, or mix (alternate by seed)")
 		net       = flag.Bool("net", false, "drive schedules through a live TCP server")
 		nodes     = flag.Int("nodes", 1, "with -net: cluster width; >1 proxies schedules over N servers with a mid-schedule node kill+revive")
+		engine    = flag.String("engine", "nonblocking", "epoch engine: nonblocking, blocking, or both (alternate by seed)")
 		traceN    = flag.Int("trace", 16, "epoch-lifecycle trace events to dump on a violation")
 		quiet     = flag.Bool("q", false, "suppress the per-1000-schedules progress line")
 	)
@@ -88,6 +89,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown -mode %q (want drop, partial, or mix)\n", *mode)
 			os.Exit(2)
 		}
+		switch *engine {
+		case "nonblocking":
+		case "blocking":
+			cfg.BlockingAdvance = true
+		case "both":
+			cfg.BlockingAdvance = s%2 == 1
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -engine %q (want nonblocking, blocking, or both)\n", *engine)
+			os.Exit(2)
+		}
 		rec := obs.New(16)
 		rec.SetEnabled(true)
 		cfg.Recorder = rec
@@ -117,7 +128,7 @@ func main() {
 	fmt.Printf("explored %d schedules (%d crashes, %d with a second crash mid-recovery), %d recorded ops\n",
 		*schedules, crashes, midRecovery, totalOps)
 	fmt.Printf("crash triggers:")
-	for _, k := range []string{"fence", "drain", "durable", "ops", "net-ops", "cluster"} {
+	for _, k := range []string{"fence", "drain", "durable", "claim", "ops", "net-ops", "cluster"} {
 		if n := byTrigger[k]; n > 0 {
 			fmt.Printf(" %s=%d", k, n)
 		}
@@ -157,6 +168,9 @@ func reportViolation(cfg chaos.Config, res chaos.Result, rec *obs.Recorder, trac
 	}
 	if res.Nodes > 1 {
 		netFlag += fmt.Sprintf(" -nodes %d", res.Nodes)
+	}
+	if res.Blocking {
+		netFlag += " -engine blocking"
 	}
 	fmt.Fprintf(w, "VIOLATION seed=%d (trigger=%s crashSeq=%d cutoffs=%v survivors=%d)\n",
 		res.Seed, res.Trigger, res.CrashSeq, res.Cutoffs, res.Survivors)

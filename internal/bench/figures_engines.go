@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"montage/internal/server"
+)
+
+// FigEngines is the nbMontage A/B figure: the same write-only pipelined
+// loopback workload as FigNet, swept over connection counts for the
+// sync and epoch-wait ack modes, once per epoch engine. The blocking
+// engine serializes every forced advance through one mutex and a
+// quiescence wait, so sync-mode connections convoy behind the daemon
+// and each other (adv_lock_wait_ns measures the queueing); the
+// nonblocking engine lets every Sync caller help the advance it is
+// waiting for — drains are claim-based and the clock is CAS-published —
+// so adding sync-mode connections adds helpers instead of queue depth.
+// Epoch-wait rows ride along to show the parking-lot path is unharmed.
+//
+// Like FigNet this measures real wall-clock time on a real socket; its
+// absolute numbers are host-dependent, the blocking-vs-nonblocking
+// ratio at a given connection count is the figure's claim.
+func FigEngines(sc Scale, conns []int, modes []server.AckMode) ([]Result, error) {
+	if len(conns) == 0 {
+		conns = []int{1, 2, 4, 8}
+	}
+	if len(modes) == 0 {
+		modes = []server.AckMode{server.AckSync, server.AckEpochWait}
+	}
+	maxConns := 0
+	for _, c := range conns {
+		if c > maxConns {
+			maxConns = c
+		}
+	}
+
+	records := uint64(sc.KeyRange)
+	if records > 10_000 {
+		records = 10_000
+	}
+	valueSize := sc.ValueSize
+	if valueSize > 256 {
+		valueSize = 256
+	}
+
+	var results []Result
+	for _, blocking := range []bool{true, false} {
+		engine := "nonblocking"
+		if blocking {
+			engine = "blocking"
+		}
+		srv, err := server.New(server.Config{
+			Addr:      "127.0.0.1:0",
+			ArenaSize: sc.ArenaSize,
+			Buckets:   sc.Buckets,
+			MaxConns:  maxConns + 1,
+			// Same serving-path tuning as FigNet: short epochs keep the
+			// epoch-wait ack latency small, and an emulated persist-fence
+			// delay makes each mode pay its true relative cost.
+			EpochLength:     time.Millisecond,
+			PersistDelay:    100 * time.Microsecond,
+			BlockingAdvance: blocking,
+			Recorder:        sc.Recorder,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := srv.Listen(); err != nil {
+			return nil, err
+		}
+		go srv.Serve()
+		addr := srv.Addr().String()
+		rec := srv.Recorder()
+
+		for _, mode := range modes {
+			for _, c := range conns {
+				prev := rec.Snapshot()
+				res, err := server.RunLoad(server.LoadConfig{
+					Addr:      addr,
+					Conns:     c,
+					Duration:  sc.loadDuration(),
+					Records:   records,
+					ValueSize: valueSize,
+					Mode:      mode,
+					Pipeline:  64,
+					Seed:      sc.Seed,
+					Recorder:  rec,
+				})
+				if err != nil {
+					srv.Shutdown(time.Second)
+					return nil, fmt.Errorf("engines bench %s/%s/conns=%d: %w", engine, mode, c, err)
+				}
+				if res.Errors > 0 {
+					srv.Shutdown(time.Second)
+					return nil, fmt.Errorf("engines bench %s/%s/conns=%d: %d errored acks", engine, mode, c, res.Errors)
+				}
+				delta := rec.Snapshot().Sub(prev)
+				results = append(results, Result{
+					Figure: "engines",
+					Series: engine + "/" + mode.String(),
+					Label:  fmt.Sprintf("conns=%d", c),
+					X:      float64(c),
+					Mops:   res.OpsPerSec / 1e6,
+					Unit:   "Mops/s (wall)",
+					Stats:  &delta,
+				})
+			}
+		}
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			return nil, fmt.Errorf("engines bench %s: shutdown: %w", engine, err)
+		}
+	}
+	return results, nil
+}

@@ -33,6 +33,50 @@ func TestScheduleSmoke(t *testing.T) {
 	}
 }
 
+// TestScheduleEngineMatrix runs the same seed band on both epoch
+// engines and requires zero violations from each; the nonblocking band
+// must include at least one claim-point crash (a power failure inside a
+// helper's DrainShared, between a batch claim and its commit, with >= 2
+// racing helpers armed by the plan).
+func TestScheduleEngineMatrix(t *testing.T) {
+	shards := []int{1, 2, 4}
+	modes := []pmem.CrashMode{pmem.CrashDropAll, pmem.CrashPartial}
+	n := int64(32)
+	if testing.Short() {
+		n = 10
+	}
+	for _, blocking := range []bool{false, true} {
+		claimCrashes := 0
+		for seed := int64(1); seed <= n; seed++ {
+			cfg := Config{
+				Seed:            seed,
+				Shards:          shards[seed%3],
+				Mode:            modes[seed%2],
+				BlockingAdvance: blocking,
+			}
+			res, err := RunSchedule(cfg)
+			if err != nil {
+				t.Fatalf("engine blocking=%v seed %d: %v", blocking, seed, err)
+			}
+			if res.Blocking != blocking {
+				t.Fatalf("result engine blocking=%v, want %v", res.Blocking, blocking)
+			}
+			if len(res.Trigger) >= 5 && res.Trigger[:5] == "claim" {
+				claimCrashes++
+				if blocking {
+					t.Fatalf("seed %d: blocking engine drew a claim-point plan (%s)", seed, res.Trigger)
+				}
+			}
+			for _, v := range res.Violations {
+				t.Errorf("engine blocking=%v seed %d (trigger=%s): %s", blocking, seed, res.Trigger, v)
+			}
+		}
+		if !blocking && claimCrashes == 0 {
+			t.Errorf("no claim-point crash in %d nonblocking schedules", n)
+		}
+	}
+}
+
 // TestScheduleDeterminism re-runs one seed and checks everything the
 // seed promises to pin down: the crash plan (trigger string) and each
 // worker's op stream. The crash instant itself rides the goroutine

@@ -48,6 +48,12 @@ type Config struct {
 	Nodes int
 	// ArenaSize is the per-shard arena (default 4 MiB).
 	ArenaSize int
+	// BlockingAdvance runs the schedule on the blocking epoch engine
+	// instead of the default nonblocking one. The nonblocking engine
+	// additionally draws claim-point crash plans (a power failure inside
+	// a helper's DrainShared, between a batch claim and its commit) with
+	// extra racing helpers; the blocking engine never enters that path.
+	BlockingAdvance bool
 	// Recorder, when non-nil, receives the schedule's runtime counters
 	// plus the chaos counters (schedules, ops, crashes, violations).
 	Recorder *obs.Recorder
@@ -82,8 +88,10 @@ type Result struct {
 	Mode   pmem.CrashMode
 	Net    bool
 	// Nodes is the cluster width (1 for single-server schedules).
-	Nodes   int
-	Trigger string
+	Nodes int
+	// Blocking reports which epoch engine the schedule ran on.
+	Blocking bool
+	Trigger  string
 	// Ops is the number of recorded (completed) operations.
 	Ops      int
 	CrashSeq uint64
@@ -116,17 +124,30 @@ type crashPlan struct {
 	midRecovery bool
 	recShard    int
 	recSkip     int
+	// helpers, for claim-point plans, is the number of extra goroutines
+	// racing Advance on the armed shard so that >= 2 concurrent helpers
+	// contend in the claim path when the crash fires.
+	helpers int
 }
 
 func drawPlan(rng *rand.Rand, cfg Config) crashPlan {
 	var p crashPlan
-	switch rng.Intn(4) {
+	switch rng.Intn(5) {
 	case 1:
 		p.armed, p.point = true, pmem.CrashAtFence
 	case 2:
 		p.armed, p.point = true, pmem.CrashAtDrain
 	case 3:
 		p.armed, p.point = true, pmem.CrashAtDurable
+	case 4:
+		if cfg.BlockingAdvance {
+			// The blocking engine never runs DrainShared; keep the
+			// drain-point crash instead so the draw still arms something.
+			p.armed, p.point = true, pmem.CrashAtDrain
+		} else {
+			p.armed, p.point = true, pmem.CrashAtClaim
+			p.helpers = 2 + rng.Intn(2)
+		}
 	}
 	p.shard = rng.Intn(cfg.Shards)
 	p.skip = rng.Intn(8)
@@ -144,6 +165,9 @@ func (p crashPlan) trigger(net bool) string {
 		s = fmt.Sprintf("net-ops@%d", p.afterOps)
 	case p.armed:
 		s = fmt.Sprintf("%s@shard%d+%d", p.point, p.shard, p.skip)
+		if p.helpers > 0 {
+			s += fmt.Sprintf("xh%d", p.helpers)
+		}
 	default:
 		s = fmt.Sprintf("ops@%d", p.afterOps)
 	}
@@ -164,7 +188,7 @@ func RunSchedule(cfg Config) (Result, error) {
 		}
 		return runNetSchedule(cfg)
 	}
-	res := Result{Seed: cfg.Seed, Shards: cfg.Shards, Mode: cfg.Mode, Nodes: 1}
+	res := Result{Seed: cfg.Seed, Shards: cfg.Shards, Mode: cfg.Mode, Nodes: 1, Blocking: cfg.BlockingAdvance}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	plan := drawPlan(rng, cfg)
 	res.Trigger = plan.trigger(false)
@@ -175,6 +199,7 @@ func RunSchedule(cfg Config) (Result, error) {
 		MaxThreads: cfg.Workers + 1,
 		Recorder:   cfg.Recorder,
 	}
+	ccfg.Epoch.BlockingAdvance = cfg.BlockingAdvance
 	p, err := pool.New(pool.Config{Shards: cfg.Shards, Core: ccfg})
 	if err != nil {
 		return res, err
@@ -225,6 +250,31 @@ func RunSchedule(cfg Config) (Result, error) {
 			time.Sleep(time.Duration(20+arng.Intn(120)) * time.Microsecond)
 		}
 	}()
+
+	// Claim-point plans race extra helpers on the armed shard: the crash
+	// must be able to fire while >= 2 threads are concurrently inside the
+	// nonblocking claim/commit path (DrainShared).
+	var helperWG sync.WaitGroup
+	if plan.helpers > 0 {
+		for h := 0; h < plan.helpers; h++ {
+			helperWG.Add(1)
+			go func(h int) {
+				defer helperWG.Done()
+				hrng := rand.New(rand.NewSource(cfg.Seed ^ int64(0xbeef0000+h)))
+				for {
+					select {
+					case <-crashed:
+						return
+					case <-advStop:
+						return
+					default:
+					}
+					p.Shard(plan.shard).Advance()
+					time.Sleep(time.Duration(hrng.Intn(60)) * time.Microsecond)
+				}
+			}(h)
+		}
+	}
 
 	opErrs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
@@ -291,6 +341,7 @@ func RunSchedule(cfg Config) (Result, error) {
 	wg.Wait()
 	close(advStop)
 	<-advDone
+	helperWG.Wait()
 	for _, e := range opErrs {
 		if e != nil {
 			return res, e

@@ -104,10 +104,10 @@ func NewProxy(cfg Config) (*Proxy, error) {
 		return nil, fmt.Errorf("cluster: unknown durability mode %q", cfg.DefaultMode)
 	}
 	p := &Proxy{
-		cfg:  cfg,
-		ring: NewRing(cfg.Nodes, cfg.VNodes),
-		rec:  cfg.Recorder,
-		tids: make(chan int, cfg.MaxConns),
+		cfg:   cfg,
+		ring:  NewRing(cfg.Nodes, cfg.VNodes),
+		rec:   cfg.Recorder,
+		tids:  make(chan int, cfg.MaxConns),
 		conns: make(map[net.Conn]struct{}),
 	}
 	for tid := 0; tid < cfg.MaxConns; tid++ {

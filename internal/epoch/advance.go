@@ -11,9 +11,19 @@ import (
 // Advance performs one epoch advance, charged to the background thread.
 // Tests and manually driven systems call it directly; benchmark
 // configurations trigger it from operation boundaries or a real-time
-// daemon.
+// daemon. Under the nonblocking engine the call is one helping attempt:
+// it drains staged work and tries to CAS-publish the next clock value;
+// losing the CAS still means the clock moved (a racing helper won), so a
+// single call always observes the epoch advance by at least one.
 func (s *Sys) Advance() {
+	if !s.cfg.BlockingAdvance {
+		s.advanceNB(simclock.DaemonTID)
+		return
+	}
+	rec := s.stats.Get()
+	lockStart := rec.Start()
 	s.advMu.Lock()
+	rec.ObserveSince(simclock.DaemonTID, obs.HAdvLockWaitNs, lockStart)
 	s.advanceLocked(simclock.DaemonTID)
 	s.advMu.Unlock()
 }
@@ -153,7 +163,15 @@ func (s *Sys) drainPersist(chargeTid int, ts *threadState, owner int, e uint64) 
 	if ts.pendEpoch[e%4] == e {
 		ts.pendCount[e%4] -= len(entries)
 		if ts.pendCount[e%4] < 0 {
+			// The pending mirror and the container disagree: the
+			// mindicator may now claim old payloads exist when none do
+			// (harmless) or, worse, the inverse on some other path. Count
+			// it so chaos runs surface accounting bugs instead of
+			// silently masking them; debug builds (-tags montagedebug)
+			// fail fast.
 			ts.pendCount[e%4] = 0
+			s.stats.Get().Inc(chargeTid, obs.CPendClampNegative)
+			debugAssertf("epoch: pendCount for epoch %d went negative in boundary drain", e)
 		}
 	}
 	s.updateMindLocked(ts, owner)
@@ -229,12 +247,24 @@ func (s *Sys) Sync(tid int) {
 	rec.Trace(tid, obs.TraceSyncStart, s.epoch.Load(), 0)
 	s.syncActive.Add(1)
 	target := s.epoch.Load() + 2
-	for s.epoch.Load() < target {
-		s.advMu.Lock()
-		if s.epoch.Load() < target {
-			s.advanceLocked(tid)
+	if !s.cfg.BlockingAdvance {
+		// Wait-free sync: every attempt either wins the clock CAS or
+		// loses it to a racing helper — both mean system-wide progress,
+		// so the loop is bounded by two plus the number of concurrent
+		// advances, never by a lock queue or a stalled straddler.
+		for s.epoch.Load() < target {
+			s.advanceNB(tid)
 		}
-		s.advMu.Unlock()
+	} else {
+		for s.epoch.Load() < target {
+			lockStart := rec.Start()
+			s.advMu.Lock()
+			rec.ObserveSince(tid, obs.HAdvLockWaitNs, lockStart)
+			if s.epoch.Load() < target {
+				s.advanceLocked(tid)
+			}
+			s.advMu.Unlock()
+		}
 	}
 	s.syncActive.Add(-1)
 	rec.Inc(tid, obs.CEpochSyncs)

@@ -1,0 +1,8 @@
+//go:build !montagedebug
+
+package epoch
+
+// debugAssertf is a no-op in normal builds; build with -tags montagedebug
+// to turn accounting-invariant violations into panics (the obs counter
+// CPendClampNegative records them either way).
+func debugAssertf(format string, args ...any) {}

@@ -1,0 +1,12 @@
+//go:build montagedebug
+
+package epoch
+
+import "fmt"
+
+// debugAssertf fails fast on accounting-invariant violations in debug
+// builds (-tags montagedebug); release builds only count them (see
+// obs.CPendClampNegative).
+func debugAssertf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

@@ -102,6 +102,17 @@ type Config struct {
 	// only; the mindicator is the paper's mechanism for keeping sync
 	// cheap.
 	DisableMindicator bool
+	// BlockingAdvance selects the original lock-serialized advance engine
+	// (advMu + waitAll quiescence + mindicator-gated boundary scans). The
+	// zero value selects the nonblocking (nbMontage) engine: payloads are
+	// published eagerly into the device's write-combining staging layer,
+	// the clock is CAS-published, and any thread — daemon pacer, Sync
+	// caller, or epoch-wait helper — claims and commits staged batches
+	// then attempts the advance, so a stalled operation never blocks the
+	// persistence frontier. Configurations whose correctness depends on
+	// the blocking engine's quiescence (PolicyPerOp/PolicyDirect owner
+	// fences, LocalFree worker reclamation) force this flag on.
+	BlockingAdvance bool
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +121,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BufferSize <= 0 {
 		c.BufferSize = 64
+	}
+	// The per-op and direct write-back policies buffer payloads in the
+	// per-thread containers and fence them from the owning worker, and
+	// LocalFree reclaims from the owner under the quiescence guarantee
+	// waitAll provides; all three predate the nonblocking engine and
+	// require the blocking one.
+	if c.Policy != PolicyBuffered || c.LocalFree {
+		c.BlockingAdvance = true
 	}
 	return c
 }
@@ -199,6 +218,19 @@ type Sys struct {
 	persistMu sync.Mutex
 	persistCh chan struct{}
 
+	// Nonblocking engine state (cfg.BlockingAdvance == false).
+	//
+	// nbFrontier is the announced advance target: a helper raises it to
+	// curr+1 before claiming staged batches, so a writer that stages an
+	// epoch-e payload afterward can detect (frontier >= e+2) that the
+	// drain making e durable may already have passed its staging buffer,
+	// and self-fence. clockMu serializes durable clock writes, and
+	// durClock mirrors the durable clock's high-water mark so a stale
+	// helper can never regress it below a faster racer's newer value.
+	nbFrontier atomic.Uint64
+	clockMu    sync.Mutex
+	durClock   atomic.Uint64
+
 	// down is closed (once) when the system is torn down — Close after its
 	// final advances, or Abandon after a crash. Persist ticks stop at that
 	// point, so WaitPersisted waiters must be released through this channel
@@ -241,6 +273,7 @@ func NewAt(heap *ralloc.Heap, cfg Config, start uint64) *Sys {
 	// background daemon is instrumented from its first tick.
 	s.stats.Set(heap.Device().Recorder())
 	s.epoch.Store(start)
+	s.durClock.Store(start)
 	s.writeClock(simclock.DaemonTID, start)
 	if cfg.EpochLength > 0 {
 		s.startDaemon()
@@ -469,7 +502,13 @@ func (s *Sys) maybeAdvance(tid int) {
 		if s.cfg.WorkerAdvance {
 			chargeTid = tid
 		}
-		s.advanceLocked(chargeTid)
+		if s.cfg.BlockingAdvance {
+			s.advanceLocked(chargeTid)
+		} else {
+			// advMu serves only as the trigger-dedup gate here; the
+			// advance itself is the lock-free helping path.
+			s.advanceNB(chargeTid)
+		}
 	}
 	s.advMu.Unlock()
 }
@@ -485,6 +524,15 @@ func (s *Sys) AddToPersist(tid int, e uint64, p Persistable) {
 	}
 	if s.cfg.Policy == PolicyDirect {
 		s.flushOne(tid, p, obs.CPersistDirect)
+		return
+	}
+	if !s.cfg.BlockingAdvance {
+		// Nonblocking engine: publish the payload's encoded image into the
+		// device staging layer right away (the shared to-be-persisted
+		// container of nbMontage). Helpers commit it; only the owner ever
+		// serializes the payload, so a straddler mutating its payload
+		// in place never races a helper's encode.
+		s.persistEager(tid, e, p)
 		return
 	}
 	if !p.MarkBuffered() {
@@ -594,7 +642,11 @@ func (s *Sys) persistLocal(tid int, maxE uint64) {
 		if ts.pendEpoch[label%4] == label {
 			ts.pendCount[label%4] -= len(entries)
 			if ts.pendCount[label%4] < 0 {
+				// Accounting mismatch between the container and its
+				// pending mirror; see the twin clamp in drainPersist.
 				ts.pendCount[label%4] = 0
+				s.stats.Get().Inc(tid, obs.CPendClampNegative)
+				debugAssertf("epoch: pendCount for epoch %d went negative in worker drain", label)
 			}
 		}
 		s.updateMindLocked(ts, tid)

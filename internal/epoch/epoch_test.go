@@ -112,7 +112,10 @@ func TestCheckEpochDetectsAdvance(t *testing.T) {
 }
 
 func TestPayloadDurableAfterTwoAdvances(t *testing.T) {
-	f := newFixture(t, Config{})
+	// Blocking engine: the buffered container defers the write-back to the
+	// e+1 -> e+2 boundary. (The nonblocking engine stages eagerly and may
+	// commit earlier; see nonblocking_test.go for its durability pins.)
+	f := newFixture(t, Config{BlockingAdvance: true})
 	e := f.sys.BeginOp(0)
 	p := f.newPayload(t, 0, e, 1, []byte("payload-one"))
 	f.sys.AddToPersist(0, e, p)
@@ -154,7 +157,7 @@ func TestClockPersistsOnAdvance(t *testing.T) {
 }
 
 func TestBufferOverflowIncrementalWriteback(t *testing.T) {
-	f := newFixture(t, Config{BufferSize: 8})
+	f := newFixture(t, Config{BufferSize: 8, BlockingAdvance: true})
 	e := f.sys.BeginOp(0)
 	var ps []*mockPayload
 	for i := 0; i < 13; i++ {
@@ -192,7 +195,7 @@ func TestBufferOverflowIncrementalWriteback(t *testing.T) {
 func TestRebufferAfterIncrementalFlush(t *testing.T) {
 	// A payload drained by overflow and then modified again in the same
 	// epoch must be re-queued and re-flushed.
-	f := newFixture(t, Config{BufferSize: 2})
+	f := newFixture(t, Config{BufferSize: 2, BlockingAdvance: true})
 	e := f.sys.BeginOp(0)
 	p0 := f.newPayload(t, 0, e, 1, []byte("v1"))
 	f.sys.AddToPersist(0, e, p0)
@@ -219,7 +222,7 @@ func TestRebufferAfterIncrementalFlush(t *testing.T) {
 }
 
 func TestDuplicateAddSkipped(t *testing.T) {
-	f := newFixture(t, Config{})
+	f := newFixture(t, Config{BlockingAdvance: true})
 	e := f.sys.BeginOp(0)
 	p := f.newPayload(t, 0, e, 1, []byte("x"))
 	f.sys.AddToPersist(0, e, p)
@@ -231,7 +234,10 @@ func TestDuplicateAddSkipped(t *testing.T) {
 }
 
 func TestDeadPayloadSkipped(t *testing.T) {
-	f := newFixture(t, Config{})
+	// Blocking engine: a payload that dies while buffered is skipped. The
+	// nonblocking engine has already staged it by then; cancellation is
+	// handled by the anti-payload path instead.
+	f := newFixture(t, Config{BlockingAdvance: true})
 	e := f.sys.BeginOp(0)
 	p := f.newPayload(t, 0, e, 1, []byte("cancelled"))
 	f.sys.AddToPersist(0, e, p)
@@ -377,7 +383,9 @@ func TestSyncMakesWorkDurable(t *testing.T) {
 }
 
 func TestAdvanceWaitsForStragglers(t *testing.T) {
-	f := newFixture(t, Config{})
+	// Blocking engine only: waitAll's quiescence is exactly what the
+	// nonblocking engine removes (TestFrontierNotBlockedByStalledOp).
+	f := newFixture(t, Config{BlockingAdvance: true})
 	e := f.sys.BeginOp(0) // op in epoch e
 	// Advance e -> e+1 does not require e's quiescence, but the next
 	// advance (e+1 -> e+2) must wait for our op.
@@ -471,7 +479,10 @@ func TestCloseFlushesEverything(t *testing.T) {
 }
 
 func TestOldestUnpersistedTracking(t *testing.T) {
-	f := newFixture(t, Config{})
+	// The mindicator mirrors the buffered containers, which only the
+	// blocking engine populates (the nonblocking engine's staging layer
+	// has nothing pending after AddToPersist returns).
+	f := newFixture(t, Config{BlockingAdvance: true})
 	if f.sys.OldestUnpersisted() != int64(1<<63-1) {
 		t.Fatal("fresh system should report Empty")
 	}

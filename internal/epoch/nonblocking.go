@@ -1,0 +1,217 @@
+package epoch
+
+import (
+	"time"
+
+	"montage/internal/obs"
+	"montage/internal/simclock"
+)
+
+// This file implements the nonblocking advance engine, following the
+// nbMontage design ("Fast Nonblocking Persistence for Concurrent Data
+// Structures", Cai et al.): per-epoch shared to-be-persisted state, a
+// CAS-published clock, and a helping path where any thread can finish a
+// lagging advance. The differences from the blocking engine
+// (advance.go's advanceLocked) are:
+//
+//   - No quiescence wait. waitAll is gone; a stalled operation never
+//     blocks the persistence frontier. A straddler's later payloads are
+//     persisted under its old epoch tag by the frontier self-fence rule
+//     below, so every operation that completes is durable once
+//     PersistedEpoch reaches its epoch, straddler or not.
+//
+//   - Eager publication. AddToPersist encodes the payload into the
+//     device's per-thread write-combining staging buffer immediately
+//     (persistEager) instead of parking the Persistable in a container
+//     for a boundary scan. The staging layer is the shared persistence
+//     container: it is address-indexed and newest-wins, so repeated
+//     same-epoch updates still commit once, and helpers only ever touch
+//     encoded bytes — the owner is the only thread that serializes the
+//     payload, so a straddler mutating its payload in place cannot race
+//     a helper's encode. Committing a staged write earlier than its
+//     epoch boundary is always safe: recovery's epoch cutoff filters
+//     anything newer than durable-clock minus two.
+//
+//   - Claim-based helping. The drain step is Device.DrainShared: each
+//     thread's staged batch is claimed under that thread's buffer lock,
+//     so any number of helpers (daemon pacer, Sync callers, epoch-wait
+//     helpers) drain concurrently without double-committing or dropping
+//     a block.
+//
+//   - CAS-published clock. The durable clock is written first through a
+//     monotone high-water mark (writeClockAtLeast), then the volatile
+//     clock is CAS-advanced. A helper that loses the CAS has still
+//     helped: its drain committed staged work and its durable-clock
+//     write was subsumed by the winner's.
+//
+// Crash-recovery argument. The durable clock only reaches curr+1 after
+// some helper's DrainShared returned with every batch staged before its
+// claims committed (or self-fenced by the frontier rule); recovery's
+// cutoff keeps epochs <= durable-2, all of which were fully drained by
+// the advance that wrote durable = cutoff+2. A crash between the
+// durable write and the volatile CAS leaves the durable clock ahead of
+// anything announced — the same one-ahead window the blocking engine
+// has, and safe for the same reason.
+
+// frontierMax raises the announced persistence frontier to at least e
+// (monotone CAS-max).
+func (s *Sys) frontierMax(e uint64) {
+	for {
+		cur := s.nbFrontier.Load()
+		if cur >= e || s.nbFrontier.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// writeClockAtLeast durably commits the epoch clock to at least e. The
+// monotone mirror makes the write idempotent across racing helpers: a
+// stale helper still carrying an older target returns without touching
+// the media, so the durable clock never regresses.
+func (s *Sys) writeClockAtLeast(tid int, e uint64) {
+	if s.durClock.Load() >= e {
+		return
+	}
+	s.clockMu.Lock()
+	if s.durClock.Load() < e {
+		s.writeClock(tid, e)
+		s.durClock.Store(e)
+	}
+	s.clockMu.Unlock()
+}
+
+// DurableClock returns the high-water mark of durably committed clock
+// values. Under the nonblocking engine it may run ahead of Epoch() by
+// one (the durable-first window); under the blocking engine it tracks
+// Epoch() exactly.
+func (s *Sys) DurableClock() uint64 { return s.durClock.Load() }
+
+// persistEager is the nonblocking engine's AddToPersist: the owner
+// serializes the payload into its staging buffer now (write-combining
+// coalesces same-epoch re-stages in place), and the epoch boundary's
+// DrainShared commits it. The frontier check closes the straddler hole:
+// if an advance that makes epoch e durable has already announced itself
+// (frontier >= e+2), its claims may have passed this thread's buffer
+// before the stage landed, so the owner commits the payload itself. The
+// ordering argument is lock-mediated: a helper stores the frontier
+// before claiming this thread's staging buffer (both under the buffer's
+// mutex), and the stage above also ran under that mutex — so if the
+// helper's claim missed this payload, the stage ran after the claim,
+// and the frontier load below must observe the helper's store.
+func (s *Sys) persistEager(tid int, e uint64, p Persistable) {
+	rec := s.stats.Get()
+	rec.Inc(tid, obs.CPersistQueued)
+	if s.cfg.EpochPayloads > 0 {
+		s.plCount.Add(1)
+	}
+	s.flushOne(tid, p, obs.CPersistEager)
+	if s.nbFrontier.Load() >= e+2 {
+		s.dev.Fence(tid)
+		rec.Inc(tid, obs.CPersistLateFence)
+	}
+}
+
+// advanceNB is one nonblocking advance attempt, charged to chargeTid. It
+// performs the full help — reclaim eligible retired blocks, announce the
+// frontier, drain staged work, push the durable clock — and then tries
+// to publish the new volatile clock value. It reports whether this
+// attempt won the publish; losing means a racing helper won, i.e. the
+// clock moved anyway.
+func (s *Sys) advanceNB(chargeTid int) bool {
+	rec := s.stats.Get()
+	curr := s.epoch.Load()
+	advStart := rec.Start()
+	rec.Trace(chargeTid, obs.TraceAdvanceStart, curr, 0)
+	rec.Inc(chargeTid, obs.CAdvHelps)
+	if s.clk != nil && chargeTid == simclock.DaemonTID {
+		// The daemon wakes up "now": align its virtual clock with the
+		// workers before charging it for boundary work.
+		s.clk.SetAtLeast(simclock.DaemonTID, s.clk.Max())
+	}
+	if !s.cfg.Transient {
+		// Reclaim retired blocks first so their staged header
+		// invalidations ride this advance's drain, as in the blocking
+		// engine.
+		if !s.cfg.LocalFree && !s.cfg.DirectFree && curr >= 2 {
+			s.reclaimEligibleNB(chargeTid, curr)
+		}
+		// Announce the advance target BEFORE claiming staged batches: a
+		// writer that stages an epoch-(curr-1) payload after our claims
+		// passed its buffer observes frontier >= curr+1 (through its own
+		// staging-buffer lock) and self-fences, so no straddler payload
+		// is left volatile behind a durable clock that promises it.
+		s.frontierMax(curr + 1)
+		s.dev.DrainShared(chargeTid)
+		if s.cfg.PersistDelay > 0 {
+			time.Sleep(s.cfg.PersistDelay)
+		}
+		// Durable clock first, volatile publish second — the same
+		// invariant the blocking engine maintains (see advanceLocked
+		// step 5 and TestAdvancePublishesDurableClockFirst).
+		s.writeClockAtLeast(chargeTid, curr+1)
+	}
+	if !s.epoch.CompareAndSwap(curr, curr+1) {
+		// A racing helper published first. Everything we drained is
+		// durable regardless; the attempt was pure help.
+		rec.Inc(chargeTid, obs.CAdvCASFails)
+		rec.Trace(chargeTid, obs.TraceAdvanceEnd, s.epoch.Load(), 1)
+		return false
+	}
+	if s.clk != nil {
+		s.lastAdvV.Store(s.clk.Max())
+	}
+	s.lastAdvOps.Store(s.opCount.Load())
+	s.lastAdvPls.Store(s.plCount.Load())
+	s.advances.Add(1)
+	// Persist tick: epoch curr-1 just became durable. Wake every
+	// PersistTick/WaitPersisted subscriber.
+	s.persistMu.Lock()
+	close(s.persistCh)
+	s.persistCh = make(chan struct{})
+	s.persistMu.Unlock()
+	rec.Inc(chargeTid, obs.CEpochAdvances)
+	rec.ObserveSince(chargeTid, obs.HAdvanceNs, advStart)
+	rec.Trace(chargeTid, obs.TraceAdvanceEnd, curr+1, 0)
+	return true
+}
+
+// reclaimEligibleNB frees retired blocks whose reclamation is both
+// durable-safe and memory-safe without waitAll's quiescence. A to_free
+// slot labeled L is durable-safe once the clock reaches L+2 (label <=
+// curr-2, the blocking engine's schedule). Memory safety is the part
+// quiescence used to provide: an operation still active in an epoch <=
+// L+1 may have begun before L's retirements were two epochs old and
+// could still hold a reference into a block about to be freed, so such
+// a slot is deferred, not freed. Deferral is why all four slots are
+// swept (not just curr-2): a slot held back by a straddler must be
+// revisited by a later advance, or the next AddToFree to reuse its slot
+// index would wipe the addresses and leak the blocks. The frontier and
+// the clock never wait — only reclamation does, which is exactly the
+// nbMontage split: a stalled thread delays memory reuse, never
+// persistence.
+func (s *Sys) reclaimEligibleNB(chargeTid int, curr uint64) {
+	minActive := ^uint64(0)
+	for i := range s.threads {
+		if a := s.threads[i].active.Load(); a != 0 && a < minActive {
+			minActive = a
+		}
+	}
+	// An operation that registers after this scan verifies its epoch
+	// against a clock value >= curr (sequentially consistent atomics), so
+	// it can never hold a reference to a block retired at label <=
+	// curr-2: the retirement unlinked the block from the volatile
+	// structure at least two epochs before the operation began.
+	for tid := range s.threads {
+		ts := &s.threads[tid]
+		for slot := 0; slot < 4; slot++ {
+			fb := &ts.free[slot]
+			fb.mu.Lock()
+			label := fb.label
+			ok := label != 0 && label <= curr-2 && len(fb.addrs) > 0
+			fb.mu.Unlock()
+			if ok && minActive >= label+2 {
+				s.reclaimSlot(chargeTid, ts, label)
+			}
+		}
+	}
+}

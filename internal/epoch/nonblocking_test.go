@@ -1,0 +1,316 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"montage/internal/obs"
+)
+
+// TestNonblockingDurableAfterTwoAdvances is the nonblocking twin of
+// TestPayloadDurableAfterTwoAdvances: the watermark still obeys the
+// two-epoch rule, but the bytes are staged eagerly (persist_eager) at
+// AddToPersist time instead of riding the boundary scan.
+func TestNonblockingDurableAfterTwoAdvances(t *testing.T) {
+	f := newFixture(t, Config{})
+	s := f.sys
+	rec := obs.New(4)
+	s.SetRecorder(rec)
+
+	e := s.BeginOp(0)
+	p := f.newPayload(t, 0, e, 1, []byte("nb-payload"))
+	s.AddToPersist(0, e, p)
+	s.EndOp(0)
+
+	// Eager publication: the owner serialized the payload into its staging
+	// buffer immediately.
+	if !p.flushed.Load() {
+		t.Fatal("nonblocking AddToPersist did not stage the payload eagerly")
+	}
+	if got := rec.Snapshot().Epoch.PersistEager; got != 1 {
+		t.Fatalf("persist_eager = %d, want 1", got)
+	}
+	if got := s.PersistedEpoch(); got >= e {
+		t.Fatalf("PersistedEpoch = %d before any advance; op epoch %d must not be durable", got, e)
+	}
+	s.Advance()
+	if got := s.PersistedEpoch(); got >= e {
+		t.Fatalf("PersistedEpoch = %d after one advance; two-epoch rule violated", got)
+	}
+	s.Advance()
+	if got := s.PersistedEpoch(); got != e {
+		t.Fatalf("PersistedEpoch = %d after two advances, want %d", got, e)
+	}
+	h, ok := f.durableHeader(t, p.addr)
+	if !ok || h.Epoch != e || h.UID != 1 {
+		t.Fatalf("durable header = %+v (ok=%v), want epoch %d uid 1", h, ok, e)
+	}
+	// The durable clock never trails the volatile clock under the
+	// nonblocking engine (it is written before the CAS publish).
+	if dc, vc := s.DurableClock(), s.Epoch(); dc < vc {
+		t.Fatalf("DurableClock = %d behind Epoch = %d", dc, vc)
+	}
+}
+
+// TestFrontierNotBlockedByStalledOp is the regression test for the
+// engine split's whole point: a stalled operation (BeginOp with no
+// EndOp) blocks the blocking engine's advance at the quiescence wait,
+// but never blocks the nonblocking engine's persistence frontier.
+func TestFrontierNotBlockedByStalledOp(t *testing.T) {
+	// Nonblocking engine: the frontier sails past the straddler.
+	f := newFixture(t, Config{})
+	s := f.sys
+	e := s.BeginOp(1) // stalled: no EndOp
+	p := f.newPayload(t, 1, e, 7, []byte("straddler"))
+	s.AddToPersist(1, e, p)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			s.Advance()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("nonblocking advance blocked behind a stalled operation")
+	}
+	if got := s.PersistedEpoch(); got < e {
+		t.Fatalf("PersistedEpoch = %d with an op stalled in epoch %d; frontier must not wait", got, e)
+	}
+	if h, ok := f.durableHeader(t, p.addr); !ok || h.Epoch != e {
+		t.Fatalf("straddler payload not durable past the frontier (header %+v ok=%v)", h, ok)
+	}
+	s.EndOp(1)
+
+	// Blocking engine: the same shape convoys. The first advance (e ->
+	// e+1) is legal — only epoch e-1 must be quiescent — but the second
+	// must wait for the epoch-e straddler and cannot complete.
+	fb := newFixture(t, Config{BlockingAdvance: true})
+	sb := fb.sys
+	sb.BeginOp(1) // stalled
+	sb.Advance()
+	blocked := make(chan struct{})
+	go func() {
+		sb.Advance() // needs epoch-e quiescence; stalls until EndOp
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("blocking advance completed while an epoch-e operation was active")
+	case <-time.After(50 * time.Millisecond):
+	}
+	sb.EndOp(1)
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking advance did not resume after EndOp")
+	}
+}
+
+// TestNonblockingStraddlerSelfFence pins the frontier self-fence rule:
+// a straddler that stages an epoch-e payload after the frontier has
+// announced e+2 must commit the bytes itself, because the advance that
+// made e durable may have claimed past its buffer already.
+func TestNonblockingStraddlerSelfFence(t *testing.T) {
+	f := newFixture(t, Config{})
+	s := f.sys
+	rec := obs.New(4)
+	s.SetRecorder(rec)
+
+	e := s.BeginOp(0) // straddler
+	// Two advances move the announced frontier to e+2 while the op is
+	// still active.
+	s.Advance()
+	s.Advance()
+	if fr := s.nbFrontier.Load(); fr < e+2 {
+		t.Fatalf("test setup: frontier = %d, want >= %d", fr, e+2)
+	}
+	p := f.newPayload(t, 0, e, 9, []byte("late-straddler"))
+	s.AddToPersist(0, e, p)
+	s.EndOp(0)
+
+	// The payload's epoch is already under the durable watermark, so the
+	// stage above must have self-fenced: the bytes are committed now,
+	// with no further advance.
+	if got := rec.Snapshot().Epoch.PersistLateFence; got != 1 {
+		t.Fatalf("persist_late_fence = %d, want 1", got)
+	}
+	if h, ok := f.durableHeader(t, p.addr); !ok || h.Epoch != e || h.UID != 9 {
+		t.Fatalf("late straddler payload not committed by self-fence (header %+v ok=%v)", h, ok)
+	}
+}
+
+// TestNonblockingConcurrentHelpers races several helpers (Sync callers
+// and Advance callers) against writers and checks that every completed
+// payload is durable and the clock stays coherent. Run under -race this
+// also exercises the claim-based DrainShared path for data races.
+func TestNonblockingConcurrentHelpers(t *testing.T) {
+	const writers, helpers, perWriter = 3, 2, 40
+	f := newFixture(t, Config{MaxThreads: writers + helpers})
+	s := f.sys
+	rec := obs.New(writers + helpers)
+	s.SetRecorder(rec)
+
+	var writerWG, helperWG sync.WaitGroup
+	payloads := make([][]*mockPayload, writers)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				e := s.BeginOp(w)
+				p := f.newPayload(t, w, e, uint64(w*1000+i+1), []byte{byte(w), byte(i)})
+				s.AddToPersist(w, e, p)
+				s.EndOp(w)
+				payloads[w] = append(payloads[w], p)
+				if i%8 == 0 {
+					s.Sync(w) // wait-free sync doubles as a helper
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for h := 0; h < helpers; h++ {
+		helperWG.Add(1)
+		go func(tid int) {
+			defer helperWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.advanceNB(tid)
+				}
+			}
+		}(writers + h)
+	}
+	writerWG.Wait()
+	close(stop)
+	helperWG.Wait()
+
+	// Final sync: everything every writer completed is now durable.
+	s.Sync(0)
+	for w := range payloads {
+		for _, p := range payloads[w] {
+			if h, ok := f.durableHeader(t, p.addr); !ok || h.UID != p.uid {
+				t.Fatalf("writer %d payload uid %d not durable after racing helpers (header %+v ok=%v)", w, p.uid, h, ok)
+			}
+		}
+	}
+	snap := rec.Snapshot()
+	if snap.Epoch.AdvanceHelps == 0 {
+		t.Fatal("advance_helps = 0; helpers never attempted an advance")
+	}
+	if dc, vc := s.DurableClock(), s.Epoch(); dc < vc {
+		t.Fatalf("DurableClock = %d behind Epoch = %d after racing helpers", dc, vc)
+	}
+}
+
+// TestNonblockingSyncConcurrent pins the wait-free shape of Sync: a
+// racer losing the publish CAS must still observe the clock past its
+// target rather than spinning forever.
+func TestNonblockingSyncConcurrent(t *testing.T) {
+	f := newFixture(t, Config{MaxThreads: 4})
+	s := f.sys
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e := s.BeginOp(tid)
+				p := f.newPayload(t, tid, e, uint64(tid*100+i+1), []byte("sync-race"))
+				s.AddToPersist(tid, e, p)
+				s.EndOp(tid)
+				s.Sync(tid)
+				if got := s.PersistedEpoch(); got < e {
+					t.Errorf("Sync returned with PersistedEpoch %d < op epoch %d", got, e)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// TestNonblockingReclaimDeferredByStraddler checks the reclamation half
+// of the engine split: a stalled op defers memory reuse (the to_free
+// slot stays intact) without stalling the frontier, and the deferred
+// slot is swept once the straddler ends.
+func TestNonblockingReclaimDeferredByStraddler(t *testing.T) {
+	f := newFixture(t, Config{MaxThreads: 4})
+	s := f.sys
+
+	// Straddler holds epoch e open for the whole retirement window.
+	eStall := s.BeginOp(1)
+
+	e := s.BeginOp(0)
+	p := f.newPayload(t, 0, e, 3, []byte("retired"))
+	s.AddToPersist(0, e, p)
+	live := f.heap.Live()
+	s.AddToFree(0, e, p.addr)
+	s.EndOp(0)
+
+	for i := 0; i < 4; i++ {
+		s.Advance()
+	}
+	// Frontier moved (PersistedEpoch covers e) but the block must not
+	// have been freed: the straddler began in epoch eStall <= e+1 and
+	// could still hold a reference.
+	if got := s.PersistedEpoch(); got < e {
+		t.Fatalf("PersistedEpoch = %d; frontier stalled behind straddler", got)
+	}
+	if f.heap.Live() != live {
+		t.Fatalf("block freed while an op from epoch %d was still active", eStall)
+	}
+	s.EndOp(1)
+	s.Advance()
+	s.Advance()
+	if f.heap.Live() != live-1 {
+		t.Fatalf("deferred slot not reclaimed after straddler ended: live %d, want %d", f.heap.Live(), live-1)
+	}
+}
+
+// TestBlockingAdvLockWaitHistogram proves the blocking engine's convoy
+// instrumentation: every advMu acquisition on the Advance/Sync paths
+// records into adv_lock_wait_ns, so daemon-vs-Sync contention is
+// visible. The nonblocking engine never takes the lock on these paths
+// and must record nothing.
+func TestBlockingAdvLockWaitHistogram(t *testing.T) {
+	fb := newFixture(t, Config{BlockingAdvance: true})
+	rec := obs.New(4)
+	fb.sys.SetRecorder(rec)
+	var wg sync.WaitGroup
+	for tid := 0; tid < 2; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				e := fb.sys.BeginOp(tid)
+				p := fb.newPayload(t, tid, e, uint64(tid*100+i+1), []byte("convoy"))
+				fb.sys.AddToPersist(tid, e, p)
+				fb.sys.EndOp(tid)
+				fb.sys.Sync(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := rec.Snapshot().Latency.AdvLockWaitNs.Count; got == 0 {
+		t.Fatal("blocking engine recorded no adv_lock_wait_ns samples under Sync contention")
+	}
+
+	fn := newFixture(t, Config{})
+	recN := obs.New(4)
+	fn.sys.SetRecorder(recN)
+	e := fn.sys.BeginOp(0)
+	p := fn.newPayload(t, 0, e, 1, []byte("nb"))
+	fn.sys.AddToPersist(0, e, p)
+	fn.sys.EndOp(0)
+	fn.sys.Sync(0)
+	if got := recN.Snapshot().Latency.AdvLockWaitNs.Count; got != 0 {
+		t.Fatalf("nonblocking engine recorded %d adv_lock_wait_ns samples; Sync must not serialize on advMu", got)
+	}
+}

@@ -9,7 +9,10 @@ import (
 // rule: work performed in epoch e is reported durable exactly when the
 // clock has ticked twice past it, never earlier.
 func TestPersistedEpochTwoEpochRule(t *testing.T) {
-	f := newFixture(t, Config{})
+	// Blocking engine: pins the buffered write-back timing along with the
+	// watermark rule. The nonblocking twin (which stages eagerly) lives in
+	// nonblocking_test.go.
+	f := newFixture(t, Config{BlockingAdvance: true})
 	s := f.sys
 
 	e := s.BeginOp(0)

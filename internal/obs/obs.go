@@ -34,19 +34,24 @@ type CounterID int
 
 const (
 	// Epoch system (internal/epoch).
-	CEpochAdvances   CounterID = iota // completed epoch advances
-	CEpochSyncs                       // completed Sync calls
-	CPersistQueued                    // payloads queued for write-back
-	CPersistBoundary                  // payloads written back at an epoch boundary
-	CPersistOverflow                  // payloads written back on buffer overflow
-	CPersistWorker                    // payloads written back by their own worker (per-op policy, sync helping)
-	CPersistDirect                    // payloads written back immediately (direct policy)
-	CPersistDead                      // queued payloads skipped because they died before write-back
-	CPersistBytes                     // payload bytes handed to the device for write-back
-	CFreeQueued                       // blocks queued for delayed reclamation
-	CFreeReclaimed                    // blocks reclaimed after the two-epoch delay
-	CMindicatorSkips                  // boundary scans skipped thanks to the mindicator
-	CMindicatorScans                  // boundary scans actually performed
+	CEpochAdvances     CounterID = iota // completed epoch advances
+	CEpochSyncs                         // completed Sync calls
+	CPersistQueued                      // payloads queued for write-back
+	CPersistBoundary                    // payloads written back at an epoch boundary
+	CPersistOverflow                    // payloads written back on buffer overflow
+	CPersistWorker                      // payloads written back by their own worker (per-op policy, sync helping)
+	CPersistDirect                      // payloads written back immediately (direct policy)
+	CPersistDead                        // queued payloads skipped because they died before write-back
+	CPersistBytes                       // payload bytes handed to the device for write-back
+	CFreeQueued                         // blocks queued for delayed reclamation
+	CFreeReclaimed                      // blocks reclaimed after the two-epoch delay
+	CMindicatorSkips                    // boundary scans skipped thanks to the mindicator
+	CMindicatorScans                    // boundary scans actually performed
+	CPersistEager                       // payloads published eagerly to the device staging layer (nonblocking engine)
+	CPersistLateFence                   // straddler self-fences forced by the persistence frontier (nonblocking engine)
+	CAdvHelps                           // nonblocking advance attempts (daemon pacer, sync callers, helpers)
+	CAdvCASFails                        // advance attempts that lost the clock CAS to a racing helper
+	CPendClampNegative                  // pending-entry accounting went negative and was clamped (bug signal)
 
 	// Simulated NVM device (internal/pmem).
 	CWriteBacks         // WriteBack calls (staged cacheline write-backs)
@@ -54,6 +59,7 @@ const (
 	CWriteBackCoalesced // write-backs absorbed in place by an already-staged block (write combining)
 	CFences             // Fence calls
 	CDrains             // Drain calls (epoch-boundary full drains)
+	CDrainClaims        // per-thread staged batches claimed by shared (helper) drains
 	CReads              // Read calls
 	CReadBytes          // bytes read
 	CCommits            // staged writes committed durable (fence/drain/durable writes)
@@ -96,6 +102,7 @@ const (
 	CNetAcksSync     // write acks sent after a forced Sync
 	CNetAcksEpoch    // write acks parked until the epoch persisted naturally
 	CNetAcksAborted  // parked acks failed by a crash before durability
+	CNetParkWaiters  // epoch-wait waiters registered in the shared per-shard parking lot
 	CNetCrashes      // crash injections served while the listener stayed up
 
 	// Crash-consistency chaos harness (internal/chaos).
@@ -133,6 +140,7 @@ type HistID int
 const (
 	HAdvanceNs     HistID = iota // epoch advance latency (wall ns)
 	HWaitAllNs                   // quiescence (waitAll) stall inside an advance (wall ns)
+	HAdvLockWaitNs               // blocking engine: advMu acquisition wait (daemon-vs-sync convoy)
 	HSyncNs                      // Sync latency (wall ns)
 	HFenceBatch                  // staged blocks committed per Fence
 	HDrainBatch                  // staged blocks committed per Drain
@@ -141,6 +149,7 @@ const (
 	HAckSyncNs                   // sync-mode ack wait: forced Sync on the request path (wall ns)
 	HAckEpochNs                  // epoch-wait-mode ack park time until the epoch persisted (wall ns)
 	HPipelineDepth               // per-connection response-queue depth sampled at each enqueue
+	HParkFanout                  // epoch-wait waiters woken per persist tick by the shared parking lot
 	HLoadNs                      // loadgen client-observed request latency, send to ack (wall ns)
 
 	numHists

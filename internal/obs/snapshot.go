@@ -35,6 +35,12 @@ type EpochStats struct {
 	FreeReclaimed   uint64 `json:"free_reclaimed"`
 	MindicatorSkips uint64 `json:"mindicator_skips"`
 	MindicatorScans uint64 `json:"mindicator_scans"`
+	// Nonblocking (nbMontage) engine counters.
+	PersistEager      uint64 `json:"persist_eager"`
+	PersistLateFence  uint64 `json:"persist_late_fence"`
+	AdvanceHelps      uint64 `json:"advance_helps"`
+	AdvanceCASFails   uint64 `json:"advance_cas_fails"`
+	PendClampNegative uint64 `json:"pend_clamp_negative"`
 }
 
 // DeviceStats are the simulated NVM device's counters.
@@ -47,6 +53,7 @@ type DeviceStats struct {
 	WriteBackCoalesced uint64 `json:"write_backs_coalesced"`
 	Fences             uint64 `json:"fences"`
 	Drains             uint64 `json:"drains"`
+	DrainClaims        uint64 `json:"drain_claims"`
 	Reads              uint64 `json:"reads"`
 	ReadBytes          uint64 `json:"read_bytes"`
 	Commits            uint64 `json:"commits"`
@@ -98,6 +105,7 @@ type ServerStats struct {
 	AcksSync     uint64 `json:"acks_sync"`
 	AcksEpoch    uint64 `json:"acks_epoch_wait"`
 	AcksAborted  uint64 `json:"acks_aborted"`
+	ParkWaiters  uint64 `json:"park_waiters"`
 	Crashes      uint64 `json:"crash_injections"`
 }
 
@@ -191,6 +199,7 @@ func (h HistStats) Percentile(q float64) float64 {
 type LatencyStats struct {
 	AdvanceNs     HistStats `json:"advance_ns"`
 	WaitAllNs     HistStats `json:"wait_all_ns"`
+	AdvLockWaitNs HistStats `json:"adv_lock_wait_ns"`
 	SyncNs        HistStats `json:"sync_ns"`
 	FenceBatch    HistStats `json:"fence_batch"`
 	DrainBatch    HistStats `json:"drain_batch"`
@@ -199,6 +208,7 @@ type LatencyStats struct {
 	AckSyncNs     HistStats `json:"ack_sync_ns"`
 	AckEpochNs    HistStats `json:"ack_epoch_wait_ns"`
 	PipelineDepth HistStats `json:"pipeline_depth"`
+	ParkFanout    HistStats `json:"park_fanout"`
 	LoadNs        HistStats `json:"load_ns"`
 }
 
@@ -334,11 +344,16 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		PersistDead:     c[CPersistDead],
 		PersistBytes:    c[CPersistBytes],
 		PersistPending: sub64(c[CPersistQueued],
-			c[CPersistBoundary]+c[CPersistOverflow]+c[CPersistWorker]+c[CPersistDead]),
-		FreeQueued:      c[CFreeQueued],
-		FreeReclaimed:   c[CFreeReclaimed],
-		MindicatorSkips: c[CMindicatorSkips],
-		MindicatorScans: c[CMindicatorScans],
+			c[CPersistBoundary]+c[CPersistOverflow]+c[CPersistWorker]+c[CPersistDead]+c[CPersistEager]),
+		FreeQueued:        c[CFreeQueued],
+		FreeReclaimed:     c[CFreeReclaimed],
+		MindicatorSkips:   c[CMindicatorSkips],
+		MindicatorScans:   c[CMindicatorScans],
+		PersistEager:      c[CPersistEager],
+		PersistLateFence:  c[CPersistLateFence],
+		AdvanceHelps:      c[CAdvHelps],
+		AdvanceCASFails:   c[CAdvCASFails],
+		PendClampNegative: c[CPendClampNegative],
 	}
 	s.Device = DeviceStats{
 		WriteBacks:         c[CWriteBacks],
@@ -346,6 +361,7 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		WriteBackCoalesced: c[CWriteBackCoalesced],
 		Fences:             c[CFences],
 		Drains:             c[CDrains],
+		DrainClaims:        c[CDrainClaims],
 		Reads:              c[CReads],
 		ReadBytes:          c[CReadBytes],
 		Commits:            c[CCommits],
@@ -390,6 +406,7 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		AcksSync:     c[CNetAcksSync],
 		AcksEpoch:    c[CNetAcksEpoch],
 		AcksAborted:  c[CNetAcksAborted],
+		ParkWaiters:  c[CNetParkWaiters],
 		Crashes:      c[CNetCrashes],
 	}
 	s.Chaos = ChaosStats{
@@ -419,6 +436,7 @@ func buildSnapshot(raw *rawStats) Snapshot {
 	s.Latency = LatencyStats{
 		AdvanceNs:     summarize(&raw.hists[HAdvanceNs]),
 		WaitAllNs:     summarize(&raw.hists[HWaitAllNs]),
+		AdvLockWaitNs: summarize(&raw.hists[HAdvLockWaitNs]),
 		SyncNs:        summarize(&raw.hists[HSyncNs]),
 		FenceBatch:    summarize(&raw.hists[HFenceBatch]),
 		DrainBatch:    summarize(&raw.hists[HDrainBatch]),
@@ -427,6 +445,7 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		AckSyncNs:     summarize(&raw.hists[HAckSyncNs]),
 		AckEpochNs:    summarize(&raw.hists[HAckEpochNs]),
 		PipelineDepth: summarize(&raw.hists[HPipelineDepth]),
+		ParkFanout:    summarize(&raw.hists[HParkFanout]),
 		LoadNs:        summarize(&raw.hists[HLoadNs]),
 	}
 	return s

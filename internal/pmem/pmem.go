@@ -548,6 +548,72 @@ func (d *Device) Drain(tid int) {
 	}
 }
 
+// DrainShared commits every thread's staged writes, like Drain, but is
+// safe for concurrent helpers: instead of one drainMu-serialized
+// whole-device steal, each thread's batch is claimed individually under
+// that thread's buffer lock and committed before the next claim. Two
+// racing helpers therefore never double-commit a staged block (a block is
+// in exactly one stolen batch) and never drop one (an unclaimed block
+// stays staged for the next claimer); per-block ordering across helpers
+// is preserved by the stripes' newest-wins sequence check, exactly as for
+// parallel drain workers. This is the nonblocking epoch engine's persist
+// step: the daemon, a Sync caller, and an epoch-wait helper can all drain
+// at once without serializing behind drainMu or each other.
+func (d *Device) DrainShared(tid int) {
+	if d.failed.Load() {
+		return
+	}
+	rec := d.stats.Get()
+	var total, bytes, writes uint64
+	for i := range d.threads {
+		b := &d.threads[i]
+		b.mu.Lock()
+		batch, w := b.stealLocked()
+		b.mu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
+		if a := d.takeArmed(CrashAtClaim); a != nil {
+			// The power failed between this helper's claim of one
+			// thread's staged batch and its commit. The claimed batch is
+			// part of the crash's staged population (sampling-eligible
+			// under CrashPartial) but must never be committed here —
+			// same rule as a crash inside Fence or Drain. Batches this
+			// helper committed on earlier iterations persisted before
+			// the failure, which is always safe: committing a staged
+			// write early only exposes data that recovery's epoch cutoff
+			// filters.
+			d.crashWith(a.mode, batch)
+			b.mu.Lock()
+			b.recycleLocked(batch)
+			b.mu.Unlock()
+			if a.notify != nil {
+				a.notify()
+			}
+			return
+		}
+		bytes += d.commitBatch(batch)
+		total += uint64(len(batch))
+		writes += w
+		b.mu.Lock()
+		b.recycleLocked(batch)
+		b.mu.Unlock()
+		if rec != nil {
+			rec.Inc(tid, obs.CDrainClaims)
+		}
+	}
+	d.clk.ChargeFenceAll(tid)
+	if rec != nil {
+		rec.Inc(tid, obs.CDrains)
+		rec.Observe(tid, obs.HDrainBatch, total)
+		if total > 0 {
+			rec.Observe(tid, obs.HCombineRatio, writes*100/total)
+			rec.Add(tid, obs.CCommits, total)
+			rec.Add(tid, obs.CCommitBytes, bytes)
+		}
+	}
+}
+
 // PendingWrites returns the number of staged (not yet fenced) blocks for
 // tid. Coalesced write-backs count once. Intended for tests.
 func (d *Device) PendingWrites(tid int) int {
@@ -743,6 +809,11 @@ const (
 	// CrashAtDurable fires at the head of a WriteDurable, before the
 	// bypass write lands — a crash mid-formatting or mid-recovery-sweep.
 	CrashAtDurable
+	// CrashAtClaim fires inside a DrainShared, after a helper has claimed
+	// one thread's staged batch but before any of it commits; the claimed
+	// batch dies with the crash. The skip count selects which claim (and
+	// with racing helpers, whose claim) the crash lands on.
+	CrashAtClaim
 )
 
 // String names the crash point for schedule logs.
@@ -754,6 +825,8 @@ func (p CrashPoint) String() string {
 		return "drain"
 	case CrashAtDurable:
 		return "durable"
+	case CrashAtClaim:
+		return "claim"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }

@@ -11,7 +11,6 @@ import (
 	"strconv"
 	"time"
 
-	"montage/internal/epoch"
 	"montage/internal/kvstore"
 	"montage/internal/obs"
 	"montage/internal/pmem"
@@ -30,22 +29,21 @@ const maxRelativeExp = 60 * 60 * 24 * 30
 var errBadChunk = errors.New("server: bad data chunk")
 
 // ackWait parks a response until one shard's epoch persists: the wait
-// rides the owning shard's persist watermark only, never a global
-// fence across shards.
+// rides the owning shard's parking lot only, never a global fence
+// across shards.
 type ackWait struct {
-	esys  *epoch.Sys
+	lot   *shardLot
 	epoch uint64
 }
 
 // pending is one queued response. A non-empty waits list parks the
 // writer until every named epoch persists on its own shard (epoch-wait
 // mode; multi-entry only for flush_all, which deletes across shards);
-// crashCh aborts the park.
+// the lot aborts the park when its incarnation crashes.
 type pending struct {
-	data    []byte
-	waits   []ackWait
-	crashCh chan struct{}
-	start   int64
+	data  []byte
+	waits []ackWait
+	start int64
 }
 
 // conn is one client connection: an executor (this goroutine, which
@@ -95,7 +93,7 @@ func (c *conn) writer(done chan struct{}) {
 		if len(p.waits) > 0 {
 			ok := true
 			for _, w := range p.waits {
-				if !w.esys.WaitPersisted(w.epoch, p.crashCh) {
+				if !w.lot.wait(w.epoch) {
 					ok = false
 					break
 				}
@@ -319,9 +317,8 @@ func (c *conn) execWriteTags(noreply bool, f func(r *rt) ([]byte, []kvstore.Dura
 		case AckEpochWait:
 			p.waits = make([]ackWait, len(tags))
 			for i, tag := range tags {
-				p.waits[i] = ackWait{esys: r.esysFor(tag.Shard), epoch: tag.Epoch}
+				p.waits[i] = ackWait{lot: r.lot.shard(tag.Shard), epoch: tag.Epoch}
 			}
-			p.crashCh = r.crashCh
 			p.start = s.rec.Start()
 		default:
 			s.rec.Inc(c.tid, obs.CNetAcksBuffered)
@@ -539,6 +536,11 @@ func (c *conn) statsBody(r *rt) []byte {
 	put("version", "montage/0.2")
 	put("backend", c.srv.cfg.Backend)
 	put("durability", c.mode.String())
+	if c.srv.cfg.BlockingAdvance {
+		put("epoch_engine", "blocking")
+	} else {
+		put("epoch_engine", "nonblocking")
+	}
 	st := r.store.Stats()
 	put("get_hits", st.Hits.Load())
 	put("get_misses", st.Misses.Load())
@@ -576,6 +578,8 @@ func (c *conn) statsBody(r *rt) []byte {
 		put("acks_sync", snap.Server.AcksSync)
 		put("acks_epoch_wait", snap.Server.AcksEpoch)
 		put("acks_aborted", snap.Server.AcksAborted)
+		put("park_waiters", snap.Server.ParkWaiters)
+		put("park_fanout_p99", snap.Latency.ParkFanout.P99)
 		put("crash_injections", snap.Server.Crashes)
 		put("ack_sync_p99_ns", snap.Latency.AckSyncNs.P99)
 		put("ack_epoch_wait_p99_ns", snap.Latency.AckEpochNs.P99)

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"sync"
+
+	"montage/internal/epoch"
+	"montage/internal/obs"
+	"montage/internal/pool"
+)
+
+// parkingLot is the shared epoch-wait rendezvous for one runtime
+// incarnation: instead of every parked response running its own
+// WaitPersisted loop (N subscribers per shard, each woken on every
+// persist tick only to re-check its epoch), each shard gets at most ONE
+// watermark subscriber that fans the tick out to exactly the waiters it
+// releases. With hundreds of pipelined epoch-wait connections this
+// collapses the thundering herd on the persist broadcast to one wakeup
+// per shard per tick.
+type parkingLot struct {
+	shards []shardLot
+}
+
+// lotWaiter is one parked response: released with true when the shard's
+// watermark covers epoch, with false when the incarnation crashes.
+type lotWaiter struct {
+	epoch uint64
+	ch    chan bool
+}
+
+// shardLot parks waiters on one shard's persist watermark. The
+// subscriber goroutine is lazy: it starts with the first waiter and
+// exits when the lot drains, so idle shards cost nothing.
+type shardLot struct {
+	esys    *epoch.Sys
+	crashCh chan struct{}
+	rec     *obs.Recorder
+	tid     int
+
+	mu      sync.Mutex
+	waiters []lotWaiter
+	running bool
+}
+
+// newParkingLot builds one lot per pool shard, all aborting on crashCh.
+func newParkingLot(p *pool.Pool, crashCh chan struct{}, rec *obs.Recorder, tid int) *parkingLot {
+	l := &parkingLot{shards: make([]shardLot, p.NumShards())}
+	for i := range l.shards {
+		l.shards[i] = shardLot{
+			esys:    p.Shard(i).Epochs(),
+			crashCh: crashCh,
+			rec:     rec,
+			tid:     tid,
+		}
+	}
+	return l
+}
+
+func (l *parkingLot) shard(i int) *shardLot { return &l.shards[i] }
+
+// wait parks until the shard's persist watermark reaches e, reporting
+// false if the incarnation crashed first. Already-durable epochs return
+// without parking.
+func (l *shardLot) wait(e uint64) bool {
+	if l.esys.PersistedEpoch() >= e {
+		return true
+	}
+	w := lotWaiter{epoch: e, ch: make(chan bool, 1)}
+	l.mu.Lock()
+	// Recheck under the lock: a tick between the fast path and here may
+	// have been the one that covered e, and with no later waiter the
+	// subscriber may already have exited.
+	if l.esys.PersistedEpoch() >= e {
+		l.mu.Unlock()
+		return true
+	}
+	l.waiters = append(l.waiters, w)
+	if !l.running {
+		l.running = true
+		go l.run()
+	}
+	l.mu.Unlock()
+	l.rec.Inc(l.tid, obs.CNetParkWaiters)
+	return <-w.ch
+}
+
+// run is the shard's single watermark subscriber. Each iteration
+// captures the next persist-tick channel FIRST, then releases everything
+// the current watermark covers, so a tick landing between the two is
+// never lost — the stale channel is already closed and the select falls
+// straight through to re-check. Exits when the lot drains (releasing
+// the subscription) or the incarnation crashes (failing all waiters).
+func (l *shardLot) run() {
+	for {
+		tick := l.esys.PersistTick()
+		w := l.esys.PersistedEpoch()
+		l.mu.Lock()
+		woken := 0
+		rest := l.waiters[:0]
+		for _, lw := range l.waiters {
+			if lw.epoch <= w {
+				lw.ch <- true
+				woken++
+			} else {
+				rest = append(rest, lw)
+			}
+		}
+		l.waiters = rest
+		empty := len(rest) == 0
+		if empty {
+			l.running = false
+		}
+		l.mu.Unlock()
+		if woken > 0 {
+			l.rec.Observe(l.tid, obs.HParkFanout, uint64(woken))
+		}
+		if empty {
+			return
+		}
+		select {
+		case <-tick:
+		case <-l.crashCh:
+			l.mu.Lock()
+			for _, lw := range l.waiters {
+				lw.ch <- false
+			}
+			l.waiters = nil
+			l.running = false
+			l.mu.Unlock()
+			return
+		}
+	}
+}

@@ -127,6 +127,10 @@ type Config struct {
 	// DrainWorkers fixes each shard's epoch-boundary drain parallelism
 	// (0: automatic; 1: serial). See core.Config.DrainWorkers.
 	DrainWorkers int
+	// BlockingAdvance selects the blocking (lock-serialized, quiescence-
+	// waiting) epoch engine instead of the default nonblocking one. See
+	// epoch.Config.BlockingAdvance.
+	BlockingAdvance bool
 	// AllowCrash enables the "crash" protocol extension.
 	AllowCrash bool
 	// Recorder, when non-nil, receives the server's counters; when nil
@@ -168,9 +172,13 @@ func (c Config) maxThreads() int { return c.MaxConns + 2 }
 
 func (c Config) coreConfig() core.Config {
 	return core.Config{
-		ArenaSize:    c.ArenaSize,
-		MaxThreads:   c.maxThreads(),
-		Epoch:        epoch.Config{EpochLength: c.EpochLength, PersistDelay: c.PersistDelay},
+		ArenaSize:  c.ArenaSize,
+		MaxThreads: c.maxThreads(),
+		Epoch: epoch.Config{
+			EpochLength:     c.EpochLength,
+			PersistDelay:    c.PersistDelay,
+			BlockingAdvance: c.BlockingAdvance,
+		},
 		DrainWorkers: c.DrainWorkers,
 		Recorder:     c.Recorder,
 	}
@@ -184,15 +192,22 @@ type rt struct {
 	pool    *pool.Pool // nil for transient backends
 	store   *kvstore.Store
 	crashCh chan struct{} // closed by Crash to abort parked acks
+	// lot is the shared epoch-wait parking lot: one watermark subscriber
+	// per shard fanning out to parked responses (nil for transient
+	// backends, which never produce durability tags).
+	lot *parkingLot
 }
 
-// esysFor returns the epoch system owning a durability tag's shard, or
-// nil for transient backends.
-func (r *rt) esysFor(shard int) *epoch.Sys {
-	if r.pool == nil {
-		return nil
+// newMontageRT bundles a pool incarnation with its store, crash-abort
+// channel, and parking lot.
+func newMontageRT(p *pool.Pool, store *kvstore.Store, rec *obs.Recorder, tid int) *rt {
+	crashCh := make(chan struct{})
+	return &rt{
+		pool:    p,
+		store:   store,
+		crashCh: crashCh,
+		lot:     newParkingLot(p, crashCh, rec, tid),
 	}
-	return r.pool.Shard(shard).Epochs()
 }
 
 // Server is the TCP front end.
@@ -292,7 +307,7 @@ func (s *Server) openMontage() (*rt, error) {
 			if err != nil {
 				return nil, fmt.Errorf("server: rebuild store: %w", err)
 			}
-			return &rt{pool: p, store: store, crashCh: make(chan struct{})}, nil
+			return newMontageRT(p, store, p.Shard(0).Recorder(), s.adminTid), nil
 		}
 	}
 	p, err := pool.New(pcfg)
@@ -300,7 +315,7 @@ func (s *Server) openMontage() (*rt, error) {
 		return nil, err
 	}
 	store := kvstore.New(kvstore.NewShardedBackend(p, s.cfg.Buckets), s.cfg.Capacity)
-	return &rt{pool: p, store: store, crashCh: make(chan struct{})}, nil
+	return newMontageRT(p, store, p.Shard(0).Recorder(), s.adminTid), nil
 }
 
 // Listen binds the TCP listener and returns its address (useful with
@@ -404,7 +419,7 @@ func (s *Server) Crash(mode pmem.CrashMode) (survivors int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	s.cur = &rt{pool: p, store: store, crashCh: make(chan struct{})}
+	s.cur = newMontageRT(p, store, s.rec, s.adminTid)
 	s.rec.Inc(s.adminTid, obs.CNetCrashes)
 	return len(store.Keys(s.adminTid)), nil
 }
@@ -466,7 +481,7 @@ func (s *Server) Revive() (net.Addr, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
-	s.cur = &rt{pool: p, store: store, crashCh: make(chan struct{})}
+	s.cur = newMontageRT(p, store, s.rec, s.adminTid)
 	s.mu.Unlock()
 	// Rebind the old address. The previous listener is closed, so the
 	// port is free modulo a racing process; retry briefly to ride out
