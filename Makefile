@@ -45,10 +45,14 @@ cluster-smoke:
 # live TCP server, all checked for buffered durable linearizability.
 # Direct schedules alternate between the nonblocking and blocking epoch
 # engines (-engine both); nonblocking schedules can arm the DrainShared
-# claim point with 2-3 racing helper goroutines. Any violation prints
-# its reproduce command and fails the target.
+# claim point with 2-3 racing helper goroutines. A -dirty band focuses
+# on the dirty-coalescing lazy-persist path: hot-key schedules with
+# crashes armed between a dirty mark and its deferred encode (settle
+# point). Any violation prints its reproduce command and fails the
+# target.
 chaos-smoke:
 	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 1200 -engine both -q
+	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 300 -engine both -dirty -q
 	$(GO) run ./cmd/montage-chaos -seed 1 -schedules 60 -net -engine both -shards 2 -q
 
 # Quick-scale figure regeneration with a runtime-stats stream.
@@ -68,14 +72,14 @@ bench-smoke:
 # the target; use bench-check for a hard gate on quiet hardware.
 bench-suite-smoke:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_8.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_9.json BENCH_head.json
 
 # Hard regression gate: nonzero exit on a throughput drop beyond the
 # band, and -strict escalates latency/memory warnings too. Run on
 # dedicated hardware where the baseline was recorded.
 bench-check:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -strict BENCH_8.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -strict BENCH_9.json BENCH_head.json
 
 clean:
 	rm -f stats_quick.json BENCH_head.json

@@ -23,6 +23,7 @@ func runSuiteMain(argv []string) int {
 		memInterval = fs.Duration("mem-interval", 25*time.Millisecond, "background memory-sampling period")
 		seed        = fs.Int64("seed", 0, "workload seed override")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof here for the duration of the run")
+		profileDir  = fs.String("profile-dir", "", "capture a CPU profile per suite cell into this directory (<section>-<nn>.cpu.pprof)")
 		name        = fs.String("name", "", "label stored in the artifact (e.g. a git describe)")
 	)
 	fs.Parse(argv)
@@ -45,6 +46,7 @@ func runSuiteMain(argv []string) int {
 		LoadDuration: *duration,
 		MemInterval:  *memInterval,
 		MetricsAddr:  *metricsAddr,
+		ProfileDir:   *profileDir,
 		Name:         *name,
 		Log:          os.Stderr,
 	})

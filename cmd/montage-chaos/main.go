@@ -46,6 +46,7 @@ func main() {
 		net       = flag.Bool("net", false, "drive schedules through a live TCP server")
 		nodes     = flag.Int("nodes", 1, "with -net: cluster width; >1 proxies schedules over N servers with a mid-schedule node kill+revive")
 		engine    = flag.String("engine", "nonblocking", "epoch engine: nonblocking, blocking, or both (alternate by seed)")
+		dirty     = flag.Bool("dirty", false, "focus schedules on the dirty-coalescing lazy-persist path (hot keys, settle-point crashes)")
 		traceN    = flag.Int("trace", 16, "epoch-lifecycle trace events to dump on a violation")
 		quiet     = flag.Bool("q", false, "suppress the per-1000-schedules progress line")
 	)
@@ -72,6 +73,7 @@ func main() {
 			OpsPerWorker: *ops,
 			Net:          *net,
 			Nodes:        *nodes,
+			DirtyFocus:   *dirty,
 		}
 		if *shards > 0 {
 			cfg.Shards = *shards
@@ -128,7 +130,7 @@ func main() {
 	fmt.Printf("explored %d schedules (%d crashes, %d with a second crash mid-recovery), %d recorded ops\n",
 		*schedules, crashes, midRecovery, totalOps)
 	fmt.Printf("crash triggers:")
-	for _, k := range []string{"fence", "drain", "durable", "claim", "ops", "net-ops", "cluster"} {
+	for _, k := range []string{"fence", "drain", "durable", "claim", "settle", "ops", "net-ops", "cluster"} {
 		if n := byTrigger[k]; n > 0 {
 			fmt.Printf(" %s=%d", k, n)
 		}
@@ -171,6 +173,9 @@ func reportViolation(cfg chaos.Config, res chaos.Result, rec *obs.Recorder, trac
 	}
 	if res.Blocking {
 		netFlag += " -engine blocking"
+	}
+	if cfg.DirtyFocus {
+		netFlag += " -dirty"
 	}
 	fmt.Fprintf(w, "VIOLATION seed=%d (trigger=%s crashSeq=%d cutoffs=%v survivors=%d)\n",
 		res.Seed, res.Trigger, res.CrashSeq, res.Cutoffs, res.Survivors)

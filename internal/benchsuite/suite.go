@@ -11,7 +11,10 @@ package benchsuite
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,12 +42,64 @@ type Config struct {
 	// MetricsAddr, when set, serves /metrics and /debug/pprof for the
 	// duration of the run, exporting the suite's shared recorder live.
 	MetricsAddr string
+	// ProfileDir, when set, captures a CPU profile per suite cell into
+	// this directory (created if missing) as <section>-<nn>.cpu.pprof,
+	// so a regression flagged by compare can be attributed to its hot
+	// path without re-running the suite under a profiler.
+	ProfileDir string
 	// Name labels the artifact (e.g. a git describe string).
 	Name string
 	// Log receives one progress line per cell; nil discards.
 	Log io.Writer
 	// Scale overrides the derived workload scale; for tests.
 	Scale *bench.Scale
+
+	// prof is the per-cell CPU profiler built from ProfileDir by Run.
+	prof *cpuProfiler
+}
+
+// cpuProfiler captures one CPU profile per suite cell, numbered within
+// each section. Cells run strictly sequentially, so a single active
+// profile at a time is an invariant, not a limitation.
+type cpuProfiler struct {
+	dir string
+	seq map[string]int
+}
+
+func newCPUProfiler(dir string) (*cpuProfiler, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &cpuProfiler{dir: dir, seq: map[string]int{}}, nil
+}
+
+// start begins the profile for one cell and returns its stop function.
+// Profiling failures are logged, never fatal: the suite's measurements
+// matter more than their attribution.
+func (p *cpuProfiler) start(section string, logw io.Writer) func() {
+	if p == nil {
+		return func() {}
+	}
+	p.seq[section]++
+	path := filepath.Join(p.dir, fmt.Sprintf("%s-%02d.cpu.pprof", section, p.seq[section]))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(logw, "suite: profile %s: %v\n", path, err)
+		return func() {}
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(logw, "suite: profile %s: %v\n", path, err)
+		f.Close()
+		os.Remove(path)
+		return func() {}
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
 }
 
 func (c Config) loadDuration() time.Duration {
@@ -82,6 +137,11 @@ func Run(cfg Config) (*Artifact, error) {
 	}
 
 	rec := obs.New(suiteThreads)
+	prof, err := newCPUProfiler(cfg.ProfileDir)
+	if err != nil {
+		return nil, fmt.Errorf("profile dir: %w", err)
+	}
+	cfg.prof = prof
 	if cfg.MetricsAddr != "" {
 		ms, err := obs.ServeMetrics(cfg.MetricsAddr, rec.Snapshot)
 		if err != nil {
@@ -152,12 +212,15 @@ func Run(cfg Config) (*Artifact, error) {
 	return art, nil
 }
 
-// cell runs fn bracketed by a memory-window mark and converts its
-// results into rows tagged with the section and the window.
-func cell(section string, mon *memMonitor, logw io.Writer,
+// cell runs fn bracketed by a memory-window mark (and, when configured,
+// a per-cell CPU profile) and converts its results into rows tagged with
+// the section and the window.
+func cell(cfg Config, section string, mon *memMonitor, logw io.Writer,
 	fn func() ([]bench.Result, error)) ([]Row, error) {
 	mark := mon.Mark()
+	stop := cfg.prof.start(section, logw)
 	results, err := fn()
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +300,7 @@ func runMicro(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([
 	for _, t := range threads {
 		sc := scale
 		sc.Threads = []int{t}
-		rs, err := cell("micro", mon, logw, func() ([]bench.Result, error) {
+		rs, err := cell(cfg, "micro", mon, logw, func() ([]bench.Result, error) {
 			return bench.Fig7Maps(sc, []string{"Montage"}, false)
 		})
 		if err != nil {
@@ -257,7 +320,7 @@ func runWritebackSection(cfg Config, scale bench.Scale, mon *memMonitor, logw io
 	}
 	var rows []Row
 	for _, keys := range keyRanges {
-		rs, err := cell("writeback", mon, logw, func() ([]bench.Result, error) {
+		rs, err := cell(cfg, "writeback", mon, logw, func() ([]bench.Result, error) {
 			return bench.FigWriteback(scale, []int{keys})
 		})
 		if err != nil {
@@ -294,7 +357,7 @@ func runNet(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([]R
 	for _, m := range modes {
 		for _, c := range conns {
 			m, c := m, c
-			rs, err := cell("net", mon, logw, func() ([]bench.Result, error) {
+			rs, err := cell(cfg, "net", mon, logw, func() ([]bench.Result, error) {
 				return bench.FigNet(scale, []int{c}, []server.AckMode{m})
 			})
 			if err != nil {
@@ -327,7 +390,7 @@ func runEngines(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) 
 	for _, m := range modes {
 		for _, c := range conns {
 			m, c := m, c
-			rs, err := cell("engines", mon, logw, func() ([]bench.Result, error) {
+			rs, err := cell(cfg, "engines", mon, logw, func() ([]bench.Result, error) {
 				return bench.FigEngines(scale, []int{c}, []server.AckMode{m})
 			})
 			if err != nil {
@@ -351,7 +414,7 @@ func runShard(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([
 	for _, m := range modes {
 		for _, s := range shards {
 			m, s := m, s
-			rs, err := cell("shard", mon, logw, func() ([]bench.Result, error) {
+			rs, err := cell(cfg, "shard", mon, logw, func() ([]bench.Result, error) {
 				return bench.FigShard(scale, []int{s}, []server.AckMode{m})
 			})
 			if err != nil {
@@ -384,7 +447,7 @@ func runCluster(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) 
 	for _, m := range modes {
 		for _, n := range nodes {
 			m, n := m, n
-			rs, err := cell("cluster", mon, logw, func() ([]bench.Result, error) {
+			rs, err := cell(cfg, "cluster", mon, logw, func() ([]bench.Result, error) {
 				return bench.FigCluster(scale, []int{n}, []server.AckMode{m})
 			})
 			if err != nil {
@@ -434,6 +497,7 @@ func runServe(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([
 	var rows []Row
 	for i, mode := range modes {
 		mark := mon.Mark()
+		stopProf := cfg.prof.start("serve", logw)
 		prev := rec.Snapshot()
 		res, err := server.RunLoad(server.LoadConfig{
 			Addr:      srv.Addr().String(),
@@ -448,6 +512,7 @@ func runServe(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([
 			Shards:    2,
 			Recorder:  rec,
 		})
+		stopProf()
 		if err != nil {
 			return nil, fmt.Errorf("serve %s: %w", mode, err)
 		}

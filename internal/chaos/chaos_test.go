@@ -77,6 +77,48 @@ func TestScheduleEngineMatrix(t *testing.T) {
 	}
 }
 
+// TestScheduleDirtyFocus runs a dirty-focus band on both engines: every
+// nonblocking plan must arm the settle point (a crash between a dirty
+// mark and its lazy encode), the blocking engine — which has no lazy
+// path — must never arm it, and all schedules must recover with zero
+// violations.
+func TestScheduleDirtyFocus(t *testing.T) {
+	shards := []int{1, 2, 4}
+	modes := []pmem.CrashMode{pmem.CrashDropAll, pmem.CrashPartial}
+	n := int64(16)
+	if testing.Short() {
+		n = 6
+	}
+	for _, blocking := range []bool{false, true} {
+		settlePlans := 0
+		for seed := int64(1); seed <= n; seed++ {
+			cfg := Config{
+				Seed:            seed,
+				Shards:          shards[seed%3],
+				Mode:            modes[seed%2],
+				BlockingAdvance: blocking,
+				DirtyFocus:      true,
+			}
+			res, err := RunSchedule(cfg)
+			if err != nil {
+				t.Fatalf("dirty blocking=%v seed %d: %v", blocking, seed, err)
+			}
+			if len(res.Trigger) >= 6 && res.Trigger[:6] == "settle" {
+				settlePlans++
+				if blocking {
+					t.Fatalf("seed %d: blocking engine drew a settle-point plan (%s)", seed, res.Trigger)
+				}
+			}
+			for _, v := range res.Violations {
+				t.Errorf("dirty blocking=%v seed %d (trigger=%s): %s", blocking, seed, res.Trigger, v)
+			}
+		}
+		if !blocking && settlePlans != int(n) {
+			t.Errorf("settle-point plans = %d, want %d (every nonblocking dirty-focus schedule arms one)", settlePlans, n)
+		}
+	}
+}
+
 // TestScheduleDeterminism re-runs one seed and checks everything the
 // seed promises to pin down: the crash plan (trigger string) and each
 // worker's op stream. The crash instant itself rides the goroutine

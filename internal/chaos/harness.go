@@ -54,6 +54,14 @@ type Config struct {
 	// a helper's DrainShared, between a batch claim and its commit) with
 	// extra racing helpers; the blocking engine never enters that path.
 	BlockingAdvance bool
+	// DirtyFocus biases the schedule at the dirty-coalescing lazy-persist
+	// path: the key universe shrinks (default 4) so same-epoch re-updates
+	// of the same payload dominate, and the crash plan is overridden to
+	// arm the settle point — a power failure between a dirty mark and its
+	// deferred lazy encode — with extra helpers racing the settle sweep.
+	// On the blocking engine (which has no dirty path) the override arms
+	// the drain point instead, keeping an -engine both sweep meaningful.
+	DirtyFocus bool
 	// Recorder, when non-nil, receives the schedule's runtime counters
 	// plus the chaos counters (schedules, ops, crashes, violations).
 	Recorder *obs.Recorder
@@ -68,6 +76,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Keys <= 0 {
 		c.Keys = 12
+		if c.DirtyFocus {
+			// Hot-key contention is the point: with few keys nearly every
+			// op after a payload's first update in an epoch is a dirty hit.
+			c.Keys = 4
+		}
 	}
 	if c.OpsPerWorker <= 0 {
 		c.OpsPerWorker = 40
@@ -155,6 +168,22 @@ func drawPlan(rng *rand.Rand, cfg Config) crashPlan {
 	p.midRecovery = rng.Intn(4) == 0
 	p.recShard = rng.Intn(cfg.Shards)
 	p.recSkip = rng.Intn(3)
+	if cfg.DirtyFocus {
+		// Trailing draws only (the base plan above must stay
+		// prefix-deterministic for pinned non-focus seeds): override the
+		// crash point onto the lazy-persist path. The settle point fires
+		// between a dirty mark and its deferred encode — the marked update
+		// dies with the crash, which the checker must accept for buffered
+		// ops and must never see for sync/epoch-wait-acked ones.
+		if cfg.BlockingAdvance {
+			p.armed, p.point = true, pmem.CrashAtDrain
+			p.helpers = 0
+		} else {
+			p.armed, p.point = true, pmem.CrashAtSettle
+			p.helpers = 1 + rng.Intn(2)
+		}
+		p.skip = rng.Intn(4)
+	}
 	return p
 }
 

@@ -40,3 +40,41 @@ func TestRegressionSameEpochReversion(t *testing.T) {
 		}
 	}
 }
+
+// Stale-size lazy encode (internal/pmem, settleEntryLocked): the settle
+// sweep sized the deferred encode's buffer from the mark-time size, but a
+// same-epoch re-update from *another* thread grows the payload through
+// that thread's own staged copy — the owner's dirty entry never sees it —
+// so the sweep could encode a grown payload into a too-small buffer.
+// Fixed by probing the payload's current encoded size at settle time
+// (SettleFunc is now a size probe and the device serializes the current
+// image). These dirty-focus schedules hammer 4 hot keys with crashes
+// armed between a dirty mark and its lazy encode (settle point on the
+// nonblocking engine, drain point on the blocking one, which has no lazy
+// path); they also pin that a marked-but-unsettled update lost to a crash
+// never takes a sync/epoch-wait-acked value with it — the dirty-backlog
+// gate holds the durable clock below the un-encoded epoch.
+var dirtyFocusSchedules = []Config{
+	{Seed: 2, Shards: 4, Mode: pmem.CrashDropAll, DirtyFocus: true},
+	{Seed: 4, Shards: 2, Mode: pmem.CrashDropAll, DirtyFocus: true},
+	{Seed: 8, Shards: 4, Mode: pmem.CrashDropAll, DirtyFocus: true},
+	{Seed: 13, Shards: 2, Mode: pmem.CrashPartial, DirtyFocus: true},
+	{Seed: 101, Shards: 4, Mode: pmem.CrashPartial, DirtyFocus: true},
+	{Seed: 256, Shards: 1, Mode: pmem.CrashDropAll, DirtyFocus: true},
+	{Seed: 3, Shards: 1, Mode: pmem.CrashPartial, DirtyFocus: true, BlockingAdvance: true},
+	{Seed: 7, Shards: 2, Mode: pmem.CrashPartial, DirtyFocus: true, BlockingAdvance: true},
+	{Seed: 11, Shards: 4, Mode: pmem.CrashPartial, DirtyFocus: true, BlockingAdvance: true},
+}
+
+func TestRegressionDirtyCoalescing(t *testing.T) {
+	for _, cfg := range dirtyFocusSchedules {
+		res, err := RunSchedule(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", cfg.Seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d shards=%d mode=%v blocking=%v (trigger=%s): %s",
+				cfg.Seed, cfg.Shards, cfg.Mode, cfg.BlockingAdvance, res.Trigger, v)
+		}
+	}
+}

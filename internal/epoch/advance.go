@@ -248,12 +248,19 @@ func (s *Sys) Sync(tid int) {
 	s.syncActive.Add(1)
 	target := s.epoch.Load() + 2
 	if !s.cfg.BlockingAdvance {
-		// Wait-free sync: every attempt either wins the clock CAS or
-		// loses it to a racing helper — both mean system-wide progress,
-		// so the loop is bounded by two plus the number of concurrent
-		// advances, never by a lock queue or a stalled straddler.
+		// Helping sync: every attempt either wins the clock CAS, loses it
+		// to a racing helper (the clock moved anyway), or aborts on the
+		// dirty-backlog gate because a straddler's same-epoch update has
+		// not reached its deferred encode yet. The first two are
+		// system-wide progress, so absent straddlers the loop is bounded
+		// by two plus the number of concurrent advances; a gate abort
+		// waits out the straddling operation — the one place the lazy
+		// persist path trades the blocking engine's lock queue for a
+		// bounded-by-op-length spin.
 		for s.epoch.Load() < target {
-			s.advanceNB(tid)
+			if !s.advanceNB(tid) && s.epoch.Load() < target {
+				runtime.Gosched()
+			}
 		}
 	} else {
 		for s.epoch.Load() < target {

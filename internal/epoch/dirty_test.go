@@ -1,0 +1,206 @@
+package epoch
+
+import (
+	"math/rand"
+	"testing"
+
+	"montage/internal/obs"
+)
+
+// TestDirtyCoalescingSameEpoch pins the tentpole fast path: the first
+// AddToPersist in an epoch stages eagerly, every subsequent same-epoch
+// call is a dirty hit that skips the encode, and the deferred encode
+// (exactly one) serializes the payload's latest image on the way to
+// durability.
+func TestDirtyCoalescingSameEpoch(t *testing.T) {
+	f := newFixture(t, Config{})
+	s := f.sys
+	rec := obs.New(4)
+	s.SetRecorder(rec)
+
+	e := s.BeginOp(0)
+	p := f.newPayload(t, 0, e, 1, []byte("v1"))
+	s.AddToPersist(0, e, p)
+	p.data = []byte("v2")
+	s.AddToPersist(0, e, p)
+	p.data = []byte("v3-final")
+	s.AddToPersist(0, e, p)
+	s.EndOp(0)
+
+	snap := rec.Snapshot().Epoch
+	if snap.PersistEager != 1 {
+		t.Fatalf("persist_eager = %d, want 1 (one encode per epoch)", snap.PersistEager)
+	}
+	if snap.PersistDirtyHits != 2 {
+		t.Fatalf("persist_dirty_hits = %d, want 2", snap.PersistDirtyHits)
+	}
+	s.Advance()
+	s.Advance()
+	if got := s.PersistedEpoch(); got != e {
+		t.Fatalf("PersistedEpoch = %d after two advances, want %d", got, e)
+	}
+	if got := rec.Snapshot().Epoch.PersistLazyEncodes; got != 1 {
+		t.Fatalf("persist_lazy_encodes = %d, want 1", got)
+	}
+	h, ok := f.durableHeader(t, p.addr)
+	if !ok || h.Epoch != e || h.UID != 1 {
+		t.Fatalf("durable header = %+v (ok=%v), want epoch %d uid 1", h, ok, e)
+	}
+	// The settled image is the latest write, not the eagerly staged v1.
+	buf := make([]byte, p.PEncodedSize())
+	if err := f.dev.Read(0, p.addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[len(buf)-len("v3-final"):]) != "v3-final" {
+		t.Fatalf("durable image %q does not end with the latest write", buf)
+	}
+}
+
+// TestDirtyBacklogGateHoldsClock pins the gate's safety rule: while a
+// marked update's lazy encode is still pending (its owner straddles the
+// epoch), no advance may certify that epoch — the durable clock must not
+// move past it, so no sync or epoch-wait ack can cover the un-encoded
+// update. The advance aborts (and counts the stall) instead of blocking.
+func TestDirtyBacklogGateHoldsClock(t *testing.T) {
+	f := newFixture(t, Config{})
+	s := f.sys
+	rec := obs.New(4)
+	s.SetRecorder(rec)
+
+	e := s.BeginOp(0) // straddler: held open across the advances below
+	p := f.newPayload(t, 0, e, 2, []byte("w1"))
+	s.AddToPersist(0, e, p)
+	s.AddToPersist(0, e, p) // dirty mark, encode deferred
+
+	for i := 0; i < 4; i++ {
+		s.Advance()
+	}
+	if got := s.PersistedEpoch(); got >= e {
+		t.Fatalf("PersistedEpoch = %d with an un-settled epoch-%d mark pending; gate failed", got, e)
+	}
+	if got := rec.Snapshot().Epoch.AdvanceDirtyStalls; got == 0 {
+		t.Fatal("advance_dirty_stalls = 0; the gate never aborted an advance")
+	}
+
+	p.data = []byte("w2-final")
+	s.AddToPersist(0, e, p)
+	s.EndOp(0)
+	s.Sync(0)
+	if got := s.PersistedEpoch(); got < e {
+		t.Fatalf("PersistedEpoch = %d after EndOp+Sync, want >= %d", got, e)
+	}
+	buf := make([]byte, p.PEncodedSize())
+	if err := f.dev.Read(0, p.addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[len(buf)-len("w2-final"):]) != "w2-final" {
+		t.Fatalf("durable image %q does not end with the latest write", buf)
+	}
+}
+
+// TestDirtyStraddlerSelfSettle pins the owner-path deferred encode: a
+// straddler whose dirty hit lands after the frontier has announced e+2
+// must settle and commit its own entry (SettleOwn + fence), because the
+// advance that makes e durable may already have claimed past its buffer.
+func TestDirtyStraddlerSelfSettle(t *testing.T) {
+	f := newFixture(t, Config{})
+	s := f.sys
+	rec := obs.New(4)
+	s.SetRecorder(rec)
+
+	e := s.BeginOp(0)
+	p := f.newPayload(t, 0, e, 4, []byte("s1"))
+	s.AddToPersist(0, e, p)
+	s.AddToPersist(0, e, p) // dirty: the entry survives the drains below
+	// Two advances: the first moves the clock, the second announces
+	// frontier e+2 but aborts at the gate (the mark's encode is pending
+	// and the straddler blocks the sweep).
+	s.Advance()
+	s.Advance()
+	if fr := s.nbFrontier.Load(); fr < e+2 {
+		t.Fatalf("test setup: frontier = %d, want >= %d", fr, e+2)
+	}
+	p.data = []byte("s2-final")
+	s.AddToPersist(0, e, p) // dirty hit past the frontier: self-settle
+	snap := rec.Snapshot().Epoch
+	if snap.PersistLateFence != 1 {
+		t.Fatalf("persist_late_fence = %d, want 1", snap.PersistLateFence)
+	}
+	if snap.PersistLazyEncodes != 1 {
+		t.Fatalf("persist_lazy_encodes = %d, want 1", snap.PersistLazyEncodes)
+	}
+	// The self-settle committed the latest image; no further advance
+	// needed for the bytes (the epoch clock may still be gated).
+	buf := make([]byte, p.PEncodedSize())
+	if err := f.dev.Read(0, p.addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[len(buf)-len("s2-final"):]) != "s2-final" {
+		t.Fatalf("committed image %q does not end with the latest write", buf)
+	}
+	s.EndOp(0)
+}
+
+// TestDirtyHitZeroAlloc pins the fast path's zero-allocation contract at
+// the epoch layer: a same-epoch re-persist that hits the dirty mark must
+// not allocate (no encode, no buffer growth, no interface boxing).
+func TestDirtyHitZeroAlloc(t *testing.T) {
+	f := newFixture(t, Config{})
+	s := f.sys
+	rec := obs.New(4)
+	s.SetRecorder(rec)
+
+	e := s.BeginOp(0)
+	p := f.newPayload(t, 0, e, 8, []byte("hot"))
+	s.AddToPersist(0, e, p)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.AddToPersist(0, e, p)
+	})
+	s.EndOp(0)
+	if allocs != 0 {
+		t.Fatalf("dirty-hit AddToPersist allocates %.1f per call, want 0", allocs)
+	}
+	if got := rec.Snapshot().Epoch.PersistDirtyHits; got == 0 {
+		t.Fatal("persist_dirty_hits = 0; the loop never took the fast path")
+	}
+}
+
+// BenchmarkAddToPersistSameEpoch measures the same-epoch re-persist hot
+// path on both engines under a hot-key zipfian access pattern — the
+// shape the dirty-coalescing fast path exists for. The nonblocking
+// engine's dirty hit must be allocation-free and in the same cost class
+// as the blocking engine's buffered dedup (which was always cheap; its
+// cost is deferred to the boundary scan instead).
+func BenchmarkAddToPersistSameEpoch(b *testing.B) {
+	for _, bench := range []struct {
+		name     string
+		blocking bool
+	}{
+		{"nonblocking", false},
+		{"blocking", true},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			f := newFixture(b, Config{BlockingAdvance: bench.blocking})
+			s := f.sys
+			e := s.BeginOp(0)
+			const hot = 16
+			payloads := make([]*mockPayload, hot)
+			for i := range payloads {
+				payloads[i] = f.newPayload(b, 0, e, uint64(i+1), []byte("hot-key-payload-bytes"))
+				s.AddToPersist(0, e, payloads[i])
+			}
+			zipf := rand.NewZipf(rand.New(rand.NewSource(1)), 1.2, 1, hot-1)
+			picks := make([]int, 4096)
+			for i := range picks {
+				picks[i] = int(zipf.Uint64())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.AddToPersist(0, e, payloads[picks[i%len(picks)]])
+			}
+			b.StopTimer()
+			s.EndOp(0)
+		})
+	}
+}

@@ -227,9 +227,13 @@ type Sys struct {
 	// and self-fence. clockMu serializes durable clock writes, and
 	// durClock mirrors the durable clock's high-water mark so a stale
 	// helper can never regress it below a faster racer's newer value.
+	// settleFn is the deferred-encode callback handed to the device's
+	// settle paths, bound once at construction so the dirty-hit fast path
+	// stays allocation-free.
 	nbFrontier atomic.Uint64
 	clockMu    sync.Mutex
 	durClock   atomic.Uint64
+	settleFn   pmem.SettleFunc
 
 	// down is closed (once) when the system is torn down — Close after its
 	// final advances, or Abandon after a crash. Persist ticks stop at that
@@ -269,6 +273,7 @@ func NewAt(heap *ralloc.Heap, cfg Config, start uint64) *Sys {
 	}
 	s.persistCh = make(chan struct{})
 	s.down = make(chan struct{})
+	s.settleFn = s.settleEntry
 	// Inherit any recorder already attached to the device so the
 	// background daemon is instrumented from its first tick.
 	s.stats.Set(heap.Device().Recorder())

@@ -38,7 +38,7 @@ type fixture struct {
 	sys  *Sys
 }
 
-func newFixture(t *testing.T, cfg Config) *fixture {
+func newFixture(t testing.TB, cfg Config) *fixture {
 	t.Helper()
 	if cfg.MaxThreads == 0 {
 		cfg.MaxThreads = 4
@@ -51,7 +51,7 @@ func newFixture(t *testing.T, cfg Config) *fixture {
 	return &fixture{dev: dev, heap: heap, sys: New(heap, cfg)}
 }
 
-func (f *fixture) newPayload(t *testing.T, tid int, e, uid uint64, data []byte) *mockPayload {
+func (f *fixture) newPayload(t testing.TB, tid int, e, uid uint64, data []byte) *mockPayload {
 	t.Helper()
 	addr, err := f.heap.Alloc(tid, len(data))
 	if err != nil {

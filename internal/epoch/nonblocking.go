@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"montage/internal/obs"
+	"montage/internal/pmem"
 	"montage/internal/simclock"
 )
 
@@ -20,17 +21,28 @@ import (
 //     below, so every operation that completes is durable once
 //     PersistedEpoch reaches its epoch, straddler or not.
 //
-//   - Eager publication. AddToPersist encodes the payload into the
-//     device's per-thread write-combining staging buffer immediately
-//     (persistEager) instead of parking the Persistable in a container
-//     for a boundary scan. The staging layer is the shared persistence
-//     container: it is address-indexed and newest-wins, so repeated
-//     same-epoch updates still commit once, and helpers only ever touch
-//     encoded bytes — the owner is the only thread that serializes the
-//     payload, so a straddler mutating its payload in place cannot race
-//     a helper's encode. Committing a staged write earlier than its
+//   - Eager publication with dirty coalescing. The first AddToPersist
+//     for a payload in an epoch encodes it into the device's per-thread
+//     write-combining staging buffer (persistEager) instead of parking
+//     the Persistable in a container for a boundary scan; every later
+//     same-epoch call just marks the staged entry dirty (an epoch-tagged
+//     seqno plus the payload's encoder) and skips the encode. The
+//     deferred encode runs at most once more, always on the owner's own
+//     path or against a provably quiescent epoch — the straddler
+//     self-fence settles it, the advance sweep settles it once the epoch
+//     is closed and no operation is active in it, and a helper's claim
+//     that finds an un-settled dirty entry leaves it for the owner. So a
+//     hot payload costs one encode per epoch (the blocking engine's
+//     dedup) while helpers only ever touch encoded bytes: the owner
+//     remains the only thread that serializes a payload anyone could
+//     still be mutating. Committing a staged write earlier than its
 //     epoch boundary is always safe: recovery's epoch cutoff filters
-//     anything newer than durable-clock minus two.
+//     anything newer than durable-clock minus two. The inverse hazard —
+//     certifying an epoch whose marks were never encoded — is closed by
+//     the dirty-backlog gate in advanceNB: while any entry tagged
+//     <= curr-1 awaits its settle, the advance aborts without touching
+//     either clock, so no ack can ever ride a certification that an
+//     un-encoded update would contradict.
 //
 //   - Claim-based helping. The drain step is Device.DrainShared: each
 //     thread's staged batch is claimed under that thread's buffer lock,
@@ -86,29 +98,99 @@ func (s *Sys) writeClockAtLeast(tid int, e uint64) {
 // Epoch() exactly.
 func (s *Sys) DurableClock() uint64 { return s.durClock.Load() }
 
-// persistEager is the nonblocking engine's AddToPersist: the owner
-// serializes the payload into its staging buffer now (write-combining
-// coalesces same-epoch re-stages in place), and the epoch boundary's
-// DrainShared commits it. The frontier check closes the straddler hole:
-// if an advance that makes epoch e durable has already announced itself
+// persistEager is the nonblocking engine's AddToPersist. The first call
+// for a payload in an epoch serializes it into the owner's staging
+// buffer (the shared to-be-persisted container of nbMontage); every
+// subsequent same-epoch call takes the dirty-coalescing fast path:
+// MarkDirty tags the already-staged entry with the epoch and the
+// payload's encoder and skips the encode entirely. The deferred encode
+// (settleEntry) runs at most once more — on the straddler self-fence
+// below, or in an advance's settle sweep once the epoch is quiescent —
+// so a hot payload pays one encode per epoch, like the blocking engine's
+// boundary dedup, while helpers still commit everything.
+//
+// The frontier check closes the straddler hole for both paths: if an
+// advance that makes epoch e durable has already announced itself
 // (frontier >= e+2), its claims may have passed this thread's buffer
-// before the stage landed, so the owner commits the payload itself. The
-// ordering argument is lock-mediated: a helper stores the frontier
-// before claiming this thread's staging buffer (both under the buffer's
-// mutex), and the stage above also ran under that mutex — so if the
-// helper's claim missed this payload, the stage ran after the claim,
-// and the frontier load below must observe the helper's store.
+// before the stage or mark landed, so the owner settles (dirty path) and
+// commits the payload itself. The ordering argument is lock-mediated: a
+// helper stores the frontier before claiming this thread's staging
+// buffer (both under the buffer's mutex), and the stage/mark above also
+// ran under that mutex — so if the helper's claim missed this payload,
+// the stage ran after the claim, and the frontier load below must
+// observe the helper's store. The same argument covers a helper's
+// dirty-backlog gate scan (also under the buffer's mutex): a mark the
+// scan missed self-fences here instead.
 func (s *Sys) persistEager(tid int, e uint64, p Persistable) {
 	rec := s.stats.Get()
 	rec.Inc(tid, obs.CPersistQueued)
 	if s.cfg.EpochPayloads > 0 {
 		s.plCount.Add(1)
 	}
+	if s.dev.MarkDirty(tid, p.PAddr(), e, p) {
+		rec.Inc(tid, obs.CPersistDirtyHits)
+		if s.nbFrontier.Load() >= e+2 {
+			// Only the owner may serialize the payload, so the deferred
+			// encode must run here, on the owner's own path, before the
+			// fence that races the in-flight advance.
+			s.dev.SettleOwn(tid, p.PAddr(), s.settleFn)
+			s.dev.Fence(tid)
+			rec.Inc(tid, obs.CPersistLateFence)
+		}
+		return
+	}
 	s.flushOne(tid, p, obs.CPersistEager)
 	if s.nbFrontier.Load() >= e+2 {
 		s.dev.Fence(tid)
 		rec.Inc(tid, obs.CPersistLateFence)
 	}
+}
+
+// settleEntry is the deferred-encode probe for a dirty staged entry:
+// report the payload's current encoded size and let the device serialize
+// its current image into the staging buffer (the entry's mark-time size
+// can be stale — a same-epoch re-update from another thread grows the
+// payload through that thread's own staged copy, never through this
+// entry). Marks the payload flushed, exactly what the eager path's
+// flushOne did minus the device-level staging bookkeeping (the entry
+// already exists). Declines dead payloads — a same-epoch delete staged a
+// header invalidation over the entry already, so this is a
+// belt-and-braces skip, charged to nothing so the pending-payload
+// accounting (resolved at mark time) stays exact.
+func (s *Sys) settleEntry(tid int, enc pmem.Encoder) (int, bool) {
+	p, ok := enc.(Persistable)
+	if !ok || p.PDead() {
+		return 0, false
+	}
+	n := p.PEncodedSize()
+	p.MarkFlushed()
+	rec := s.stats.Get()
+	rec.Inc(tid, obs.CPersistLazyEncodes)
+	rec.Add(tid, obs.CPersistBytes, uint64(n))
+	return n, true
+}
+
+// settleSweepNB runs the deferred encodes for every dirty entry whose
+// epoch is closed and quiescent: the entry's tag is below the current
+// clock (no new operation can join that epoch) and no thread has an
+// active operation registered in it (no straddler can still be mutating
+// the payload in place — operations mutate and stage under their bucket
+// lock, and a thread's active slot is set, sequentially consistent,
+// before any mutation). An entry whose epoch is still open or still has
+// a straddler stays dirty; the dirty-backlog gate below keeps the clock
+// from certifying it.
+func (s *Sys) settleSweepNB(chargeTid int, curr uint64) {
+	s.dev.SettleAll(chargeTid, func(tag uint64) bool {
+		if tag >= curr {
+			return false
+		}
+		for i := range s.threads {
+			if s.threads[i].active.Load() == tag {
+				return false
+			}
+		}
+		return true
+	}, s.settleFn)
 }
 
 // advanceNB is one nonblocking advance attempt, charged to chargeTid. It
@@ -141,7 +223,25 @@ func (s *Sys) advanceNB(chargeTid int) bool {
 		// staging-buffer lock) and self-fences, so no straddler payload
 		// is left volatile behind a durable clock that promises it.
 		s.frontierMax(curr + 1)
+		// Run the deferred encodes for quiescent epochs so the drain
+		// below can claim their entries with current bytes.
+		s.settleSweepNB(chargeTid, curr)
 		s.dev.DrainShared(chargeTid)
+		// Dirty-backlog gate: if any entry tagged <= curr-1 still awaits
+		// its deferred encode (a straddler holds its epoch open, so the
+		// sweep had to leave it), this advance must ABORT — writing the
+		// durable clock to curr+1 would certify epoch curr-1 durable
+		// while one of its updates exists only as an un-encoded mark.
+		// Nothing binding is lost by aborting: sync and epoch-wait acks
+		// ride the clock this gate is holding back. A mark that lands
+		// after this scan self-fences against the frontier announced
+		// above (see persistEager), so the scan and the frontier rule
+		// together cover every interleaving.
+		if curr >= 1 && s.dev.DirtyBacklog(curr-1) {
+			rec.Inc(chargeTid, obs.CAdvDirtyStalls)
+			rec.Trace(chargeTid, obs.TraceAdvanceEnd, curr, 2)
+			return false
+		}
 		if s.cfg.PersistDelay > 0 {
 			time.Sleep(s.cfg.PersistDelay)
 		}

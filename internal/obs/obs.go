@@ -52,6 +52,9 @@ const (
 	CAdvHelps                           // nonblocking advance attempts (daemon pacer, sync callers, helpers)
 	CAdvCASFails                        // advance attempts that lost the clock CAS to a racing helper
 	CPendClampNegative                  // pending-entry accounting went negative and was clamped (bug signal)
+	CPersistDirtyHits                   // same-epoch re-updates absorbed by a dirty mark, skipping the encode (nonblocking engine)
+	CPersistLazyEncodes                 // deferred encodes run at settle time (straddler self-fence or advance sweep)
+	CAdvDirtyStalls                     // advance attempts aborted because un-settled dirty entries still hold the epoch open
 
 	// Simulated NVM device (internal/pmem).
 	CWriteBacks         // WriteBack calls (staged cacheline write-backs)
@@ -60,6 +63,7 @@ const (
 	CFences             // Fence calls
 	CDrains             // Drain calls (epoch-boundary full drains)
 	CDrainClaims        // per-thread staged batches claimed by shared (helper) drains
+	CClaimSkippedDirty  // dirty (un-settled) staged entries a shared drain left for their owner
 	CReads              // Read calls
 	CReadBytes          // bytes read
 	CCommits            // staged writes committed durable (fence/drain/durable writes)

@@ -36,11 +36,14 @@ type EpochStats struct {
 	MindicatorSkips uint64 `json:"mindicator_skips"`
 	MindicatorScans uint64 `json:"mindicator_scans"`
 	// Nonblocking (nbMontage) engine counters.
-	PersistEager      uint64 `json:"persist_eager"`
-	PersistLateFence  uint64 `json:"persist_late_fence"`
-	AdvanceHelps      uint64 `json:"advance_helps"`
-	AdvanceCASFails   uint64 `json:"advance_cas_fails"`
-	PendClampNegative uint64 `json:"pend_clamp_negative"`
+	PersistEager       uint64 `json:"persist_eager"`
+	PersistLateFence   uint64 `json:"persist_late_fence"`
+	AdvanceHelps       uint64 `json:"advance_helps"`
+	AdvanceCASFails    uint64 `json:"advance_cas_fails"`
+	PendClampNegative  uint64 `json:"pend_clamp_negative"`
+	PersistDirtyHits   uint64 `json:"persist_dirty_hits"`
+	PersistLazyEncodes uint64 `json:"persist_lazy_encodes"`
+	AdvanceDirtyStalls uint64 `json:"advance_dirty_stalls"`
 }
 
 // DeviceStats are the simulated NVM device's counters.
@@ -54,6 +57,7 @@ type DeviceStats struct {
 	Fences             uint64 `json:"fences"`
 	Drains             uint64 `json:"drains"`
 	DrainClaims        uint64 `json:"drain_claims"`
+	ClaimSkippedDirty  uint64 `json:"claim_skipped_dirty"`
 	Reads              uint64 `json:"reads"`
 	ReadBytes          uint64 `json:"read_bytes"`
 	Commits            uint64 `json:"commits"`
@@ -343,17 +347,24 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		PersistDirect:   c[CPersistDirect],
 		PersistDead:     c[CPersistDead],
 		PersistBytes:    c[CPersistBytes],
+		// A queued payload is resolved by exactly one of: a boundary /
+		// overflow / worker / dead / eager write-back, or a dirty mark
+		// absorbing it into an already-staged entry (the lazy encode then
+		// refreshes that entry; it does not resolve another queued payload).
 		PersistPending: sub64(c[CPersistQueued],
-			c[CPersistBoundary]+c[CPersistOverflow]+c[CPersistWorker]+c[CPersistDead]+c[CPersistEager]),
-		FreeQueued:        c[CFreeQueued],
-		FreeReclaimed:     c[CFreeReclaimed],
-		MindicatorSkips:   c[CMindicatorSkips],
-		MindicatorScans:   c[CMindicatorScans],
-		PersistEager:      c[CPersistEager],
-		PersistLateFence:  c[CPersistLateFence],
-		AdvanceHelps:      c[CAdvHelps],
-		AdvanceCASFails:   c[CAdvCASFails],
-		PendClampNegative: c[CPendClampNegative],
+			c[CPersistBoundary]+c[CPersistOverflow]+c[CPersistWorker]+c[CPersistDead]+c[CPersistEager]+c[CPersistDirtyHits]),
+		FreeQueued:         c[CFreeQueued],
+		FreeReclaimed:      c[CFreeReclaimed],
+		MindicatorSkips:    c[CMindicatorSkips],
+		MindicatorScans:    c[CMindicatorScans],
+		PersistEager:       c[CPersistEager],
+		PersistLateFence:   c[CPersistLateFence],
+		AdvanceHelps:       c[CAdvHelps],
+		AdvanceCASFails:    c[CAdvCASFails],
+		PendClampNegative:  c[CPendClampNegative],
+		PersistDirtyHits:   c[CPersistDirtyHits],
+		PersistLazyEncodes: c[CPersistLazyEncodes],
+		AdvanceDirtyStalls: c[CAdvDirtyStalls],
 	}
 	s.Device = DeviceStats{
 		WriteBacks:         c[CWriteBacks],
@@ -362,6 +373,7 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		Fences:             c[CFences],
 		Drains:             c[CDrains],
 		DrainClaims:        c[CDrainClaims],
+		ClaimSkippedDirty:  c[CClaimSkippedDirty],
 		Reads:              c[CReads],
 		ReadBytes:          c[CReadBytes],
 		Commits:            c[CCommits],

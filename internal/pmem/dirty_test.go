@@ -1,0 +1,270 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// growEncoder is an Encoder whose backing data can change between the
+// stage and the settle, like a payload mutated in place by same-epoch
+// re-updates.
+type growEncoder struct{ data []byte }
+
+func (e *growEncoder) PEncodeInto(dst []byte) { copy(dst, e.data) }
+
+func settleCurrent(tid int, enc Encoder) (int, bool) {
+	return len(enc.(*growEncoder).data), true
+}
+
+func allTags(tag uint64) bool { return true }
+
+func TestMarkDirtyRequiresStagedEntry(t *testing.T) {
+	d := newDev(t)
+	if d.MarkDirty(0, 64, 5, &growEncoder{}) {
+		t.Fatal("MarkDirty succeeded with no staged entry to mark")
+	}
+	if err := d.WriteBack(0, 64, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MarkDirty(0, 64, 5, &growEncoder{data: []byte{2}}) {
+		t.Fatal("MarkDirty missed the staged entry at the same addr")
+	}
+	if d.MarkDirty(1, 64, 5, &growEncoder{}) {
+		t.Fatal("MarkDirty hit another thread's staged entry; marks are owner-only")
+	}
+}
+
+// TestSettleUsesCurrentSize is the unit regression for the stale-size
+// lazy encode: the block behind the encoder grows after the mark (a
+// same-epoch re-update from another thread lands in that thread's own
+// buffer, so the owner's dirty entry never hears about the new size),
+// and the settle must serialize the grown image, probing the size at
+// settle time rather than trusting the mark.
+func TestSettleUsesCurrentSize(t *testing.T) {
+	d := newDev(t)
+	enc := &growEncoder{data: []byte("tiny")}
+	if err := d.WriteBackEncoded(0, 64, len(enc.data), enc); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MarkDirty(0, 64, 7, enc) {
+		t.Fatal("MarkDirty missed the staged entry")
+	}
+	enc.data = []byte("grown well past the staged image's capacity")
+	if n := d.SettleAll(0, allTags, settleCurrent); n != 1 {
+		t.Fatalf("SettleAll settled %d entries, want 1", n)
+	}
+	d.Drain(0)
+	got := make([]byte, len(enc.data))
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, enc.data) {
+		t.Fatalf("durable image %q, want the grown image %q", got, enc.data)
+	}
+}
+
+// TestSettleDeclineKeepsPreMarkImage: a declined settle (dead block)
+// reverts the entry to a plain staged write holding its pre-mark bytes,
+// and drops the epoch tag so the entry no longer holds the dirty-backlog
+// gate.
+func TestSettleDeclineKeepsPreMarkImage(t *testing.T) {
+	d := newDev(t)
+	enc := &growEncoder{data: []byte("premark")}
+	if err := d.WriteBackEncoded(0, 64, len(enc.data), enc); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MarkDirty(0, 64, 7, enc) {
+		t.Fatal("MarkDirty missed the staged entry")
+	}
+	if !d.DirtyBacklog(7) {
+		t.Fatal("DirtyBacklog missed the marked entry")
+	}
+	decline := func(tid int, enc Encoder) (int, bool) { return 0, false }
+	if n := d.SettleAll(0, allTags, decline); n != 0 {
+		t.Fatalf("SettleAll settled %d entries, want 0 (declined)", n)
+	}
+	if d.DirtyBacklog(7) {
+		t.Fatal("declined entry still holds the dirty backlog")
+	}
+	d.Drain(0)
+	got := make([]byte, len(enc.data))
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("premark")) {
+		t.Fatalf("durable image %q, want the pre-mark image %q", got, enc.data)
+	}
+}
+
+// TestFenceLeavesDirtyEntries: a clean-only steal (Fence, and the
+// claim-based drains) must not take a dirty entry — only the owner may
+// run its deferred encode — while clean entries commit as usual.
+func TestFenceLeavesDirtyEntries(t *testing.T) {
+	d := newDev(t)
+	dirtyEnc := &growEncoder{data: []byte("dd")}
+	if err := d.WriteBackEncoded(0, 64, len(dirtyEnc.data), dirtyEnc); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MarkDirty(0, 64, 3, dirtyEnc) {
+		t.Fatal("MarkDirty missed the staged entry")
+	}
+	if err := d.WriteBack(0, 128, []byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence(0)
+	got := make([]byte, 2)
+	if err := d.Read(0, 128, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("cc")) {
+		t.Fatalf("clean entry not committed by fence: %q", got)
+	}
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0}) {
+		t.Fatalf("dirty entry committed by a clean-only steal: %q", got)
+	}
+	if !d.DirtyBacklog(3) {
+		t.Fatal("dirty entry lost by the fence's steal")
+	}
+	// The owner settles; the entry is clean again and the next fence
+	// commits it.
+	d.SettleOwn(0, 64, settleCurrent)
+	d.Fence(0)
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("dd")) {
+		t.Fatalf("settled entry not committed: %q", got)
+	}
+	if d.DirtyBacklog(3) {
+		t.Fatal("stolen settled entry still holds the dirty backlog")
+	}
+}
+
+// TestSettledEntryKeepsTagUntilStolen: a settled-but-unstolen entry
+// still reports under DirtyBacklog — the epoch engine relies on this to
+// close the race where a helper's claims pass a buffer before the settle
+// and its gate scan runs after it.
+func TestSettledEntryKeepsTagUntilStolen(t *testing.T) {
+	d := newDev(t)
+	enc := &growEncoder{data: []byte("tag")}
+	if err := d.WriteBackEncoded(0, 64, len(enc.data), enc); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MarkDirty(0, 64, 5, enc) {
+		t.Fatal("MarkDirty missed the staged entry")
+	}
+	if n := d.SettleAll(0, allTags, settleCurrent); n != 1 {
+		t.Fatalf("SettleAll settled %d, want 1", n)
+	}
+	if !d.DirtyBacklog(5) {
+		t.Fatal("settled-but-unstolen entry dropped its tag")
+	}
+	if d.DirtyBacklog(4) {
+		t.Fatal("DirtyBacklog reported a tag above its bound")
+	}
+	d.Fence(0)
+	if d.DirtyBacklog(5) {
+		t.Fatal("stolen entry still reports a dirty backlog")
+	}
+}
+
+// TestSettleEligibilityFilter: SettleAll only settles entries whose tag
+// the epoch engine admits (closed, quiescent epochs); others stay dirty.
+func TestSettleEligibilityFilter(t *testing.T) {
+	d := newDev(t)
+	for i, tag := range []uint64{3, 4} {
+		addr := Addr(64 + i*64)
+		enc := &growEncoder{data: []byte{byte(tag)}}
+		if err := d.WriteBackEncoded(0, addr, 1, enc); err != nil {
+			t.Fatal(err)
+		}
+		if !d.MarkDirty(0, addr, tag, enc) {
+			t.Fatal("MarkDirty missed the staged entry")
+		}
+	}
+	onlyOld := func(tag uint64) bool { return tag < 4 }
+	if n := d.SettleAll(0, onlyOld, settleCurrent); n != 1 {
+		t.Fatalf("SettleAll settled %d entries, want 1 (tag 4 ineligible)", n)
+	}
+	if !d.DirtyBacklog(4) {
+		t.Fatal("ineligible entry lost its backlog tag")
+	}
+}
+
+// TestCrashAtSettleDropsMarkedUpdate: a power failure between the dirty
+// mark and its lazy encode loses the marked update — the stale staged
+// image joins the crash's staged population and is never committed.
+func TestCrashAtSettleDropsMarkedUpdate(t *testing.T) {
+	d := newDev(t)
+	enc := &growEncoder{data: []byte("v1")}
+	if err := d.WriteBackEncoded(0, 64, len(enc.data), enc); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MarkDirty(0, 64, 6, enc) {
+		t.Fatal("MarkDirty missed the staged entry")
+	}
+	fired := false
+	d.ArmCrash(CrashAtSettle, 0, CrashDropAll, func() { fired = true })
+	if n := d.SettleAll(0, allTags, settleCurrent); n != 0 {
+		t.Fatalf("SettleAll settled %d entries across a crash, want 0", n)
+	}
+	if !fired {
+		t.Fatal("armed settle-point crash did not fire")
+	}
+	got := make([]byte, 2)
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0}) {
+		t.Fatalf("marked update reached the media across the crash: %q", got)
+	}
+}
+
+// TestStageOverDirtyEntrySupersedesMark: a raw stage at a dirty entry's
+// address (the same-epoch invalidation path) replaces the pending lazy
+// encode entirely — the entry is clean with the new bytes and no tag.
+func TestStageOverDirtyEntrySupersedesMark(t *testing.T) {
+	d := newDev(t)
+	enc := &growEncoder{data: []byte("aa")}
+	if err := d.WriteBackEncoded(0, 64, len(enc.data), enc); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MarkDirty(0, 64, 9, enc) {
+		t.Fatal("MarkDirty missed the staged entry")
+	}
+	if err := d.WriteBack(0, 64, []byte("inval")); err != nil {
+		t.Fatal(err)
+	}
+	if d.DirtyBacklog(9) {
+		t.Fatal("raw stage over a dirty entry left the mark pending")
+	}
+	d.Fence(0)
+	got := make([]byte, 5)
+	if err := d.Read(0, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("inval")) {
+		t.Fatalf("durable image %q, want the superseding stage %q", got, "inval")
+	}
+}
+
+// TestMarkDirtyZeroAlloc pins the fast path's entire point: a dirty hit
+// performs no allocation.
+func TestMarkDirtyZeroAlloc(t *testing.T) {
+	d := newDev(t)
+	enc := &growEncoder{data: []byte("hot")}
+	if err := d.WriteBackEncoded(0, 64, len(enc.data), enc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !d.MarkDirty(0, 64, 4, enc) {
+			t.Fatal("MarkDirty missed the staged entry")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MarkDirty allocates %.1f per call, want 0", allocs)
+	}
+}
