@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-suite-smoke bench-check serve-smoke cluster-smoke chaos-smoke clean
+.PHONY: build test race vet bench bench-smoke bench-suite-smoke bench-check serve-smoke conns-smoke cluster-smoke chaos-smoke clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,15 @@ vet:
 # asserting nonzero acked throughput and a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Connection-scale smoke: a 1k-connection burst against a loopback
+# montage-serve instance (exercising the ramped dialer, the flusher
+# pool, and the capped recorder), plus the steady-state allocation gate
+# — the parse/serve benchmarks must report 0 allocs/op, and the
+# AllocsPerRun tests pin it hard.
+conns-smoke:
+	sh scripts/conns-smoke.sh
+	$(GO) test -run 'TestAllocs' -bench 'BenchmarkParse|BenchmarkServeGet' -benchtime 100x -benchmem ./internal/server
 
 # End-to-end smoke of the cluster layer: a 3-node montage-serve fleet
 # behind montage-proxy, YCSB bursts through the proxy (with a ring
@@ -72,14 +81,14 @@ bench-smoke:
 # the target; use bench-check for a hard gate on quiet hardware.
 bench-suite-smoke:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_9.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -warn-only BENCH_10.json BENCH_head.json
 
 # Hard regression gate: nonzero exit on a throughput drop beyond the
 # band, and -strict escalates latency/memory warnings too. Run on
 # dedicated hardware where the baseline was recorded.
 bench-check:
 	$(GO) run ./cmd/montage-bench run-suite -quick -out BENCH_head.json
-	$(GO) run ./cmd/montage-bench compare -strict BENCH_9.json BENCH_head.json
+	$(GO) run ./cmd/montage-bench compare -strict BENCH_10.json BENCH_head.json
 
 clean:
 	rm -f stats_quick.json BENCH_head.json

@@ -56,7 +56,13 @@ func main() {
 
 	// The loadgen records its acked ops and client-observed latency into
 	// this recorder; -metrics-addr exposes the counters live mid-run.
-	rec := obs.New(*conns + 1)
+	// Connections record at tid modulo the loadgen's slot cap, so a
+	// -conns 10000 run does not allocate a 10k-thread recorder.
+	recTids := *conns + 1
+	if recTids > 257 {
+		recTids = 257
+	}
+	rec := obs.New(recTids)
 	if *metricsAddr != "" {
 		ms, err := obs.ServeMetrics(*metricsAddr, rec.Snapshot)
 		if err != nil {

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"strings"
 	"sync"
 
 	"montage/internal/pmem"
@@ -160,6 +161,32 @@ func (m *TransientMap) Get(tid int, key string) ([]byte, bool) {
 	return nil, false
 }
 
+// Viewer receives a borrowed view of a stored value, valid only for
+// the duration of the call. Structurally identical to pds.Viewer so
+// callers can share one viewer object across backends.
+type Viewer interface {
+	View(val []byte)
+}
+
+// GetView is Get without the copy: on a hit, v.View receives the value
+// borrowed from the node, valid only until GetView returns (the bucket
+// lock is held across the call).
+func (m *TransientMap) GetView(tid int, key string, v Viewer) bool {
+	m.env.Clk.ChargeOp(tid)
+	b := m.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := b.head; n != nil; n = n.next {
+		m.env.Clk.ChargeDRAM(tid, 16)
+		if n.key == key {
+			m.chargeValueRead(tid, len(n.val))
+			v.View(n.val)
+			return true
+		}
+	}
+	return false
+}
+
 // Insert adds key=val if absent.
 func (m *TransientMap) Insert(tid int, key string, val []byte) (bool, error) {
 	m.env.Clk.ChargeOp(tid)
@@ -172,7 +199,9 @@ func (m *TransientMap) Insert(tid int, key string, val []byte) (bool, error) {
 			return false, nil
 		}
 	}
-	node := &transientNode{key: key, val: append([]byte(nil), val...), next: b.head}
+	// Clone the key: the node retains it, and callers (the server's
+	// zero-alloc parse path) may pass a string borrowing a reused buffer.
+	node := &transientNode{key: strings.Clone(key), val: append([]byte(nil), val...), next: b.head}
 	if m.medium == NVM {
 		addr, err := m.env.allocWrite(tid, val)
 		if err != nil {
@@ -205,7 +234,9 @@ func (m *TransientMap) Put(tid int, key string, val []byte) (bool, error) {
 			return false, nil
 		}
 	}
-	node := &transientNode{key: key, val: append([]byte(nil), val...), next: b.head}
+	// Clone the key: the node retains it, and callers (the server's
+	// zero-alloc parse path) may pass a string borrowing a reused buffer.
+	node := &transientNode{key: strings.Clone(key), val: append([]byte(nil), val...), next: b.head}
 	if m.medium == NVM {
 		addr, err := m.env.allocWrite(tid, val)
 		if err != nil {

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"montage/internal/server"
+)
+
+// FigConns is the connection-scale companion to FigNet: instead of
+// sweeping ack modes over a handful of hot pipelines, it holds the ack
+// modes that scale (buffered and epoch-wait) and sweeps the connection
+// count into the thousands, where the serving path's per-connection
+// costs — goroutines, buffers, allocations per request — dominate.
+//
+// The claim this figure pins: throughput at 1k+ connections stays at
+// or above the 4-connection FigNet level for the same mode. The old
+// serving path (a writer goroutine and lock-step allocation per
+// connection) degraded here; the rewritten path (zero-alloc parsing,
+// batched vectored flushes on a shared flusher pool) holds its
+// throughput because per-connection state is just buffers, not
+// schedulable work. (The O(cores) goroutine claim itself is pinned by
+// TestGoroutineCountBounded, not by this figure.)
+//
+// Like FigNet this measures wall-clock time on a real loopback socket,
+// so absolute numbers are host-dependent.
+func FigConns(sc Scale, conns []int, modes []server.AckMode) ([]Result, error) {
+	if len(conns) == 0 {
+		conns = []int{1, 64, 1024, 8192}
+	}
+	if len(modes) == 0 {
+		modes = []server.AckMode{server.AckBuffered, server.AckEpochWait}
+	}
+	maxConns := 0
+	for _, c := range conns {
+		if c > maxConns {
+			maxConns = c
+		}
+	}
+
+	records := uint64(sc.KeyRange)
+	if records > 10_000 {
+		records = 10_000
+	}
+	valueSize := sc.ValueSize
+	if valueSize > 256 {
+		valueSize = 256
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:      "127.0.0.1:0",
+		ArenaSize: sc.ArenaSize,
+		Buckets:   sc.Buckets,
+		MaxConns:  maxConns + 64,
+		// Same serving-path tuning as FigNet: short epochs keep epoch-wait
+		// ack latency small against the pipeline, and the emulated
+		// persist-fence round trip makes the background daemon pay a
+		// realistic price without flattering any mode.
+		EpochLength:  time.Millisecond,
+		PersistDelay: 100 * time.Microsecond,
+		Recorder:     sc.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := srv.Listen(); err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	defer srv.Shutdown(10 * time.Second)
+	addr := srv.Addr().String()
+	rec := srv.Recorder()
+
+	var results []Result
+	for _, mode := range modes {
+		for _, c := range conns {
+			// Total outstanding requests, not per-connection depth, is what
+			// keeps the server busy; scale the pipeline down as connections
+			// scale up so the in-flight total stays bounded (64 deep at a
+			// handful of connections, a few thousand total at the top end).
+			pipeline := 64
+			switch {
+			case c >= 4096:
+				pipeline = 8
+			case c >= 1024:
+				pipeline = 32
+			}
+			// High-connection cells get a one-second floor: a quick-scale
+			// 150ms window at 1k+ connections is a burst riding buffers plus
+			// a drain tail, and run-to-run variance swamps the signal. The
+			// floor makes these rows sustained-rate numbers — note when
+			// comparing against the net section's quick cells, which keep
+			// the short window (see EXPERIMENTS.md).
+			dur := sc.loadDuration()
+			if c >= 1024 && dur < time.Second {
+				dur = time.Second
+			}
+			// Warm the cell before measuring: the first burst against a fresh
+			// server pays one-time costs with no relation to connection scale
+			// (arena page-in, epoch-daemon spin-up, GC growth from the
+			// generator's own buffers), and at 1k+ connections those land
+			// inside a short timed window. FigNet's handful of connections
+			// amortizes this within its ramp; here it must be explicit.
+			warm := dur / 2
+			if warm < 250*time.Millisecond {
+				warm = 250 * time.Millisecond
+			}
+			if _, err := server.RunLoad(server.LoadConfig{
+				Addr: addr, Conns: c, Duration: warm,
+				Records: records, ValueSize: valueSize, ReadFrac: 0,
+				Mode: mode, Pipeline: pipeline, Seed: sc.Seed,
+			}); err != nil {
+				srv.Shutdown(time.Second)
+				return nil, fmt.Errorf("conns bench warmup %s/conns=%d: %w", mode, c, err)
+			}
+			prev := rec.Snapshot()
+			res, err := server.RunLoad(server.LoadConfig{
+				Addr:      addr,
+				Conns:     c,
+				Duration:  dur,
+				Records:   records,
+				ValueSize: valueSize,
+				ReadFrac:  0, // write-only, comparable to FigNet's rows
+				Mode:      mode,
+				Pipeline:  pipeline,
+				Seed:      sc.Seed,
+				Recorder:  rec,
+			})
+			if err != nil {
+				srv.Shutdown(time.Second)
+				return nil, fmt.Errorf("conns bench %s/conns=%d: %w", mode, c, err)
+			}
+			if res.Errors > 0 {
+				srv.Shutdown(time.Second)
+				return nil, fmt.Errorf("conns bench %s/conns=%d: %d errored acks", mode, c, res.Errors)
+			}
+			delta := rec.Snapshot().Sub(prev)
+			results = append(results, Result{
+				Figure: "conns",
+				Series: mode.String(),
+				Label:  fmt.Sprintf("conns=%d pipe=%d", c, pipeline),
+				X:      float64(c),
+				Mops:   res.OpsPerSec / 1e6,
+				Unit:   "Mops/s (wall)",
+				Stats:  &delta,
+			})
+		}
+	}
+	return results, nil
+}

@@ -24,7 +24,7 @@ import (
 )
 
 // AllSections lists the suite's sections in run order.
-var AllSections = []string{"micro", "writeback", "net", "engines", "shard", "cluster", "serve"}
+var AllSections = []string{"micro", "writeback", "net", "conns", "engines", "shard", "cluster", "serve"}
 
 // Config parameterizes a suite run.
 type Config struct {
@@ -193,6 +193,8 @@ func Run(cfg Config) (*Artifact, error) {
 			rows, err = runWritebackSection(cfg, scale, mon, logw)
 		case "net":
 			rows, err = runNet(cfg, scale, mon, logw)
+		case "conns":
+			rows, err = runConns(cfg, scale, mon, logw)
 		case "engines":
 			rows, err = runEngines(cfg, scale, mon, logw)
 		case "shard":
@@ -359,6 +361,34 @@ func runNet(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([]R
 			m, c := m, c
 			rs, err := cell(cfg, "net", mon, logw, func() ([]bench.Result, error) {
 				return bench.FigNet(scale, []int{c}, []server.AckMode{m})
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, rs...)
+		}
+	}
+	return rows, nil
+}
+
+// runConns sweeps the connection count into the thousands for the two
+// scaling ack modes, one suite cell (and one fresh server) per (mode,
+// conns) pair. The claim the committed baselines record: throughput at
+// 1k connections holds at or above the same mode's 4-connection net
+// rows — the serving path's per-connection cost is buffers, not
+// goroutines or allocations.
+func runConns(cfg Config, scale bench.Scale, mon *memMonitor, logw io.Writer) ([]Row, error) {
+	conns := []int{1, 64, 1024, 8192}
+	if cfg.Quick {
+		conns = []int{64, 1024}
+	}
+	modes := []server.AckMode{server.AckBuffered, server.AckEpochWait}
+	var rows []Row
+	for _, m := range modes {
+		for _, c := range conns {
+			m, c := m, c
+			rs, err := cell(cfg, "conns", mon, logw, func() ([]bench.Result, error) {
+				return bench.FigConns(scale, []int{c}, []server.AckMode{m})
 			})
 			if err != nil {
 				return nil, err

@@ -5,7 +5,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"strconv"
+
+	"montage/internal/memtext"
 )
 
 // Protocol limits, matching internal/server: the proxy must frame
@@ -76,39 +77,15 @@ func readLine(br *bufio.Reader) ([]byte, int, error) {
 	return line, n, nil
 }
 
-// splitFields splits a command line on whitespace, memcached-style.
-func splitFields(line []byte) []string {
-	var out []string
-	for _, f := range bytes.Fields(line) {
-		out = append(out, string(f))
-	}
-	return out
-}
-
-// validKey enforces memcached's key rules (1..250 bytes, no control
-// characters). The proxy checks keys itself because it must route on
-// them before any backend sees the request.
-func validKey(key string) bool {
-	if len(key) == 0 || len(key) > maxKeyLen {
-		return false
-	}
-	for i := 0; i < len(key); i++ {
-		if key[i] <= ' ' || key[i] == 0x7f {
-			return false
-		}
-	}
-	return true
-}
-
-func hasNoreply(args []string) bool {
-	return len(args) > 0 && args[len(args)-1] == "noreply"
+func hasNoreply(args [][]byte) bool {
+	return len(args) > 0 && string(args[len(args)-1]) == "noreply"
 }
 
 // validMode reports whether s names a durability-ack mode, mirroring
 // server.ParseAckMode (the proxy speaks the extension but holds only
 // the name — the semantics live on the backends).
-func validMode(s string) bool {
-	switch s {
+func validMode(s []byte) bool {
+	switch string(s) {
 	case "buffered", "sync", "epoch_wait", "epochwait", "epoch-wait":
 		return true
 	}
@@ -125,27 +102,29 @@ type storageHead struct {
 }
 
 // parseStorageHead parses "<key> <flags> <exptime> <bytes> [casid]
-// [noreply]" fields (verb already stripped) just far enough to route
-// and frame.
-func parseStorageHead(fields []string, wantCAS bool) (storageHead, error) {
+// [noreply]" fields (verb already stripped, borrowed from the reader's
+// buffer) just far enough to route and frame. The key is materialized:
+// routing happens after the body read clobbers the buffer the fields
+// alias.
+func parseStorageHead(fields [][]byte, wantCAS bool) (storageHead, error) {
 	var h storageHead
 	n := 4
 	if wantCAS {
 		n = 5
 	}
-	if len(fields) == n+1 && fields[n] == "noreply" {
+	if len(fields) == n+1 && string(fields[n]) == "noreply" {
 		h.noreply = true
 		fields = fields[:n]
 	}
 	if len(fields) != n {
 		return h, fmt.Errorf("bad command line format")
 	}
-	h.key = fields[0]
-	if !validKey(h.key) {
+	if !memtext.ValidKey(fields[0]) {
 		return h, fmt.Errorf("bad key")
 	}
-	sz, err := strconv.ParseUint(fields[3], 10, 31)
-	if err != nil {
+	h.key = string(fields[0])
+	sz, ok := memtext.ParseUint(fields[3], 31)
+	if !ok {
 		return h, fmt.Errorf("bad data length")
 	}
 	h.bytes = int(sz)

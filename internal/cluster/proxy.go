@@ -6,11 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"montage/internal/memtext"
 	"montage/internal/obs"
 )
 
@@ -100,7 +100,7 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("cluster: proxy needs at least one node")
 	}
-	if !validMode(cfg.DefaultMode) {
+	if !validMode([]byte(cfg.DefaultMode)) {
 		return nil, fmt.Errorf("cluster: unknown durability mode %q", cfg.DefaultMode)
 	}
 	p := &Proxy{
@@ -317,6 +317,11 @@ type pconn struct {
 	tid  int
 	br   *bufio.Reader
 	mode string
+	// tok is the executor's reused token scratch (loop/dispatch only);
+	// ctok is the collector's own (gatherValues runs concurrently with
+	// the executor, so the two must not share).
+	tok  [][]byte
+	ctok [][]byte
 	// backends[i] is this connection's lazily dialed link to ring node i.
 	backends []*bconn
 	pend     chan ppending
@@ -371,7 +376,8 @@ func (c *pconn) loop() {
 			}
 			return
 		}
-		fields := splitFields(line)
+		c.tok = memtext.AppendFields(c.tok[:0], line)
+		fields := c.tok
 		if len(fields) == 0 {
 			continue
 		}
@@ -514,27 +520,28 @@ const flushBatch = 16
 
 var crlf = []byte("\r\n")
 
-// dispatch routes one parsed command. A returned error closes the
-// connection.
-func (c *pconn) dispatch(line []byte, fields []string) error {
+// dispatch routes one parsed command. The fields are borrowed from the
+// executor's token scratch and valid only for this call. A returned
+// error closes the connection.
+func (c *pconn) dispatch(line []byte, fields [][]byte) error {
 	rec := c.px.rec
 	rec.Inc(c.tid, obs.CCluOps)
 	verb, args := fields[0], fields[1:]
-	switch verb {
+	switch string(verb) {
 	case "get", "gets":
 		return c.doGet(line, verb, args)
 
 	case "set", "add", "replace", "cas":
-		return c.doStore(line, verb, args)
+		return c.doStore(line, string(verb) == "cas", args)
 
 	case "delete", "touch":
 		// Single-key commands: route on the key, relay the line verbatim.
-		if len(args) == 0 || !validKey(args[0]) {
+		if len(args) == 0 || !memtext.ValidKey(args[0]) {
 			c.protoErr(clientError("bad command line format"))
 			return nil
 		}
 		noreply := hasNoreply(args)
-		ni := c.px.ring.Node(args[0])
+		ni := c.px.ring.Node(memtext.String(args[0]))
 		b, err := c.backend(ni)
 		if err != nil {
 			if !noreply {
@@ -582,16 +589,23 @@ func (c *pconn) dispatch(line []byte, fields []string) error {
 // doGet serves get/gets over any number of keys, possibly spanning
 // nodes. Reply order must match request key order even when the keys'
 // nodes answer at different speeds, so multi-node gets gather.
-func (c *pconn) doGet(line []byte, verb string, keys []string) error {
-	if len(keys) == 0 {
+func (c *pconn) doGet(line []byte, verb []byte, rawKeys [][]byte) error {
+	if len(rawKeys) == 0 {
 		c.protoErr(clientError("bad command line format"))
 		return nil
 	}
-	for _, k := range keys {
-		if !validKey(k) {
+	for _, k := range rawKeys {
+		if !memtext.ValidKey(k) {
 			c.protoErr(clientError("bad key"))
 			return nil
 		}
+	}
+	// The keys outlive this call (the collector matches VALUE blocks to
+	// them after the token scratch is reused), so materialize them here —
+	// the proxy's one retention point on the get path.
+	keys := make([]string, len(rawKeys))
+	for i, k := range rawKeys {
+		keys[i] = string(k)
 	}
 	// Group keys by node, preserving first-appearance node order.
 	nodeOrder := make([]int, 0, 2)
@@ -622,7 +636,7 @@ func (c *pconn) doGet(line []byte, verb string, keys []string) error {
 		var req bytes.Buffer
 		for i, ni := range nodeOrder {
 			req.Reset()
-			req.WriteString(verb)
+			req.Write(verb)
 			for _, k := range nodeKeys[ni] {
 				req.WriteByte(' ')
 				req.WriteString(k)
@@ -638,8 +652,8 @@ func (c *pconn) doGet(line []byte, verb string, keys []string) error {
 // doStore serves set/add/replace/cas: parse just enough to route and
 // frame, then relay the original header and body bytes to the owning
 // node. A returned error closes the connection (framing loss).
-func (c *pconn) doStore(line []byte, verb string, args []string) error {
-	h, perr := parseStorageHead(args, verb == "cas")
+func (c *pconn) doStore(line []byte, wantCAS bool, args [][]byte) error {
+	h, perr := parseStorageHead(args, wantCAS)
 	if perr != nil {
 		// Body length unknown: stay on the line boundary, as the server
 		// does, and let any body bytes fail as commands.
@@ -695,8 +709,8 @@ func (c *pconn) doStore(line []byte, verb string, args []string) error {
 // ack per node. All nodes must be reachable up front: a partial
 // broadcast cannot honestly be acked, so one dead node fails the whole
 // command (again as a non-binding SERVER_ERROR).
-func (c *pconn) doBroadcast(line []byte, verb string, args []string) error {
-	noreply := verb == "flush_all" && hasNoreply(args)
+func (c *pconn) doBroadcast(line []byte, verb []byte, args [][]byte) error {
+	noreply := string(verb) == "flush_all" && hasNoreply(args)
 	c.px.rec.Inc(c.tid, obs.CCluBcasts)
 	bs := make([]*bconn, len(c.backends))
 	for ni := range c.backends {
@@ -731,7 +745,7 @@ func (c *pconn) doBroadcast(line []byte, verb string, args []string) error {
 // doDurability handles the mode extension: the mode is per client
 // connection, applied to every backend connection this client already
 // holds (newly dialed ones pick it up in the handshake).
-func (c *pconn) doDurability(args []string) error {
+func (c *pconn) doDurability(args [][]byte) error {
 	if len(args) == 0 {
 		c.enqueue(ppending{kind: pLocal, data: []byte("DURABILITY " + c.mode + "\r\n")})
 		return nil
@@ -748,7 +762,7 @@ func (c *pconn) doDurability(args []string) error {
 		c.protoErr(clientError(fmt.Sprintf("unknown durability mode %q (want buffered, sync, or epoch-wait)", args[0])))
 		return nil
 	}
-	c.mode = args[0]
+	c.mode = string(args[0]) // retained across commands: materialize
 	var refs []pendRef
 	req := []byte("durability " + c.mode + "\r\n")
 	for _, b := range c.backends {
@@ -961,15 +975,16 @@ func (c *pconn) gatherValues(ref pendRef, blocks map[string][]byte) error {
 		if bytes.Equal(line, []byte("END")) {
 			return nil
 		}
-		fields := splitFields(line)
-		if len(fields) < 4 || fields[0] != "VALUE" {
+		c.ctok = memtext.AppendFields(c.ctok[:0], line)
+		fields := c.ctok
+		if len(fields) < 4 || string(fields[0]) != "VALUE" {
 			// A SERVER_ERROR (or anything else) in a get stream leaves the
 			// remaining response length unknown; sever the link to stay sound.
 			ref.fail()
 			return fmt.Errorf("cluster: unexpected get response %q", line)
 		}
-		size, perr := strconv.ParseUint(fields[3], 10, 31)
-		if perr != nil || int(size)+2 > maxBodyLen {
+		size, ok := memtext.ParseUint(fields[3], 31)
+		if !ok || int(size)+2 > maxBodyLen {
 			ref.fail()
 			return fmt.Errorf("cluster: bad VALUE size %q", fields[3])
 		}
@@ -983,6 +998,6 @@ func (c *pconn) gatherValues(ref pendRef, blocks map[string][]byte) error {
 			return err
 		}
 		blk = append(blk, body...)
-		blocks[fields[1]] = blk
+		blocks[string(fields[1])] = blk
 	}
 }

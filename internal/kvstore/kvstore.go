@@ -21,6 +21,7 @@ import (
 	"container/list"
 	"encoding/binary"
 	"hash/maphash"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,7 +51,10 @@ type Backend interface {
 	// Get returns the value stored under key.
 	Get(tid int, key string) ([]byte, bool)
 	// Put inserts or updates key=val, returning the durability tag of
-	// the update (zero for backends without epoch semantics).
+	// the update (zero for backends without epoch semantics). val is
+	// only valid for the duration of the call (the store encodes into
+	// reused scratch); key may borrow a reused buffer, so a backend
+	// that retains it must clone it.
 	Put(tid int, key string, val []byte) (DurabilityTag, error)
 	// Delete removes key, reporting whether it was present and the
 	// durability tag of the deletion.
@@ -70,6 +74,11 @@ func NewMontageBackend(m *pds.HashMap) *MontageBackend { return &MontageBackend{
 
 // Get implements Backend.
 func (b *MontageBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
+
+// GetView implements the borrowed-read fast path.
+func (b *MontageBackend) GetView(tid int, key string, v RawViewer) bool {
+	return b.m.GetView(tid, key, v)
+}
 
 // Put implements Backend.
 func (b *MontageBackend) Put(tid int, key string, val []byte) (DurabilityTag, error) {
@@ -105,6 +114,11 @@ func NewTransientBackend(m *baselines.TransientMap) *TransientBackend {
 
 // Get implements Backend.
 func (b *TransientBackend) Get(tid int, key string) ([]byte, bool) { return b.m.Get(tid, key) }
+
+// GetView implements the borrowed-read fast path.
+func (b *TransientBackend) GetView(tid int, key string, v RawViewer) bool {
+	return b.m.GetView(tid, key, v)
+}
 
 // Put implements Backend.
 func (b *TransientBackend) Put(tid int, key string, val []byte) (DurabilityTag, error) {
@@ -157,6 +171,51 @@ func decodeItem(data []byte) (expiry int64, cas uint64, val []byte, ok bool) {
 		data[itemHeaderSize:], true
 }
 
+// RawViewer receives the raw encoded item borrowed from a backend,
+// valid only for the duration of the call.
+type RawViewer interface {
+	View(item []byte)
+}
+
+// ValueViewer receives a borrowed view of an item's decoded value and
+// CAS token, valid only for the duration of the call. The server's get
+// path renders VALUE blocks straight from the view.
+type ValueViewer interface {
+	ViewValue(val []byte, cas uint64)
+}
+
+// viewBackend is satisfied by backends that can expose a borrowed read
+// (all the built-in ones). Backends without it fall back to the
+// copying Get in Store.GetView.
+type viewBackend interface {
+	GetView(tid int, key string, v RawViewer) bool
+}
+
+// viewState adapts a backend's raw item view to the caller's value
+// view: decode the header, check expiry, forward. Pooled so the read
+// path allocates nothing.
+type viewState struct {
+	s       *Store
+	v       ValueViewer
+	hit     bool
+	expired bool
+}
+
+func (st *viewState) View(item []byte) {
+	expiry, cas, val, okd := decodeItem(item)
+	if !okd {
+		return
+	}
+	if expiry != 0 && expiry <= st.s.now() {
+		st.expired = true
+		return
+	}
+	st.hit = true
+	st.v.ViewValue(val, cas)
+}
+
+var viewStatePool = sync.Pool{New: func() any { return new(viewState) }}
+
 // CASOutcome is the result of a CompareAndSwap.
 type CASOutcome int
 
@@ -198,6 +257,10 @@ type Store struct {
 	// operations and CAS-token assignment are atomic. Reads stay
 	// lock-free at this layer.
 	stripes [nStripes]sync.Mutex
+	// encBufs are per-stripe item-encode scratch buffers (guarded by the
+	// matching stripe lock): backends copy the encoded bytes out before
+	// returning, so the steady-state write path never allocates here.
+	encBufs [nStripes][]byte
 
 	// capacity > 0 bounds the total item count with segmented LRU
 	// eviction, as memcached does when memory fills: the bound is
@@ -261,6 +324,48 @@ func (s *Store) Get(tid int, key string) ([]byte, bool) {
 	return v, ok
 }
 
+// GetView is Get/GetWithCAS without the copies: on a hit, v.ViewValue
+// receives the value borrowed from the backend — valid only during the
+// call — and the item's CAS token. Misses and expired items (lazily
+// deleted, as in Get) never call v. Backends without view support fall
+// back to the copying path.
+func (s *Store) GetView(tid int, key string, v ValueViewer) bool {
+	vb, ok := s.backend.(viewBackend)
+	if !ok {
+		val, cas, hit := s.GetWithCAS(tid, key)
+		if hit {
+			v.ViewValue(val, cas)
+		}
+		return hit
+	}
+	st := viewStatePool.Get().(*viewState)
+	st.s, st.v, st.hit, st.expired = s, v, false, false
+	present := vb.GetView(tid, key, st)
+	hit, expired := st.hit, st.expired
+	st.s, st.v = nil, nil
+	viewStatePool.Put(st)
+	if hit {
+		s.stats.Hits.Add(1)
+		s.touch(key)
+		return true
+	}
+	if present && expired {
+		// Lazy expiration, under the stripe so a concurrent writer's
+		// fresh item is never the one deleted.
+		mu := s.stripe(key)
+		mu.Lock()
+		if data2, ok2 := s.backend.Get(tid, key); ok2 {
+			if exp2, _, _, okd2 := decodeItem(data2); okd2 && exp2 != 0 && exp2 <= s.now() {
+				s.stats.Expirations.Add(1)
+				s.backend.Delete(tid, key)
+			}
+		}
+		mu.Unlock()
+	}
+	s.stats.Misses.Add(1)
+	return false
+}
+
 // GetWithCAS is Get, additionally returning the item's CAS token (the
 // memcached "gets" unique value, for a later CompareAndSwap).
 func (s *Store) GetWithCAS(tid int, key string) ([]byte, uint64, bool) {
@@ -290,12 +395,26 @@ func (s *Store) GetWithCAS(tid int, key string) ([]byte, uint64, bool) {
 	return nil, 0, false
 }
 
-// expiryFor converts a relative ttl into an absolute expiry.
+// TTLImmediate is the "already expired" TTL sentinel: memcached's
+// negative exptime means the item is stored but immediately expired.
+// It maps to an absolute expiry in the past unconditionally, which a
+// tiny positive TTL (e.g. 1ns) does not guarantee — under the
+// injectable test clock, now() never advances, so now()+1ns would
+// still be in the future forever.
+const TTLImmediate time.Duration = -1
+
+// expiryFor converts a relative ttl into an absolute expiry: 0 never
+// expires, negative (TTLImmediate) is expired before any clock
+// reading, positive is relative to now.
 func (s *Store) expiryFor(ttl time.Duration) int64 {
-	if ttl <= 0 {
+	switch {
+	case ttl == 0:
 		return 0
+	case ttl < 0:
+		return -1 // before every clock: expired immediately
+	default:
+		return s.now() + int64(ttl)
 	}
-	return s.now() + int64(ttl)
 }
 
 // evictOne removes the least recently used key of segment idx (falling
@@ -325,21 +444,41 @@ func (s *Store) evictOne(idx int, justInserted string) string {
 	return ""
 }
 
+// encodeInto encodes an item into stripe idx's scratch buffer. The
+// caller holds the stripe lock; every backend copies the bytes out
+// before returning, so the buffer is free for reuse immediately.
+func (s *Store) encodeInto(idx int, expiry int64, cas uint64, val []byte) []byte {
+	need := itemHeaderSize + len(val)
+	buf := s.encBufs[idx]
+	if cap(buf) < need {
+		buf = make([]byte, 0, need+need/2)
+	}
+	buf = buf[:need]
+	s.encBufs[idx] = buf
+	binary.LittleEndian.PutUint64(buf, uint64(expiry))
+	binary.LittleEndian.PutUint64(buf[8:], cas)
+	copy(buf[itemHeaderSize:], val)
+	return buf
+}
+
 // put stores the item and maintains the LRU. Callers hold the stripe.
 func (s *Store) put(tid int, key string, expiry int64, val []byte) (DurabilityTag, error) {
-	tag, err := s.backend.Put(tid, key, encodeItem(expiry, s.casSeq.Add(1), val))
+	idx := s.stripeIdx(key)
+	tag, err := s.backend.Put(tid, key, s.encodeInto(idx, expiry, s.casSeq.Add(1), val))
 	if err != nil {
 		return DurabilityTag{}, err
 	}
 	s.stats.Sets.Add(1)
 	if s.capacity > 0 {
-		idx := s.stripeIdx(key)
 		seg := &s.segs[idx]
 		seg.mu.Lock()
 		if el, ok := seg.items[key]; ok {
 			seg.lru.MoveToFront(el)
 		} else {
-			seg.items[key] = seg.lru.PushFront(key)
+			// Clone: the LRU retains the key, and the serving path passes
+			// strings borrowing a reused parse buffer.
+			ck := strings.Clone(key)
+			seg.items[ck] = seg.lru.PushFront(ck)
 			s.count.Add(1)
 		}
 		seg.mu.Unlock()
@@ -444,7 +583,7 @@ func (s *Store) Touch(tid int, key string, ttl time.Duration) (found bool, tag D
 	if !ok {
 		return false, DurabilityTag{}, nil
 	}
-	tag, err = s.backend.Put(tid, key, encodeItem(s.expiryFor(ttl), s.casSeq.Add(1), val))
+	tag, err = s.backend.Put(tid, key, s.encodeInto(s.stripeIdx(key), s.expiryFor(ttl), s.casSeq.Add(1), val))
 	if err != nil {
 		return false, DurabilityTag{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 
 	"montage/internal/baselines"
 	"montage/internal/core"
@@ -237,5 +238,39 @@ func TestStoreKeys(t *testing.T) {
 		if !seen[fmt.Sprintf("k%d", i)] {
 			t.Fatalf("key k%d missing", i)
 		}
+	}
+}
+
+// TestStoreNegativeTTLFrozenClock pins the TTLImmediate fix: a negative
+// TTL means "stored but already expired", and it must hold even under a
+// frozen clock — the sentinel maps to an absolute expiry before every
+// possible clock reading, where a tiny positive TTL (now()+1ns) would
+// stay in the future forever when now() never advances.
+func TestStoreNegativeTTLFrozenClock(t *testing.T) {
+	s, _ := newMontageStore(t, 0)
+	now := int64(1_000_000)
+	s.now = func() int64 { return now } // frozen: never advances
+	if err := s.SetTTL(0, "doomed", []byte("v"), -time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(0, "doomed"); ok {
+		t.Fatal("negative-TTL item served: ttl<0 must mean already expired")
+	}
+	if err := s.SetTTL(0, "doomed2", []byte("v"), TTLImmediate); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(0, "doomed2"); ok {
+		t.Fatal("TTLImmediate item served")
+	}
+
+	// Touching an existing item to a negative TTL expires it the same way.
+	if err := s.Set(0, "touched", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if found, _, err := s.Touch(0, "touched", TTLImmediate); err != nil || !found {
+		t.Fatalf("touch: found=%v err=%v", found, err)
+	}
+	if _, ok := s.Get(0, "touched"); ok {
+		t.Fatal("item touched to negative TTL still served")
 	}
 }

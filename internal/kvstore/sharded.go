@@ -37,6 +37,11 @@ func (b *ShardedBackend) Get(tid int, key string) ([]byte, bool) {
 	return b.maps[b.p.ShardFor(key)].Get(tid, key)
 }
 
+// GetView implements the borrowed-read fast path.
+func (b *ShardedBackend) GetView(tid int, key string, v RawViewer) bool {
+	return b.maps[b.p.ShardFor(key)].GetView(tid, key, v)
+}
+
 // Put implements Backend.
 func (b *ShardedBackend) Put(tid int, key string, val []byte) (DurabilityTag, error) {
 	shard := b.p.ShardFor(key)

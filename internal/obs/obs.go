@@ -34,27 +34,27 @@ type CounterID int
 
 const (
 	// Epoch system (internal/epoch).
-	CEpochAdvances     CounterID = iota // completed epoch advances
-	CEpochSyncs                         // completed Sync calls
-	CPersistQueued                      // payloads queued for write-back
-	CPersistBoundary                    // payloads written back at an epoch boundary
-	CPersistOverflow                    // payloads written back on buffer overflow
-	CPersistWorker                      // payloads written back by their own worker (per-op policy, sync helping)
-	CPersistDirect                      // payloads written back immediately (direct policy)
-	CPersistDead                        // queued payloads skipped because they died before write-back
-	CPersistBytes                       // payload bytes handed to the device for write-back
-	CFreeQueued                         // blocks queued for delayed reclamation
-	CFreeReclaimed                      // blocks reclaimed after the two-epoch delay
-	CMindicatorSkips                    // boundary scans skipped thanks to the mindicator
-	CMindicatorScans                    // boundary scans actually performed
-	CPersistEager                       // payloads published eagerly to the device staging layer (nonblocking engine)
-	CPersistLateFence                   // straddler self-fences forced by the persistence frontier (nonblocking engine)
-	CAdvHelps                           // nonblocking advance attempts (daemon pacer, sync callers, helpers)
-	CAdvCASFails                        // advance attempts that lost the clock CAS to a racing helper
-	CPendClampNegative                  // pending-entry accounting went negative and was clamped (bug signal)
-	CPersistDirtyHits                   // same-epoch re-updates absorbed by a dirty mark, skipping the encode (nonblocking engine)
-	CPersistLazyEncodes                 // deferred encodes run at settle time (straddler self-fence or advance sweep)
-	CAdvDirtyStalls                     // advance attempts aborted because un-settled dirty entries still hold the epoch open
+	CEpochAdvances      CounterID = iota // completed epoch advances
+	CEpochSyncs                          // completed Sync calls
+	CPersistQueued                       // payloads queued for write-back
+	CPersistBoundary                     // payloads written back at an epoch boundary
+	CPersistOverflow                     // payloads written back on buffer overflow
+	CPersistWorker                       // payloads written back by their own worker (per-op policy, sync helping)
+	CPersistDirect                       // payloads written back immediately (direct policy)
+	CPersistDead                         // queued payloads skipped because they died before write-back
+	CPersistBytes                        // payload bytes handed to the device for write-back
+	CFreeQueued                          // blocks queued for delayed reclamation
+	CFreeReclaimed                       // blocks reclaimed after the two-epoch delay
+	CMindicatorSkips                     // boundary scans skipped thanks to the mindicator
+	CMindicatorScans                     // boundary scans actually performed
+	CPersistEager                        // payloads published eagerly to the device staging layer (nonblocking engine)
+	CPersistLateFence                    // straddler self-fences forced by the persistence frontier (nonblocking engine)
+	CAdvHelps                            // nonblocking advance attempts (daemon pacer, sync callers, helpers)
+	CAdvCASFails                         // advance attempts that lost the clock CAS to a racing helper
+	CPendClampNegative                   // pending-entry accounting went negative and was clamped (bug signal)
+	CPersistDirtyHits                    // same-epoch re-updates absorbed by a dirty mark, skipping the encode (nonblocking engine)
+	CPersistLazyEncodes                  // deferred encodes run at settle time (straddler self-fence or advance sweep)
+	CAdvDirtyStalls                      // advance attempts aborted because un-settled dirty entries still hold the epoch open
 
 	// Simulated NVM device (internal/pmem).
 	CWriteBacks         // WriteBack calls (staged cacheline write-backs)
@@ -108,6 +108,8 @@ const (
 	CNetAcksAborted  // parked acks failed by a crash before durability
 	CNetParkWaiters  // epoch-wait waiters registered in the shared per-shard parking lot
 	CNetCrashes      // crash injections served while the listener stayed up
+	CNetFlushes      // vectored response flushes (one writev per batch of ready responses)
+	CNetParseAllocs  // parse-path buffer growths (token array / input / response buffer); 0 in steady state
 
 	// Crash-consistency chaos harness (internal/chaos).
 	CChaosSchedules  // seeded crash schedules executed
@@ -155,6 +157,8 @@ const (
 	HPipelineDepth               // per-connection response-queue depth sampled at each enqueue
 	HParkFanout                  // epoch-wait waiters woken per persist tick by the shared parking lot
 	HLoadNs                      // loadgen client-observed request latency, send to ack (wall ns)
+	HFlushBatch                  // responses coalesced into one vectored flush
+	HFlushBytes                  // bytes written per vectored flush
 
 	numHists
 )

@@ -45,6 +45,8 @@ var promHistNames = [numHists]string{
 	HAckEpochNs:    "ack_epoch_wait_ns",
 	HPipelineDepth: "pipeline_depth",
 	HLoadNs:        "load_ns",
+	HFlushBatch:    "flush_batch",
+	HFlushBytes:    "flush_bytes",
 }
 
 // WritePrometheus renders s in the Prometheus text exposition format.

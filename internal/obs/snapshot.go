@@ -111,6 +111,8 @@ type ServerStats struct {
 	AcksAborted  uint64 `json:"acks_aborted"`
 	ParkWaiters  uint64 `json:"park_waiters"`
 	Crashes      uint64 `json:"crash_injections"`
+	Flushes      uint64 `json:"flushes"`
+	ParseAllocs  uint64 `json:"parse_allocs"`
 }
 
 // ChaosStats are the crash-consistency chaos harness's counters
@@ -214,6 +216,8 @@ type LatencyStats struct {
 	PipelineDepth HistStats `json:"pipeline_depth"`
 	ParkFanout    HistStats `json:"park_fanout"`
 	LoadNs        HistStats `json:"load_ns"`
+	FlushBatch    HistStats `json:"flush_batch"`
+	FlushBytes    HistStats `json:"flush_bytes"`
 }
 
 // Snapshot is a point-in-time aggregate of a Recorder's counters and
@@ -420,6 +424,8 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		AcksAborted:  c[CNetAcksAborted],
 		ParkWaiters:  c[CNetParkWaiters],
 		Crashes:      c[CNetCrashes],
+		Flushes:      c[CNetFlushes],
+		ParseAllocs:  c[CNetParseAllocs],
 	}
 	s.Chaos = ChaosStats{
 		Schedules:  c[CChaosSchedules],
@@ -459,6 +465,8 @@ func buildSnapshot(raw *rawStats) Snapshot {
 		PipelineDepth: summarize(&raw.hists[HPipelineDepth]),
 		ParkFanout:    summarize(&raw.hists[HParkFanout]),
 		LoadNs:        summarize(&raw.hists[HLoadNs]),
+		FlushBatch:    summarize(&raw.hists[HFlushBatch]),
+		FlushBytes:    summarize(&raw.hists[HFlushBytes]),
 	}
 	return s
 }

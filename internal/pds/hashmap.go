@@ -1,6 +1,7 @@
 package pds
 
 import (
+	"strings"
 	"sync"
 
 	"montage/internal/core"
@@ -125,7 +126,7 @@ func (m *HashMap) Get(tid int, key string) ([]byte, bool) {
 	for curr := b.head; curr != nil && curr.key <= key; curr = curr.next {
 		clk.ChargeDRAM(tid, 16) // index node hop
 		if curr.key == key {
-			_, v, ok := decodeKV(m.sys.Read(tid, curr.payload))
+			v, ok := decodeVal(m.sys.Read(tid, curr.payload))
 			if !ok {
 				return nil, false
 			}
@@ -133,6 +134,31 @@ func (m *HashMap) Get(tid int, key string) ([]byte, bool) {
 		}
 	}
 	return nil, false
+}
+
+// GetView is Get without the copy: on a hit, v.View receives the value
+// borrowed from the payload, valid only until GetView returns (the
+// bucket lock is held across the call). The serving hot path renders
+// responses straight out of the view, so a steady-state get allocates
+// nothing.
+func (m *HashMap) GetView(tid int, key string, v Viewer) bool {
+	clk := m.sys.Clock()
+	clk.ChargeOp(tid)
+	b := m.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for curr := b.head; curr != nil && curr.key <= key; curr = curr.next {
+		clk.ChargeDRAM(tid, 16) // index node hop
+		if curr.key == key {
+			val, ok := decodeVal(m.sys.Read(tid, curr.payload))
+			if !ok {
+				return false
+			}
+			v.View(val)
+			return true
+		}
+	}
+	return false
 }
 
 // Put inserts key=val, or updates the value if the key exists, returning
@@ -184,7 +210,10 @@ func (m *HashMap) PutE(tid int, key string, val []byte) (prev []byte, epoch uint
 		if perr != nil {
 			return perr
 		}
-		n := &mapNode{key: key, payload: p, next: curr}
+		// Clone: the index node retains the key, and callers (the server's
+		// zero-alloc parse path) may pass a string borrowing a reused
+		// buffer.
+		n := &mapNode{key: strings.Clone(key), payload: p, next: curr}
 		if prevNode == nil {
 			b.head = n
 		} else {
@@ -218,7 +247,7 @@ func (m *HashMap) Insert(tid int, key string, val []byte) (inserted bool, err er
 		if perr != nil {
 			return perr
 		}
-		n := &mapNode{key: key, payload: p, next: curr}
+		n := &mapNode{key: strings.Clone(key), payload: p, next: curr}
 		if prevNode == nil {
 			b.head = n
 		} else {

@@ -55,6 +55,28 @@ func decodeKV(data []byte) (key string, val []byte, ok bool) {
 	return string(data[4 : 4+kl]), data[4+kl:], true
 }
 
+// decodeVal is decodeKV without materializing the key string — the
+// zero-alloc read path, where the caller already knows the key. The
+// returned slice aliases data.
+func decodeVal(data []byte) (val []byte, ok bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	kl := int(binary.LittleEndian.Uint32(data))
+	if 4+kl > len(data) {
+		return nil, false
+	}
+	return data[4+kl:], true
+}
+
+// Viewer receives a borrowed view of a stored value, valid only for
+// the duration of the call (the owning structure's lock is held). It
+// is an interface rather than a func parameter so hot-path callers can
+// pass a reused object instead of a closure that escapes per call.
+type Viewer interface {
+	View(val []byte)
+}
+
 // encodeSeqVal serializes a queue item: an 8-byte sequence number then
 // the value.
 func encodeSeqVal(seq uint64, val []byte) []byte {

@@ -1,509 +1,724 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
+	"sync"
 	"time"
 
 	"montage/internal/kvstore"
+	"montage/internal/memtext"
 	"montage/internal/obs"
 	"montage/internal/pmem"
 )
 
 // pipelineCap bounds the per-connection response queue: how many
 // pipelined requests may be executing/parked ahead of the client
-// reading their responses.
+// reading their responses. When the queue fills, the connection stops
+// consuming input (TCP backpressure) until the flusher drains it below
+// half.
 const pipelineCap = 256
 
 // maxRelativeExp is memcached's exptime cutoff: values up to 30 days
 // are relative seconds, larger ones are absolute unix times.
 const maxRelativeExp = 60 * 60 * 24 * 30
 
-// errBadChunk marks an item body missing its CRLF terminator.
-var errBadChunk = errors.New("server: bad data chunk")
+// readChunk is the per-read append quantum for the input buffer, and
+// shrinkCap the retained-capacity bound past which an idle input buffer
+// is reallocated small (a 1 MiB set should not pin 1 MiB per
+// connection forever at 10k connections).
+const (
+	readChunk = 4096
+	shrinkCap = 64 << 10
+)
 
-// ackWait parks a response until one shard's epoch persists: the wait
-// rides the owning shard's parking lot only, never a global fence
-// across shards.
-type ackWait struct {
-	lot   *shardLot
-	epoch uint64
-}
+// Parser states: between commands (line framing), inside a storage
+// body, or swallowing an oversized body to stay framed.
+const (
+	stLine = iota
+	stBody
+	stDiscard
+)
 
-// pending is one queued response. A non-empty waits list parks the
-// writer until every named epoch persists on its own shard (epoch-wait
-// mode; multi-entry only for flush_all, which deletes across shards);
-// the lot aborts the park when its incarnation crashes.
-type pending struct {
-	data  []byte
-	waits []ackWait
-	start int64
-}
-
-// conn is one client connection: an executor (this goroutine, which
-// parses and runs commands) feeding a writer goroutine through resp.
-// The split is what makes epoch-wait cheap: the executor keeps
-// pipelining new requests while earlier acks sit parked in the writer.
+// conn is one client connection. One goroutine at a time ingests input
+// (the blocking read loop, or a reactor pump on an epoll readable
+// edge), parses commands in place with the shared tokenizer, executes
+// them, and appends responses to the write queue in flush.go. There is
+// no per-connection writer goroutine: ready responses are flushed in
+// batches by the shared flusher pool (reactor connections) or a
+// fallback writer (pipes, non-Linux), and epoch-wait acks park as
+// callbacks on the shard parking lot rather than blocking anyone.
 type conn struct {
 	srv  *Server
 	nc   net.Conn
-	tid  int
-	br   *bufio.Reader
+	tid  int // fixed exec tid (serveConn/tests); -1 = borrow per burst
+	rtid int // recording tid for counters (small, stable)
 	mode AckMode
-	resp chan pending
+
+	// Parser state, owned by the single ingesting goroutine.
+	in      []byte
+	st      int
+	tok     [][]byte
+	sa      storageArgs
+	verb    byte // 's','a','r','c' for the in-flight storage command
+	keyb    [maxKeyLen]byte
+	discard int
+	vbuf    []byte // value-encode scratch: [4B flags][body]
+	gv      getViewer
+
+	// Write queue (flush.go). wcond shares wmu: the blocking read loop
+	// waits on it for backpressure, the fallback writer for work.
+	wmu         sync.Mutex
+	wcond       *sync.Cond
+	qhead       *pending
+	qtail       *pending
+	qlen        int
+	woff        int // bytes of qhead.data already written (partial writev)
+	flushActive bool
+	wantWrite   bool // reactor: writev hit EAGAIN, awaiting EPOLLOUT
+	readParked  bool // reactor: pump parked on a full pipeline
+	closing     bool
+	dead        bool
+	closeDone   bool
+
+	// Reactor bookkeeping (linux TCP connections only).
+	raw         bool
+	fd          int
+	pumpRunning bool
+	pumpAgain   bool
+
+	// Flusher scratch, reused across batches.
+	iov   [][]byte
+	batch []*pending
+	rw    rawConnState
+
+	accepted bool // accept-loop bookkeeping applies (not a test pipe)
 }
 
-// serveConn runs one connection to completion. Split out from the
-// accept loop so protocol tests can drive it over a net.Pipe.
-func (s *Server) serveConn(nc net.Conn, tid int) {
-	defer nc.Close()
+func (s *Server) newConn(nc net.Conn, tid int) *conn {
 	c := &conn{
 		srv:  s,
 		nc:   nc,
 		tid:  tid,
-		br:   bufio.NewReaderSize(nc, maxLineLen),
+		rtid: tid,
 		mode: s.cfg.DefaultMode,
-		resp: make(chan pending, pipelineCap),
 	}
+	if tid < 0 {
+		c.rtid = int(s.connSeq.Add(1)) % s.execThreads
+	}
+	c.wcond = sync.NewCond(&c.wmu)
+	c.gv.c = c
+	return c
+}
+
+// serveConn runs one connection to completion on the portable blocking
+// driver. Split out from the accept loop so protocol tests can drive it
+// over a net.Pipe with a fixed Montage tid.
+func (s *Server) serveConn(nc net.Conn, tid int) {
+	c := s.newConn(nc, tid)
+	c.runBlocking()
+}
+
+// runBlocking pairs the blocking read loop with a fallback writer
+// goroutine and waits for both: the writer keeps draining (including
+// parked epoch-wait acks resolving on the lot) after the read side
+// stops, exactly like the old dedicated-writer teardown.
+func (c *conn) runBlocking() {
 	done := make(chan struct{})
-	go c.writer(done)
-	c.loop()
-	close(c.resp)
+	go func() {
+		defer close(done)
+		c.fallbackWriter()
+	}()
+	c.readLoop()
 	<-done
+	c.closeNow()
 }
 
-// writer drains the response queue in order, parking on epoch-wait
-// entries until their epoch persists (or a crash aborts the wait, in
-// which case the client gets a SERVER_ERROR in the response's slot so
-// framing survives). It batches flushes: the buffer is only flushed
-// when the queue momentarily empties.
-func (c *conn) writer(done chan struct{}) {
-	defer close(done)
+// readLoop is the blocking driver: read, ingest, repeat, pausing while
+// the response queue is full.
+func (c *conn) readLoop() {
 	rec := c.srv.rec
-	bw := bufio.NewWriterSize(c.nc, 16<<10)
-	dead := false
-	for p := range c.resp {
-		data := p.data
-		if len(p.waits) > 0 {
-			ok := true
-			for _, w := range p.waits {
-				if !w.lot.wait(w.epoch) {
-					ok = false
-					break
-				}
+	for {
+		c.wmu.Lock()
+		for c.qlen >= pipelineCap && !c.dead && !c.closing {
+			c.wcond.Wait()
+		}
+		stop := c.dead || c.closing
+		c.wmu.Unlock()
+		if stop {
+			return
+		}
+		c.ensureSpare(readChunk)
+		n, err := c.nc.Read(c.in[len(c.in):cap(c.in)])
+		if n > 0 {
+			rec.Add(c.rtid, obs.CNetBytesIn, uint64(n))
+			c.in = c.in[:len(c.in)+n]
+			tid := c.tid
+			borrowed := tid < 0
+			if borrowed {
+				tid = <-c.srv.tids
 			}
-			if ok {
-				rec.Inc(c.tid, obs.CNetAcksEpoch)
-				rec.ObserveSince(c.tid, obs.HAckEpochNs, p.start)
+			ierr := c.ingest(tid)
+			if borrowed {
+				c.srv.tids <- tid
+			}
+			switch ierr {
+			case nil, errThrottle:
+			default:
+				// quit or unrecoverable framing damage: stop reading, let
+				// the writer drain queued responses, then close.
+				c.closeSoon()
+				return
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				c.closeSoon()
 			} else {
-				rec.Inc(c.tid, obs.CNetAcksAborted)
-				data = respCrashLost
+				c.abort()
 			}
+			return
 		}
-		if dead || len(data) == 0 {
-			continue
-		}
-		if _, err := bw.Write(data); err != nil {
-			dead = true
-			continue
-		}
-		rec.Add(c.tid, obs.CNetBytesOut, uint64(len(data)))
-		if len(c.resp) == 0 && bw.Flush() != nil {
-			dead = true
-		}
-	}
-	if !dead {
-		bw.Flush()
 	}
 }
 
-// enqueue hands a response to the writer, sampling the pipeline depth.
-func (c *conn) enqueue(p pending) {
-	c.srv.rec.Observe(c.tid, obs.HPipelineDepth, uint64(len(c.resp)))
-	c.resp <- p
+// ensureSpare guarantees min bytes of append room in the input buffer,
+// counting growths (steady state re-reads into the same array).
+func (c *conn) ensureSpare(min int) {
+	if cap(c.in)-len(c.in) >= min {
+		return
+	}
+	newCap := 2 * cap(c.in)
+	if newCap < len(c.in)+min {
+		newCap = len(c.in) + min
+	}
+	if newCap < readChunk {
+		newCap = readChunk
+	}
+	buf := make([]byte, len(c.in), newCap)
+	copy(buf, c.in)
+	c.in = buf
+	c.srv.rec.Inc(c.rtid, obs.CNetParseAllocs)
+}
+
+// ingest consumes as much of the buffered input as possible: complete
+// command lines are tokenized in place and dispatched, storage bodies
+// are executed once fully buffered, oversized bodies are swallowed.
+// Returns nil (need more input), errThrottle (pipeline full — stop
+// reading until the flusher resumes us), errQuit, or errProtocol
+// (unrecoverable framing: close after the queued responses flush).
+func (c *conn) ingest(tid int) error {
+	base := 0
+	var ret error
+loop:
+	for {
+		switch c.st {
+		case stLine:
+			idx := bytes.IndexByte(c.in[base:], '\n')
+			if idx < 0 {
+				if len(c.in)-base > maxLineLen {
+					// The request boundary is lost; report and hang up.
+					c.protoErr(serverError("line too long"))
+					ret = errProtocol
+				}
+				break loop
+			}
+			line := c.in[base : base+idx]
+			base += idx + 1
+			if len(line) > maxLineLen {
+				c.protoErr(serverError("line too long"))
+				ret = errProtocol
+				break loop
+			}
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			if err := c.dispatchLine(line, tid); err != nil {
+				ret = err
+				break loop
+			}
+		case stBody:
+			need := c.sa.bytes + 2
+			if len(c.in)-base < need {
+				break loop
+			}
+			body := c.in[base : base+need]
+			base += need
+			c.st = stLine
+			if body[c.sa.bytes] != '\r' || body[c.sa.bytes+1] != '\n' {
+				c.protoErr(clientError("bad data chunk"))
+			} else {
+				c.execStore(body[:c.sa.bytes], tid)
+			}
+		case stDiscard:
+			avail := len(c.in) - base
+			if avail < c.discard {
+				base += avail
+				c.discard -= avail
+				break loop
+			}
+			base += c.discard
+			c.discard = 0
+			c.st = stLine
+			c.srv.rec.Inc(c.rtid, obs.CNetProtoErrors)
+			if !c.sa.noreply {
+				c.enqueue(newPending(respTooLarge, nil))
+			}
+		}
+		if ret == nil && c.pipelineFull() {
+			ret = errThrottle
+			break loop
+		}
+	}
+	// Compact: move the unconsumed tail to the front so borrowed tokens
+	// never outlive one ingest call.
+	if base > 0 {
+		n := copy(c.in, c.in[base:])
+		c.in = c.in[:n]
+	}
+	if cap(c.in) > shrinkCap && len(c.in) < readChunk {
+		buf := make([]byte, len(c.in), 2*readChunk)
+		copy(buf, c.in)
+		c.in = buf
+		c.srv.rec.Inc(c.rtid, obs.CNetParseAllocs)
+	}
+	return ret
+}
+
+func (c *conn) pipelineFull() bool {
+	c.wmu.Lock()
+	full := c.qlen >= pipelineCap
+	c.wmu.Unlock()
+	return full
 }
 
 // protoErr reports a recoverable protocol error on this connection.
 func (c *conn) protoErr(resp []byte) {
-	c.srv.rec.Inc(c.tid, obs.CNetProtoErrors)
-	c.enqueue(pending{data: resp})
+	c.srv.rec.Inc(c.rtid, obs.CNetProtoErrors)
+	c.enqueue(newPending(resp, nil))
 }
 
-// loop is the executor: read a command line, dispatch, repeat.
-func (c *conn) loop() {
-	for {
-		line, n, err := readLine(c.br)
-		c.srv.rec.Add(c.tid, obs.CNetBytesIn, uint64(n))
-		if err != nil {
-			if errors.Is(err, errProtocol) {
-				// The line overflowed the buffer: the request boundary is
-				// lost, so report and hang up.
-				c.protoErr(serverError("line too long"))
-			}
-			return
-		}
-		fields := splitFields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		quit, err := c.dispatch(fields)
-		if quit || err != nil {
-			return
-		}
+// dispatchLine tokenizes one command line in place and runs it.
+func (c *conn) dispatchLine(line []byte, tid int) error {
+	grew := cap(c.tok)
+	c.tok = memtext.AppendFields(c.tok[:0], line)
+	if cap(c.tok) != grew {
+		c.srv.rec.Inc(c.rtid, obs.CNetParseAllocs)
 	}
-}
-
-// dispatch runs one parsed command. A returned error (or quit) closes
-// the connection.
-func (c *conn) dispatch(fields []string) (quit bool, err error) {
+	if len(c.tok) == 0 {
+		return nil
+	}
 	rec := c.srv.rec
-	verb, args := fields[0], fields[1:]
-	switch verb {
-	case "get", "gets":
-		rec.Inc(c.tid, obs.CNetOpsGet)
-		return false, c.doGet(args, verb == "gets")
+	verb, args := c.tok[0], c.tok[1:]
+	switch string(verb) {
+	case "get":
+		rec.Inc(c.rtid, obs.CNetOpsGet)
+		c.doGet(args, false, tid)
+		return nil
+	case "gets":
+		rec.Inc(c.rtid, obs.CNetOpsGet)
+		c.doGet(args, true, tid)
+		return nil
 
-	case "set", "add", "replace", "cas":
-		rec.Inc(c.tid, obs.CNetOpsSet)
-		return false, c.doStore(verb, args)
+	case "set":
+		rec.Inc(c.rtid, obs.CNetOpsSet)
+		return c.doStoreHead('s', args)
+	case "add":
+		rec.Inc(c.rtid, obs.CNetOpsSet)
+		return c.doStoreHead('a', args)
+	case "replace":
+		rec.Inc(c.rtid, obs.CNetOpsSet)
+		return c.doStoreHead('r', args)
+	case "cas":
+		rec.Inc(c.rtid, obs.CNetOpsSet)
+		return c.doStoreHead('c', args)
 
 	case "delete":
-		rec.Inc(c.tid, obs.CNetOpsDelete)
-		c.doDelete(args)
-		return false, nil
+		rec.Inc(c.rtid, obs.CNetOpsDelete)
+		c.doDelete(args, tid)
+		return nil
 
 	case "touch":
-		rec.Inc(c.tid, obs.CNetOpsTouch)
-		c.doTouch(args)
-		return false, nil
+		rec.Inc(c.rtid, obs.CNetOpsTouch)
+		c.doTouch(args, tid)
+		return nil
 
 	case "flush_all":
-		rec.Inc(c.tid, obs.CNetOpsAdmin)
-		c.doFlushAll(args)
-		return false, nil
+		rec.Inc(c.rtid, obs.CNetOpsAdmin)
+		c.doFlushAll(args, tid)
+		return nil
 
 	case "stats":
-		rec.Inc(c.tid, obs.CNetOpsAdmin)
-		c.execRead(func(r *rt) []byte { return c.statsBody(r) })
-		return false, nil
+		rec.Inc(c.rtid, obs.CNetOpsAdmin)
+		s := c.srv
+		s.mu.RLock()
+		data := c.statsBody(s.cur, tid)
+		s.mu.RUnlock()
+		c.enqueue(newPending(data, nil))
+		return nil
 
 	case "version":
-		rec.Inc(c.tid, obs.CNetOpsAdmin)
-		c.enqueue(pending{data: []byte("VERSION montage/0.2\r\n")})
-		return false, nil
+		rec.Inc(c.rtid, obs.CNetOpsAdmin)
+		c.enqueue(newPending([]byte("VERSION montage/0.2\r\n"), nil))
+		return nil
 
 	case "verbosity":
-		rec.Inc(c.tid, obs.CNetOpsAdmin)
-		if !hasNoreply(args) {
-			c.enqueue(pending{data: respOK})
+		rec.Inc(c.rtid, obs.CNetOpsAdmin)
+		if !hasNoreplyTok(args) {
+			c.enqueue(newPending(respOK, nil))
 		}
-		return false, nil
+		return nil
 
 	case "sync":
 		// Extension: force all completed operations durable now.
-		rec.Inc(c.tid, obs.CNetOpsAdmin)
-		c.execRead(func(r *rt) []byte {
-			if r.pool != nil {
-				r.pool.Sync(c.tid)
-			}
-			return respOK
-		})
-		return false, nil
+		rec.Inc(c.rtid, obs.CNetOpsAdmin)
+		s := c.srv
+		s.mu.RLock()
+		if s.cur.pool != nil {
+			s.cur.pool.Sync(tid)
+		}
+		s.mu.RUnlock()
+		c.enqueue(newPending(respOK, nil))
+		return nil
 
 	case "durability":
 		// Extension: query or set this connection's ack mode.
-		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		rec.Inc(c.rtid, obs.CNetOpsAdmin)
 		if len(args) == 0 {
-			c.enqueue(pending{data: []byte("DURABILITY " + c.mode.String() + "\r\n")})
-			return false, nil
+			c.enqueue(newPending([]byte("DURABILITY "+c.mode.String()+"\r\n"), nil))
+			return nil
 		}
-		noreply := hasNoreply(args)
+		noreply := hasNoreplyTok(args)
 		if noreply {
 			args = args[:len(args)-1]
 		}
 		if len(args) != 1 {
 			c.protoErr(clientError("bad command line format"))
-			return false, nil
+			return nil
 		}
-		mode, perr := ParseAckMode(args[0])
+		mode, perr := ParseAckMode(string(args[0]))
 		if perr != nil {
 			c.protoErr(clientError(perr.Error()))
-			return false, nil
+			return nil
 		}
 		c.mode = mode
 		if !noreply {
-			c.enqueue(pending{data: respOK})
+			c.enqueue(newPending(respOK, nil))
 		}
-		return false, nil
+		return nil
 
 	case "crash":
 		// Extension (gated): simulated power failure + in-place recovery.
-		rec.Inc(c.tid, obs.CNetOpsAdmin)
+		rec.Inc(c.rtid, obs.CNetOpsAdmin)
 		if !c.srv.cfg.AllowCrash {
 			c.protoErr(respError)
-			return false, nil
+			return nil
 		}
 		mode := pmem.CrashDropAll
-		if len(args) == 1 && args[0] == "partial" {
+		if len(args) == 1 && string(args[0]) == "partial" {
 			mode = pmem.CrashPartial
 		}
 		// Deliberately NOT under the read lock: Crash takes the write lock.
 		if _, cerr := c.srv.Crash(mode); cerr != nil {
-			c.enqueue(pending{data: serverError(cerr.Error())})
-			return false, nil
+			c.enqueue(newPending(serverError(cerr.Error()), nil))
+			return nil
 		}
-		c.enqueue(pending{data: respOK})
-		return false, nil
+		c.enqueue(newPending(respOK, nil))
+		return nil
 
 	case "quit":
-		return true, nil
+		return errQuit
 
 	default:
 		c.protoErr(respError)
-		return false, nil
+		return nil
 	}
 }
 
-// execRead runs f against the current runtime under the read lock and
-// queues its response.
-func (c *conn) execRead(f func(r *rt) []byte) {
-	c.srv.mu.RLock()
-	data := f(c.srv.cur)
-	c.srv.mu.RUnlock()
-	c.enqueue(pending{data: data})
+// getViewer renders VALUE blocks straight from the store's borrowed
+// value view into the pooled response buffer — no intermediate copy,
+// no per-call closure. One per conn, reused across gets.
+type getViewer struct {
+	c       *conn
+	buf     []byte
+	key     []byte
+	withCAS bool
 }
 
-// execWrite runs a mutating command against the current runtime and
-// applies the connection's durability-ack mode to its response:
-// buffered queues the ack immediately, sync forces the owning shard's
-// Sync first, and epoch-wait queues the ack tagged with the write's
-// (shard, epoch) so the writer parks it until that epoch persists on
-// that shard. noreply skips both the response and the durability work.
-func (c *conn) execWrite(noreply bool, f func(r *rt) ([]byte, kvstore.DurabilityTag)) {
-	c.execWriteTags(noreply, func(r *rt) ([]byte, []kvstore.DurabilityTag) {
-		data, tag := f(r)
-		if tag.IsZero() {
-			return data, nil
-		}
-		return data, []kvstore.DurabilityTag{tag}
-	})
-}
-
-// execWriteTags is execWrite for commands whose mutations may span
-// shards (flush_all): the durability work covers every returned tag —
-// sync mode syncs each touched shard, epoch-wait parks the ack until
-// every tag's epoch persists on its own shard.
-func (c *conn) execWriteTags(noreply bool, f func(r *rt) ([]byte, []kvstore.DurabilityTag)) {
-	s := c.srv
-	s.mu.RLock()
-	r := s.cur
-	data, tags := f(r)
-	p := pending{data: data}
-	if !noreply && len(tags) > 0 && r.pool != nil {
-		switch c.mode {
-		case AckSync:
-			st := s.rec.Start()
-			for _, tag := range tags {
-				r.pool.Shard(tag.Shard).Sync(c.tid)
-			}
-			s.rec.ObserveSince(c.tid, obs.HAckSyncNs, st)
-			s.rec.Inc(c.tid, obs.CNetAcksSync)
-		case AckEpochWait:
-			p.waits = make([]ackWait, len(tags))
-			for i, tag := range tags {
-				p.waits[i] = ackWait{lot: r.lot.shard(tag.Shard), epoch: tag.Epoch}
-			}
-			p.start = s.rec.Start()
-		default:
-			s.rec.Inc(c.tid, obs.CNetAcksBuffered)
-		}
+func (g *getViewer) ViewValue(v []byte, cas uint64) {
+	flags, data := decodeValue(v)
+	b := append(g.buf, "VALUE "...)
+	b = append(b, g.key...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, uint64(flags), 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, uint64(len(data)), 10)
+	if g.withCAS {
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cas, 10)
 	}
-	s.mu.RUnlock()
-	if noreply {
-		return
-	}
-	c.enqueue(p)
+	b = append(b, '\r', '\n')
+	b = append(b, data...)
+	b = append(b, '\r', '\n')
+	g.buf = b
 }
 
 // doGet serves get/gets over any number of keys.
-func (c *conn) doGet(keys []string, withCAS bool) error {
+func (c *conn) doGet(keys [][]byte, withCAS bool, tid int) {
 	if len(keys) == 0 {
 		c.protoErr(clientError("bad command line format"))
-		return nil
+		return
 	}
 	for _, k := range keys {
-		if !validKey(k) {
+		if !memtext.ValidKey(k) {
 			c.protoErr(clientError("bad key"))
-			return nil
+			return
 		}
 	}
-	c.execRead(func(r *rt) []byte {
-		var buf bytes.Buffer
-		for _, k := range keys {
-			v, cas, ok := r.store.GetWithCAS(c.tid, k)
-			if !ok {
-				continue
-			}
-			flags, data := decodeValue(v)
-			if withCAS {
-				fmt.Fprintf(&buf, "VALUE %s %d %d %d\r\n", k, flags, len(data), cas)
-			} else {
-				fmt.Fprintf(&buf, "VALUE %s %d %d\r\n", k, flags, len(data))
-			}
-			buf.Write(data)
-			buf.WriteString("\r\n")
-		}
-		buf.Write(respEnd)
-		return buf.Bytes()
-	})
-	return nil
+	s := c.srv
+	pbuf := getRespBuf()
+	g := &c.gv
+	g.withCAS = withCAS
+	g.buf = (*pbuf)[:0]
+	s.mu.RLock()
+	store := s.cur.store
+	for _, k := range keys {
+		g.key = k
+		store.GetView(tid, memtext.String(k), g)
+	}
+	s.mu.RUnlock()
+	g.buf = append(g.buf, respEnd...)
+	*pbuf = g.buf
+	c.enqueue(newPending(*pbuf, pbuf))
+	g.buf = nil
+	g.key = nil
 }
 
-// doStore serves set/add/replace/cas. A returned error closes the
-// connection (framing is unrecoverable).
-func (c *conn) doStore(verb string, args []string) error {
-	a, perr := parseStorage(args, verb == "cas")
+// doStoreHead parses a storage-command header. The key is copied into
+// the conn's key buffer (the read buffer compacts before the body
+// arrives); the body is executed from stBody once fully buffered.
+func (c *conn) doStoreHead(verb byte, args [][]byte) error {
+	key, perr := parseStorageFields(args, verb == 'c', &c.sa)
 	if perr != nil {
 		// The declared body length is unknown; stay on the line boundary
 		// and let any body bytes fail as commands.
 		c.protoErr(clientError(perr.Error()))
 		return nil
 	}
-	if a.bytes > c.srv.cfg.MaxItemSize {
-		if a.bytes+2 > discardCap {
+	if c.sa.bytes > c.srv.cfg.MaxItemSize {
+		if c.sa.bytes+2 > discardCap {
 			c.protoErr(serverError("object too large for cache"))
 			return errProtocol
 		}
-		m, derr := c.br.Discard(a.bytes + 2)
-		c.srv.rec.Add(c.tid, obs.CNetBytesIn, uint64(m))
-		if derr != nil {
-			return derr
-		}
-		c.srv.rec.Inc(c.tid, obs.CNetProtoErrors)
-		if !a.noreply {
-			c.enqueue(pending{data: respTooLarge})
-		}
+		c.discard = c.sa.bytes + 2
+		c.st = stDiscard
 		return nil
 	}
-	body, err := c.readBody(a.bytes)
-	if errors.Is(err, errBadChunk) {
-		c.protoErr(clientError("bad data chunk"))
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	enc := encodeValue(a.flags, body)
-	ttl := ttlFor(a.exptime)
-	c.execWrite(a.noreply, func(r *rt) ([]byte, kvstore.DurabilityTag) {
-		switch verb {
-		case "set":
-			tag, err := r.store.SetTag(c.tid, a.key, enc, ttl)
-			if err != nil {
-				return serverError(err.Error()), kvstore.DurabilityTag{}
-			}
-			return respStored, tag
-		case "add":
-			stored, tag, err := r.store.Add(c.tid, a.key, enc, ttl)
-			if err != nil {
-				return serverError(err.Error()), kvstore.DurabilityTag{}
-			}
-			if !stored {
-				return respNotStored, kvstore.DurabilityTag{}
-			}
-			return respStored, tag
-		case "replace":
-			stored, tag, err := r.store.Replace(c.tid, a.key, enc, ttl)
-			if err != nil {
-				return serverError(err.Error()), kvstore.DurabilityTag{}
-			}
-			if !stored {
-				return respNotStored, kvstore.DurabilityTag{}
-			}
-			return respStored, tag
-		default: // cas
-			out, tag, err := r.store.CompareAndSwap(c.tid, a.key, enc, ttl, a.cas)
-			if err != nil {
-				return serverError(err.Error()), kvstore.DurabilityTag{}
-			}
-			switch out {
-			case kvstore.CASStored:
-				return respStored, tag
-			case kvstore.CASExists:
-				return respExists, kvstore.DurabilityTag{}
-			default:
-				return respNotFound, kvstore.DurabilityTag{}
-			}
-		}
-	})
+	c.sa.klen = copy(c.keyb[:], key)
+	c.verb = verb
+	c.st = stBody
 	return nil
+}
+
+// execStore runs the buffered storage command. The key crosses the
+// kvstore boundary as an unsafe borrowed string (every retaining layer
+// clones); the value is encoded into per-conn scratch that the store
+// copies out of under its own locks.
+func (c *conn) execStore(body []byte, tid int) {
+	s := c.srv
+	need := 4 + len(body)
+	if cap(c.vbuf) < need {
+		c.vbuf = make([]byte, 0, need+need/2)
+		s.rec.Inc(c.rtid, obs.CNetParseAllocs)
+	}
+	enc := c.vbuf[:need]
+	binary.LittleEndian.PutUint32(enc, c.sa.flags)
+	copy(enc[4:], body)
+	ttl := ttlFor(c.sa.exptime)
+	key := memtext.String(c.keyb[:c.sa.klen])
+
+	var data []byte
+	var tag kvstore.DurabilityTag
+	s.mu.RLock()
+	r := s.cur
+	switch c.verb {
+	case 's':
+		t, err := r.store.SetTag(tid, key, enc, ttl)
+		if err != nil {
+			data = serverError(err.Error())
+		} else {
+			data, tag = respStored, t
+		}
+	case 'a':
+		stored, t, err := r.store.Add(tid, key, enc, ttl)
+		switch {
+		case err != nil:
+			data = serverError(err.Error())
+		case !stored:
+			data = respNotStored
+		default:
+			data, tag = respStored, t
+		}
+	case 'r':
+		stored, t, err := r.store.Replace(tid, key, enc, ttl)
+		switch {
+		case err != nil:
+			data = serverError(err.Error())
+		case !stored:
+			data = respNotStored
+		default:
+			data, tag = respStored, t
+		}
+	default: // 'c'
+		out, t, err := r.store.CompareAndSwap(tid, key, enc, ttl, c.sa.cas)
+		switch {
+		case err != nil:
+			data = serverError(err.Error())
+		case out == kvstore.CASStored:
+			data, tag = respStored, t
+		case out == kvstore.CASExists:
+			data = respExists
+		default:
+			data = respNotFound
+		}
+	}
+	c.finishWrite(r, tid, c.sa.noreply, data, tag)
+	s.mu.RUnlock()
+}
+
+// finishWrite applies the connection's durability-ack mode to one
+// completed write and queues the response: buffered acks immediately,
+// sync forces the owning shard's Sync first, epoch-wait enqueues the
+// response parked on the shard lot until the write's epoch persists.
+// Called under the server's read lock (released by the caller after).
+func (c *conn) finishWrite(r *rt, tid int, noreply bool, data []byte, tag kvstore.DurabilityTag) {
+	s := c.srv
+	var lot *shardLot
+	var lotEpoch uint64
+	if !tag.IsZero() && r.pool != nil && !noreply {
+		switch c.mode {
+		case AckSync:
+			st := s.rec.Start()
+			r.pool.Shard(tag.Shard).Sync(tid)
+			s.rec.ObserveSince(c.rtid, obs.HAckSyncNs, st)
+			s.rec.Inc(c.rtid, obs.CNetAcksSync)
+		case AckEpochWait:
+			lot = r.lot.shard(tag.Shard)
+			lotEpoch = tag.Epoch
+		default:
+			s.rec.Inc(c.rtid, obs.CNetAcksBuffered)
+		}
+	}
+	if noreply {
+		return
+	}
+	if lot == nil {
+		c.enqueue(newPending(data, nil))
+		return
+	}
+	// Epoch-wait: enqueue first (ordering), then park the callback.
+	// These pendings are never pooled — a racing late fire must not
+	// observe a recycled object.
+	p := &pending{data: data, start: s.rec.Start(), nwait: 1}
+	c.enqueue(p)
+	c.registerWait(lot, lotEpoch, p)
+}
+
+// registerWait parks p's ack on the shard lot, recording the cancel
+// handle so a dead connection can drop the slot (satellite: a closed
+// client must not hold lot fan-out for whole epochs).
+func (c *conn) registerWait(l *shardLot, e uint64, p *pending) {
+	lw := l.register(e, c, p)
+	if lw == nil {
+		c.ackFired(p, true)
+		return
+	}
+	c.wmu.Lock()
+	if c.dead {
+		c.wmu.Unlock()
+		lw.cancel()
+		return
+	}
+	p.lws = append(p.lws, lw)
+	c.wmu.Unlock()
 }
 
 // doDelete serves "delete <key> [0] [noreply]" (the legacy time arg is
 // accepted and ignored, as memcached does).
-func (c *conn) doDelete(args []string) {
-	noreply := hasNoreply(args)
+func (c *conn) doDelete(args [][]byte, tid int) {
+	noreply := hasNoreplyTok(args)
 	if noreply {
 		args = args[:len(args)-1]
 	}
-	if len(args) == 2 && args[1] == "0" {
+	if len(args) == 2 && string(args[1]) == "0" {
 		args = args[:1]
 	}
-	if len(args) != 1 || !validKey(args[0]) {
+	if len(args) != 1 || !memtext.ValidKey(args[0]) {
 		c.protoErr(clientError("bad command line format"))
 		return
 	}
-	key := args[0]
-	c.execWrite(noreply, func(r *rt) ([]byte, kvstore.DurabilityTag) {
-		ok, tag, err := r.store.DeleteTag(c.tid, key)
-		if err != nil {
-			return serverError(err.Error()), kvstore.DurabilityTag{}
-		}
-		if !ok {
-			return respNotFound, kvstore.DurabilityTag{}
-		}
-		return respDeleted, tag
-	})
+	key := memtext.String(args[0])
+	s := c.srv
+	s.mu.RLock()
+	r := s.cur
+	var data []byte
+	var tag kvstore.DurabilityTag
+	ok, t, err := r.store.DeleteTag(tid, key)
+	switch {
+	case err != nil:
+		data = serverError(err.Error())
+	case !ok:
+		data = respNotFound
+	default:
+		data, tag = respDeleted, t
+	}
+	c.finishWrite(r, tid, noreply, data, tag)
+	s.mu.RUnlock()
 }
 
 // doTouch serves "touch <key> <exptime> [noreply]".
-func (c *conn) doTouch(args []string) {
-	noreply := hasNoreply(args)
+func (c *conn) doTouch(args [][]byte, tid int) {
+	noreply := hasNoreplyTok(args)
 	if noreply {
 		args = args[:len(args)-1]
 	}
-	if len(args) != 2 || !validKey(args[0]) {
+	if len(args) != 2 || !memtext.ValidKey(args[0]) {
 		c.protoErr(clientError("bad command line format"))
 		return
 	}
-	exptime, perr := strconv.ParseInt(args[1], 10, 64)
-	if perr != nil {
+	exptime, ok := memtext.ParseInt(args[1])
+	if !ok {
 		c.protoErr(clientError("bad exptime"))
 		return
 	}
-	key, ttl := args[0], ttlFor(exptime)
-	c.execWrite(noreply, func(r *rt) ([]byte, kvstore.DurabilityTag) {
-		found, tag, err := r.store.Touch(c.tid, key, ttl)
-		if err != nil {
-			return serverError(err.Error()), kvstore.DurabilityTag{}
-		}
-		if !found {
-			return respNotFound, kvstore.DurabilityTag{}
-		}
-		return respTouched, tag
-	})
+	key, ttl := memtext.String(args[0]), ttlFor(exptime)
+	s := c.srv
+	s.mu.RLock()
+	r := s.cur
+	var data []byte
+	var tag kvstore.DurabilityTag
+	found, t, err := r.store.Touch(tid, key, ttl)
+	switch {
+	case err != nil:
+		data = serverError(err.Error())
+	case !found:
+		data = respNotFound
+	default:
+		data, tag = respTouched, t
+	}
+	c.finishWrite(r, tid, noreply, data, tag)
+	s.mu.RUnlock()
 }
 
 // doFlushAll serves "flush_all [delay] [noreply]"; delayed flushes are
-// applied immediately.
-func (c *conn) doFlushAll(args []string) {
-	noreply := hasNoreply(args)
+// applied immediately. The ack may cover one epoch tag per shard, all
+// of which must persist before an epoch-wait ack releases.
+func (c *conn) doFlushAll(args [][]byte, tid int) {
+	noreply := hasNoreplyTok(args)
 	if noreply {
 		args = args[:len(args)-1]
 	}
@@ -512,24 +727,60 @@ func (c *conn) doFlushAll(args []string) {
 		return
 	}
 	if len(args) == 1 {
-		if _, perr := strconv.ParseInt(args[0], 10, 64); perr != nil {
+		if _, ok := memtext.ParseInt(args[0]); !ok {
 			c.protoErr(clientError("bad flush delay"))
 			return
 		}
 	}
-	c.execWriteTags(noreply, func(r *rt) ([]byte, []kvstore.DurabilityTag) {
-		_, tags, err := r.store.Flush(c.tid)
-		if err != nil {
-			return serverError(err.Error()), nil
+	s := c.srv
+	s.mu.RLock()
+	r := s.cur
+	_, tags, err := r.store.Flush(tid)
+	if err != nil {
+		if !noreply {
+			defer c.enqueue(newPending(serverError(err.Error()), nil))
 		}
-		return respOK, tags
-	})
+		s.mu.RUnlock()
+		return
+	}
+	data := respOK
+	if len(tags) == 0 || r.pool == nil || noreply {
+		c.finishWrite(r, tid, noreply, data, kvstore.DurabilityTag{})
+		s.mu.RUnlock()
+		return
+	}
+	switch c.mode {
+	case AckSync:
+		st := s.rec.Start()
+		for _, tag := range tags {
+			r.pool.Shard(tag.Shard).Sync(tid)
+		}
+		s.rec.ObserveSince(c.rtid, obs.HAckSyncNs, st)
+		s.rec.Inc(c.rtid, obs.CNetAcksSync)
+		s.mu.RUnlock()
+		c.enqueue(newPending(data, nil))
+	case AckEpochWait:
+		p := &pending{data: data, start: s.rec.Start(), nwait: len(tags)}
+		lots := make([]*shardLot, len(tags))
+		for i, tag := range tags {
+			lots[i] = r.lot.shard(tag.Shard)
+		}
+		s.mu.RUnlock()
+		c.enqueue(p)
+		for i, tag := range tags {
+			c.registerWait(lots[i], tag.Epoch, p)
+		}
+	default:
+		s.rec.Inc(c.rtid, obs.CNetAcksBuffered)
+		s.mu.RUnlock()
+		c.enqueue(newPending(data, nil))
+	}
 }
 
 // statsBody renders the stats command: cache counters, the epoch clock
 // and its persistence watermark, and the server's ack/pipeline metrics.
 // Called under the read lock.
-func (c *conn) statsBody(r *rt) []byte {
+func (c *conn) statsBody(r *rt, tid int) []byte {
 	var buf bytes.Buffer
 	put := func(k string, v interface{}) { fmt.Fprintf(&buf, "STAT %s %v\r\n", k, v) }
 
@@ -551,7 +802,7 @@ func (c *conn) statsBody(r *rt) []byte {
 	put("cas_badval", st.CASMisses.Load())
 	put("evictions", st.Evictions.Load())
 	put("expired_unfetched", st.Expirations.Load())
-	put("curr_items", len(r.store.Keys(c.tid)))
+	put("curr_items", len(r.store.Keys(tid)))
 	if r.pool != nil {
 		// Shard 0's clock keeps the historic flat keys meaningful (and,
 		// with one shard, identical to the pre-pool output); multi-shard
@@ -581,6 +832,9 @@ func (c *conn) statsBody(r *rt) []byte {
 		put("park_waiters", snap.Server.ParkWaiters)
 		put("park_fanout_p99", snap.Latency.ParkFanout.P99)
 		put("crash_injections", snap.Server.Crashes)
+		put("flushes", snap.Server.Flushes)
+		put("flush_batch_p99", snap.Latency.FlushBatch.P99)
+		put("parse_allocs", snap.Server.ParseAllocs)
 		put("ack_sync_p99_ns", snap.Latency.AckSyncNs.P99)
 		put("ack_epoch_wait_p99_ns", snap.Latency.AckEpochNs.P99)
 		put("pipeline_depth_p99", snap.Latency.PipelineDepth.P99)
@@ -589,38 +843,23 @@ func (c *conn) statsBody(r *rt) []byte {
 	return buf.Bytes()
 }
 
-// readBody reads an item body plus its CRLF terminator.
-func (c *conn) readBody(n int) ([]byte, error) {
-	buf := make([]byte, n+2)
-	if _, err := io.ReadFull(c.br, buf); err != nil {
-		return nil, err
-	}
-	c.srv.rec.Add(c.tid, obs.CNetBytesIn, uint64(n+2))
-	if buf[n] != '\r' || buf[n+1] != '\n' {
-		return nil, errBadChunk
-	}
-	return buf[:n], nil
-}
-
-func hasNoreply(args []string) bool {
-	return len(args) > 0 && args[len(args)-1] == "noreply"
-}
-
 // ttlFor maps a memcached exptime to a store TTL: 0 never expires,
-// negative is already expired, small values are relative seconds, large
-// ones absolute unix times.
+// negative (or an absolute time in the past) is already expired — the
+// kvstore's immediate-expiry sentinel, which survives frozen test
+// clocks where a 1ns TTL would not — small values are relative seconds,
+// large ones absolute unix times.
 func ttlFor(exptime int64) time.Duration {
 	switch {
 	case exptime == 0:
 		return 0
 	case exptime < 0:
-		return time.Nanosecond
+		return kvstore.TTLImmediate
 	case exptime <= maxRelativeExp:
 		return time.Duration(exptime) * time.Second
 	default:
 		d := time.Until(time.Unix(exptime, 0))
 		if d <= 0 {
-			return time.Nanosecond
+			return kvstore.TTLImmediate
 		}
 		return d
 	}
@@ -628,6 +867,8 @@ func ttlFor(exptime int64) time.Duration {
 
 // encodeValue prefixes an item's data with its 32-bit client flags, so
 // flags survive in the store (and across crashes) with the value.
+// (The serving hot path encodes in place into conn.vbuf; this helper
+// remains for tests and tools.)
 func encodeValue(flags uint32, data []byte) []byte {
 	buf := make([]byte, 4+len(data))
 	binary.LittleEndian.PutUint32(buf, flags)

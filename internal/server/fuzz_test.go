@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"montage/internal/memtext"
 )
 
 // fuzzServer is shared across fuzz iterations: building a Montage
@@ -86,5 +88,38 @@ func FuzzProtocol(f *testing.F) {
 			t.Fatal("serveConn hung")
 		}
 		<-drained
+	})
+}
+
+// FuzzTokenizer pins the zero-alloc tokenizer to the old allocating
+// splitFields reference: both must produce identical fields for every
+// input, so every command dispatches exactly as it did before the
+// rewrite. (splitFields is retained in protocol.go as this oracle.)
+func FuzzTokenizer(f *testing.F) {
+	seeds := []string{
+		"set key 0 0 5",
+		"get a b c",
+		"  leading  and   trailing  ",
+		"\ttabs\tand\vvtabs\fand\ffeeds",
+		"", " ", "\t", "x",
+		"unicode nbsp is not ascii space",
+		"nul\x00byte mid token",
+		"very-long-" + strings.Repeat("k", 300) + " tail",
+		"mixed \r embedded cr",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		want := splitFields(line)
+		got := memtext.AppendFields(nil, line)
+		if len(got) != len(want) {
+			t.Fatalf("field count: tokenizer %d, reference %d (input %q)", len(got), len(want), line)
+		}
+		for i := range got {
+			if string(got[i]) != want[i] {
+				t.Fatalf("field %d: tokenizer %q, reference %q (input %q)", i, got[i], want[i], line)
+			}
+		}
 	})
 }

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -67,8 +69,47 @@ type LoadConfig struct {
 	// Sharing the server's recorder puts both halves of a run in one
 	// stream; nil uses a private recorder, so the latency percentiles in
 	// LoadResult always come from the same log2 histograms the runtime
-	// reports everywhere else.
+	// reports everywhere else. Connections record at tid id modulo
+	// loadRecTids, so a 10k-connection run does not need (or allocate) a
+	// 10k-thread recorder.
 	Recorder *obs.Recorder
+}
+
+// loadRecTids caps how many recorder thread slots a load run spreads
+// over: per-thread cells beyond a few hundred buy no contention relief
+// and cost ~20 KiB each (obs.New(10000) would be ~200 MiB).
+const loadRecTids = 256
+
+// recTids returns the recorder width a run actually needs.
+func (c LoadConfig) recTids() int {
+	if c.Conns < loadRecTids {
+		return c.Conns
+	}
+	return loadRecTids
+}
+
+// connBufSize scales the per-connection bufio buffers down as the
+// connection count grows: 64 KiB buffers are right for a handful of
+// hot pipelines but would pin >1 GiB at 10k connections.
+func (c LoadConfig) connBufSize() int {
+	switch {
+	case c.Conns >= 4096:
+		return 4 << 10
+	case c.Conns >= 1024:
+		return 16 << 10
+	default:
+		return 64 << 10
+	}
+}
+
+// dialParallel bounds concurrent dial+handshake attempts (the ramp): an
+// unthrottled 10k-connection burst overruns the server's accept backlog
+// and turns into timeouts and SYN retries instead of connections.
+func (c LoadConfig) dialParallel() int {
+	if c.Conns < 128 {
+		return c.Conns
+	}
+	return 128
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -104,11 +145,15 @@ type LoadResult struct {
 	Errors    uint64 // SERVER_ERROR acks (e.g. crash-aborted writes)
 	Elapsed   time.Duration
 	OpsPerSec float64
-	P50       time.Duration
-	P90       time.Duration
-	P95       time.Duration
-	P99       time.Duration
-	Max       time.Duration
+	// Ramp is how long it took every connection to dial, handshake, and
+	// finish preloading — the connection-establishment cost the timed
+	// phase deliberately excludes (interesting at 10k connections).
+	Ramp time.Duration
+	P50  time.Duration
+	P90  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
 	// Latency is the full client-observed latency summary for the timed
 	// phase (the obs.HLoadNs interval histogram the percentiles above
 	// are drawn from).
@@ -129,6 +174,9 @@ func (r LoadResult) String() string {
 	s := fmt.Sprintf("%d ops in %v (%.0f ops/s, %d errors) latency p50=%v p95=%v p99=%v max=%v",
 		r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.Errors,
 		r.P50, r.P95, r.P99, r.Max)
+	if r.Ramp >= 100*time.Millisecond {
+		s += fmt.Sprintf(" (conn ramp %v)", r.Ramp.Round(time.Millisecond))
+	}
 	if dist := r.ShardDistribution(); dist != "" {
 		s += "\n" + dist
 	}
@@ -247,35 +295,51 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 	rec := cfg.Recorder
 	if rec == nil {
-		rec = obs.New(cfg.Conns)
+		rec = obs.New(cfg.recTids())
 	}
 	stats := make([]connStats, cfg.Conns)
 	errs := make([]error, cfg.Conns)
 	start := make(chan struct{})
 	ready := make(chan struct{}, cfg.Conns)
+	// dialSem throttles the connection ramp; a slot is held across dial,
+	// handshake, and preload so a 10k-connection start climbs smoothly
+	// instead of stampeding the accept backlog.
+	dialSem := make(chan struct{}, cfg.dialParallel())
+	rampStart := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Conns; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			var once sync.Once
-			signalReady := func() { once.Do(func() { ready <- struct{}{} }) }
+			signalReady := func() {
+				once.Do(func() {
+					<-dialSem // release the ramp slot
+					ready <- struct{}{}
+				})
+			}
 			// A worker that fails before the start barrier must still
 			// signal, or the barrier would stall instead of reporting.
 			defer signalReady()
+			dialSem <- struct{}{}
 			errs[id] = runLoadConn(cfg, id, rec, &stats[id], signalReady, start)
 		}(i)
 	}
 	// Wait for every connection to finish preloading, then start the
 	// timed phase together. The latency delta brackets exactly the timed
 	// phase, so a shared recorder carrying earlier runs stays clean.
+	preloadTimeout := 2 * time.Minute
+	if cfg.Conns >= 1024 {
+		preloadTimeout = 5 * time.Minute
+	}
 	for i := 0; i < cfg.Conns; i++ {
 		select {
 		case <-ready:
-		case <-time.After(2 * time.Minute):
+		case <-time.After(preloadTimeout):
 			return nil, fmt.Errorf("loadgen: preload stalled")
 		}
 	}
+	ramp := time.Since(rampStart)
 	prev := rec.Snapshot()
 	t0 := time.Now()
 	close(start)
@@ -283,7 +347,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	elapsed := time.Since(t0)
 	lat := rec.Snapshot().Sub(prev).Latency.LoadNs
 
-	res := &LoadResult{Elapsed: elapsed, Latency: lat}
+	res := &LoadResult{Elapsed: elapsed, Latency: lat, Ramp: ramp}
 	for i := range stats {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("loadgen conn %d: %w", i, errs[i])
@@ -332,20 +396,23 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 // shard, then pump pipelined requests until the deadline while a reader
 // goroutine matches responses to in-flight tokens.
 func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signalReady func(), start <-chan struct{}) error {
+	// Recording tid: spread over a capped slot range (see loadRecTids).
+	tid := id % cfg.recTids()
 	// Dial and handshake, retrying while the server's connection slots
 	// are full (a previous load round's connections drain asynchronously
 	// and hold their slots for a moment after the client side closes).
 	var nc net.Conn
 	var br *bufio.Reader
 	var bw *bufio.Writer
+	bufSize := cfg.connBufSize()
 	for attempt := 0; ; attempt++ {
 		var err error
 		nc, err = net.Dial("tcp", cfg.Addr)
 		if err != nil {
 			return err
 		}
-		br = bufio.NewReaderSize(nc, 64<<10)
-		bw = bufio.NewWriterSize(nc, 64<<10)
+		br = bufio.NewReaderSize(nc, bufSize)
+		bw = bufio.NewWriterSize(nc, bufSize)
 		fmt.Fprintf(bw, "durability %s\r\n", cfg.Mode)
 		if err := bw.Flush(); err != nil {
 			nc.Close()
@@ -363,6 +430,7 @@ func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signa
 	}
 	defer nc.Close()
 	value := strings.Repeat("x", cfg.ValueSize)
+	lenStr := strconv.Itoa(len(value))
 
 	// Preload this connection's shard of the key space with noreply sets
 	// (a version roundtrip is the completion barrier).
@@ -377,10 +445,15 @@ func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signa
 		return fmt.Errorf("preload barrier: %q %v", line, err)
 	}
 
+	// Build the workload before signaling ready: the zipfian generator's
+	// zeta constant costs thousands of math.Pow calls, and at 1k+
+	// connections doing that after the start barrier would burn a large
+	// slice of the timed phase on generator setup instead of load.
+	w := ycsb.NewWorkload(cfg.Records, cfg.ReadFrac, cfg.Seed+int64(id)*7919)
+
 	signalReady()
 	<-start
 
-	w := ycsb.NewWorkload(cfg.Records, cfg.ReadFrac, cfg.Seed+int64(id)*7919)
 	if cfg.Shards > 1 {
 		st.shardOps = make([]uint64, cfg.Shards)
 	}
@@ -391,7 +464,7 @@ func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signa
 	myNode := id % max(cfg.NodeCount, 1)
 	inflight := make(chan reqToken, cfg.Pipeline)
 	readerDone := make(chan error, 1)
-	go func() { readerDone <- loadReader(br, inflight, rec, id, st) }()
+	go func() { readerDone <- loadReader(br, inflight, rec, tid, st) }()
 
 	deadline := time.Now().Add(cfg.Duration)
 	sinceFlush := 0
@@ -412,10 +485,21 @@ func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signa
 		if st.nodeOps != nil {
 			st.nodeOps[cfg.NodeRouter(op.Key)]++
 		}
+		// Hand-rolled request framing: fmt.Fprintf per request costs enough
+		// that at 1k+ connections on few cores the generator starts
+		// competing with the server it is measuring.
 		if op.Kind == ycsb.Read {
-			fmt.Fprintf(bw, "get %s\r\n", op.Key)
+			bw.WriteString("get ")
+			bw.WriteString(op.Key)
+			bw.WriteString("\r\n")
 		} else {
-			fmt.Fprintf(bw, "set %s 0 0 %d\r\n%s\r\n", op.Key, len(value), value)
+			bw.WriteString("set ")
+			bw.WriteString(op.Key)
+			bw.WriteString(" 0 0 ")
+			bw.WriteString(lenStr)
+			bw.WriteString("\r\n")
+			bw.WriteString(value)
+			bw.WriteString("\r\n")
 		}
 		tok := reqToken{kind: op.Kind, start: time.Now()}
 		select {
@@ -448,21 +532,24 @@ func runLoadConn(cfg LoadConfig, id int, rec *obs.Recorder, st *connStats, signa
 }
 
 // loadReader drains responses for every in-flight token, recording
-// latency and classifying acks.
+// latency and classifying acks. It reads borrowed line slices (valid
+// until the next read) rather than allocating a string per response:
+// the reader runs once per acked op on every connection, and its
+// garbage is pure generator overhead charged against the server.
 func loadReader(br *bufio.Reader, inflight <-chan reqToken, rec *obs.Recorder, tid int, st *connStats) error {
 	for tok := range inflight {
 		if tok.kind == ycsb.Read {
 			for {
-				line, err := readAck(br)
+				line, err := readAckBytes(br)
 				if err != nil {
 					return err
 				}
-				if line == "END" {
+				if string(line) == "END" {
 					break
 				}
-				if strings.HasPrefix(line, "VALUE ") {
+				if bytes.HasPrefix(line, []byte("VALUE ")) {
 					// The data line follows; consume it as a unit.
-					if _, err := readAck(br); err != nil {
+					if _, err := readAckBytes(br); err != nil {
 						return err
 					}
 					continue
@@ -474,17 +561,17 @@ func loadReader(br *bufio.Reader, inflight <-chan reqToken, rec *obs.Recorder, t
 			rec.Inc(tid, obs.CLoadReads)
 			rec.Inc(tid, obs.CLoadOps)
 		} else {
-			line, err := readAck(br)
+			line, err := readAckBytes(br)
 			if err != nil {
 				return err
 			}
 			switch {
-			case line == "STORED":
+			case string(line) == "STORED":
 				st.writes++
 				st.ops++
 				rec.Inc(tid, obs.CLoadWrites)
 				rec.Inc(tid, obs.CLoadOps)
-			case strings.HasPrefix(line, "SERVER_ERROR"):
+			case bytes.HasPrefix(line, []byte("SERVER_ERROR")):
 				st.errors++
 				rec.Inc(tid, obs.CLoadErrors)
 			default:
@@ -502,4 +589,18 @@ func readAck(br *bufio.Reader) (string, error) {
 		return "", err
 	}
 	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readAckBytes is readAck without the allocation: the returned slice
+// borrows the reader's buffer and is valid only until the next read.
+func readAckBytes(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
 }

@@ -4,15 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
-	"fmt"
-	"strconv"
+
+	"montage/internal/memtext"
 )
 
 // Protocol limits. Keys and command lines follow memcached's text
 // protocol; the item-size bound is configurable (Config.MaxItemSize).
 const (
 	// maxKeyLen is memcached's key-length limit.
-	maxKeyLen = 250
+	maxKeyLen = memtext.MaxKeyLen
 	// maxLineLen bounds one command line (multi-key gets included). A
 	// longer line cannot be reframed reliably, so it closes the
 	// connection.
@@ -45,6 +45,9 @@ var (
 	errProtocol = errors.New("server: protocol framing error")
 	// errQuit is the clean "quit" exit from the command loop.
 	errQuit = errors.New("server: client quit")
+	// errThrottle pauses ingestion: the response queue is full, so the
+	// reader must stop consuming until the flusher drains it.
+	errThrottle = errors.New("server: pipeline full")
 )
 
 func clientError(msg string) []byte {
@@ -54,6 +57,12 @@ func clientError(msg string) []byte {
 func serverError(msg string) []byte {
 	return []byte("SERVER_ERROR " + msg + "\r\n")
 }
+
+// readLine and splitFields are the original allocating protocol
+// reader. They are kept as the reference implementation the tokenizer
+// fuzz harness checks the zero-alloc path against (FuzzTokenizer):
+// the ingest state machine in conn.go must frame and split exactly
+// like bufio.ReadSlice + bytes.Fields did.
 
 // readLine reads one CRLF-terminated command line (tolerating bare LF),
 // returning it without the terminator. Lines longer than the reader's
@@ -72,7 +81,7 @@ func readLine(br *bufio.Reader) ([]byte, int, error) {
 	return line, n, nil
 }
 
-// fields splits a command line on single spaces, memcached-style.
+// splitFields splits a command line on whitespace, memcached-style.
 func splitFields(line []byte) []string {
 	var out []string
 	for _, f := range bytes.Fields(line) {
@@ -95,10 +104,25 @@ func validKey(key string) bool {
 	return true
 }
 
+// Storage-header parse errors. Static values so the steady-state error
+// path does not allocate an error per bad command; messages are pinned
+// by protocol tests.
+var (
+	errBadFormat  = errors.New("bad command line format")
+	errBadKey     = errors.New("bad key")
+	errBadFlags   = errors.New("bad flags")
+	errBadExptime = errors.New("bad exptime")
+	errBadLength  = errors.New("bad data length")
+	errBadCAS     = errors.New("bad cas value")
+)
+
 // storageArgs is the parsed header of a storage command
-// (set/add/replace/cas).
+// (set/add/replace/cas). The key is not held here: parseStorageFields
+// returns it as a borrowed slice that the conn copies into its own
+// key buffer, because the read buffer is compacted before the body
+// arrives.
 type storageArgs struct {
-	key     string
+	klen    int
 	flags   uint32
 	exptime int64
 	bytes   int
@@ -106,44 +130,53 @@ type storageArgs struct {
 	noreply bool
 }
 
-// parseStorage parses "<verb> <key> <flags> <exptime> <bytes> [casid]
-// [noreply]" fields (verb already stripped).
-func parseStorage(fields []string, wantCAS bool) (storageArgs, error) {
-	var a storageArgs
+// parseStorageFields parses "<key> <flags> <exptime> <bytes> [casid]
+// [noreply]" tokens (verb already stripped) into a, returning the
+// borrowed key bytes. Field order and error messages mirror the old
+// parseStorage exactly.
+func parseStorageFields(fields [][]byte, wantCAS bool, a *storageArgs) ([]byte, error) {
+	*a = storageArgs{}
 	n := 4
 	if wantCAS {
 		n = 5
 	}
-	if len(fields) == n+1 && fields[n] == "noreply" {
+	if len(fields) == n+1 && string(fields[n]) == "noreply" {
 		a.noreply = true
 		fields = fields[:n]
 	}
 	if len(fields) != n {
-		return a, fmt.Errorf("bad command line format")
+		return nil, errBadFormat
 	}
-	a.key = fields[0]
-	if !validKey(a.key) {
-		return a, fmt.Errorf("bad key")
+	key := fields[0]
+	if !memtext.ValidKey(key) {
+		return nil, errBadKey
 	}
-	flags, err := strconv.ParseUint(fields[1], 10, 32)
-	if err != nil {
-		return a, fmt.Errorf("bad flags")
+	flags, ok := memtext.ParseUint(fields[1], 32)
+	if !ok {
+		return nil, errBadFlags
 	}
 	a.flags = uint32(flags)
-	a.exptime, err = strconv.ParseInt(fields[2], 10, 64)
-	if err != nil {
-		return a, fmt.Errorf("bad exptime")
+	exptime, ok := memtext.ParseInt(fields[2])
+	if !ok {
+		return nil, errBadExptime
 	}
-	sz, err := strconv.ParseUint(fields[3], 10, 31)
-	if err != nil {
-		return a, fmt.Errorf("bad data length")
+	a.exptime = exptime
+	sz, ok := memtext.ParseUint(fields[3], 31)
+	if !ok {
+		return nil, errBadLength
 	}
 	a.bytes = int(sz)
 	if wantCAS {
-		a.cas, err = strconv.ParseUint(fields[4], 10, 64)
-		if err != nil {
-			return a, fmt.Errorf("bad cas value")
+		cas, ok := memtext.ParseUint(fields[4], 64)
+		if !ok {
+			return nil, errBadCAS
 		}
+		a.cas = cas
 	}
-	return a, nil
+	a.klen = len(key)
+	return key, nil
+}
+
+func hasNoreplyTok(args [][]byte) bool {
+	return len(args) > 0 && string(args[len(args)-1]) == "noreply"
 }

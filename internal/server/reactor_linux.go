@@ -1,0 +1,501 @@
+//go:build linux
+
+package server
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+
+	"montage/internal/obs"
+)
+
+// Epoll event masks. syscall.EPOLLET is a negative untyped constant on
+// linux/amd64; build the uint32 bit explicitly.
+const (
+	evIn  = uint32(syscall.EPOLLIN)
+	evOut = uint32(syscall.EPOLLOUT)
+	evHup = uint32(syscall.EPOLLRDHUP) | uint32(syscall.EPOLLERR) | uint32(syscall.EPOLLHUP)
+	evET  = uint32(1) << 31
+)
+
+// rawConnState is the linux half of conn: the writev iovec scratch.
+type rawConnState struct {
+	iovecs []syscall.Iovec
+}
+
+// reactorState is the linux half of Server: the lazily started epoll
+// reactor shared by every raw connection.
+type reactorState struct {
+	reactorOnce sync.Once
+	reactorRef  *reactor
+}
+
+// reactor multiplexes every accepted TCP connection on one epoll
+// instance. A single poller goroutine turns readiness edges into pump
+// jobs executed by a small worker pool borrowing Montage thread ids per
+// burst, so at 10k idle connections the server holds 10k registered
+// fds but only O(cores) goroutines — no per-connection reader, no
+// per-connection writer.
+type reactor struct {
+	srv    *Server
+	epfd   int
+	mu     sync.Mutex
+	conns  map[int]*conn
+	pumpq  chan *conn
+	closed bool
+}
+
+func pumpWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// startReactor lazily builds the server's reactor (first raw conn).
+func (s *Server) startReactor() *reactor {
+	s.reactorOnce.Do(func() {
+		epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+		if err != nil {
+			return
+		}
+		r := &reactor{
+			srv:   s,
+			epfd:  epfd,
+			conns: make(map[int]*conn),
+			pumpq: make(chan *conn, 4096),
+		}
+		for i := 0; i < pumpWorkers(); i++ {
+			go r.pumpWorker()
+		}
+		go r.poll()
+		s.reactorRef = r
+	})
+	return s.reactorRef
+}
+
+// tryRawConn moves a freshly accepted TCP connection onto the reactor.
+// Returns false (caller falls back to the blocking driver) for non-TCP
+// conns or if the reactor could not start.
+func (s *Server) tryRawConn(c *conn) bool {
+	tc, ok := c.nc.(*net.TCPConn)
+	if !ok {
+		return false
+	}
+	rc, err := tc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	fd := -1
+	if cerr := rc.Control(func(f uintptr) { fd = int(f) }); cerr != nil || fd < 0 {
+		return false
+	}
+	r := s.startReactor()
+	if r == nil {
+		return false
+	}
+	c.raw = true
+	c.fd = fd
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.raw = false
+		return false
+	}
+	r.conns[fd] = c
+	r.mu.Unlock()
+	ev := syscall.EpollEvent{Events: evIn | evOut | evHup | evET, Fd: int32(fd)}
+	if err := syscall.EpollCtl(r.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		r.mu.Lock()
+		delete(r.conns, fd)
+		r.mu.Unlock()
+		c.raw = false
+		return false
+	}
+	return true
+}
+
+// reactorDel unregisters a connection before its fd closes.
+func (s *Server) reactorDel(c *conn) {
+	r := s.reactorRef
+	if r == nil {
+		return
+	}
+	syscall.EpollCtl(r.epfd, syscall.EPOLL_CTL_DEL, c.fd, nil)
+	r.mu.Lock()
+	delete(r.conns, c.fd)
+	r.mu.Unlock()
+}
+
+// rearmWrite re-registers interest after a writev EAGAIN. With
+// edge-triggered epoll, a writability edge landing between the EAGAIN
+// and wantWrite being set would be dropped by noteWritable; EPOLL_CTL_MOD
+// re-delivers the edge if the socket is already writable again.
+func (s *Server) rearmWrite(c *conn) {
+	r := s.reactorRef
+	if r == nil {
+		return
+	}
+	ev := syscall.EpollEvent{Events: evIn | evOut | evHup | evET, Fd: int32(c.fd)}
+	syscall.EpollCtl(r.epfd, syscall.EPOLL_CTL_MOD, c.fd, &ev)
+}
+
+// closeReactor stops the poller and workers (Shutdown).
+func (s *Server) closeReactor() {
+	r := s.reactorRef
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.pumpq)
+	syscall.Close(r.epfd)
+}
+
+// poll is the single event loop: readable edges schedule pumps,
+// writable edges resume EAGAIN-parked flushes. The wait uses a finite
+// timeout because closing an epoll fd does not wake epoll_wait.
+func (r *reactor) poll() {
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(r.epfd, events, 500)
+		if err == syscall.EINTR {
+			continue
+		}
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed || err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			r.mu.Lock()
+			c := r.conns[fd]
+			r.mu.Unlock()
+			if c == nil {
+				continue
+			}
+			ev := events[i].Events
+			if ev&evOut != 0 {
+				c.noteWritable()
+			}
+			if ev&(evIn|evHup) != 0 {
+				c.schedulePump()
+			}
+		}
+	}
+}
+
+func (r *reactor) pumpWorker() {
+	for c := range r.pumpq {
+		c.pump()
+	}
+}
+
+// schedulePump hands the connection to a pump worker, coalescing edges
+// that land while a pump is already running.
+func (c *conn) schedulePump() {
+	c.wmu.Lock()
+	if c.dead || c.closing || c.readParked {
+		c.wmu.Unlock()
+		return
+	}
+	if c.pumpRunning {
+		c.pumpAgain = true
+		c.wmu.Unlock()
+		return
+	}
+	c.pumpRunning = true
+	c.wmu.Unlock()
+	r := c.srv.reactorRef
+	if r == nil {
+		go c.pump()
+		return
+	}
+	select {
+	case r.pumpq <- c:
+	default:
+		go c.pump()
+	}
+}
+
+// noteWritable resumes a flush parked on EAGAIN.
+func (c *conn) noteWritable() {
+	c.wmu.Lock()
+	if !c.wantWrite {
+		c.wmu.Unlock()
+		return
+	}
+	c.wantWrite = false
+	c.scheduleFlushLocked()
+	c.wmu.Unlock()
+}
+
+// pump drains the socket: borrow an exec tid, read+ingest until EAGAIN
+// (or EOF/error/throttle), return the tid. Loops while coalesced edges
+// are queued.
+func (c *conn) pump() {
+	for {
+		tid := <-c.srv.tids
+		again := c.pumpOnce(tid)
+		c.srv.tids <- tid
+		if !again {
+			return
+		}
+	}
+}
+
+// pumpStop clears the running flag and finalizes if this was the last
+// activity on a dead connection.
+func (c *conn) pumpStop() {
+	c.wmu.Lock()
+	c.pumpAgain = false
+	c.pumpRunning = false
+	fin := c.maybeFinalizeLocked()
+	c.wmu.Unlock()
+	if fin {
+		c.finalize()
+	}
+}
+
+// pumpDone is the EAGAIN exit: if an edge was coalesced while we ran,
+// report that another pass is needed (keeping pumpRunning claimed).
+func (c *conn) pumpDone() bool {
+	c.wmu.Lock()
+	if c.pumpAgain && !c.dead && !c.closing && !c.readParked {
+		c.pumpAgain = false
+		c.wmu.Unlock()
+		return true
+	}
+	c.pumpAgain = false
+	c.pumpRunning = false
+	fin := c.maybeFinalizeLocked()
+	c.wmu.Unlock()
+	if fin {
+		c.finalize()
+	}
+	return false
+}
+
+// pumpIngest runs the parser over buffered input. Returns false when
+// the pump must stop (throttle park, quit, fatal protocol error) —
+// all cleanup already done.
+func (c *conn) pumpIngest(tid int) bool {
+	err := c.ingest(tid)
+	switch err {
+	case nil:
+		return true
+	case errThrottle:
+		c.wmu.Lock()
+		if c.qlen >= pipelineCap/2 && !c.dead && !c.closing {
+			// Park reading; the flusher resumes us below half.
+			c.readParked = true
+			c.pumpAgain = false
+			c.pumpRunning = false
+			c.wmu.Unlock()
+			return false
+		}
+		c.wmu.Unlock() // already drained; keep going
+		return true
+	default:
+		c.pumpStop()
+		c.closeSoon()
+		return false
+	}
+}
+
+func (c *conn) pumpOnce(tid int) bool {
+	rec := c.srv.rec
+	for {
+		c.wmu.Lock()
+		stop := c.dead || c.closing || c.readParked
+		c.wmu.Unlock()
+		if stop {
+			c.pumpStop()
+			return false
+		}
+		if len(c.in) > 0 && !c.pumpIngest(tid) {
+			return false
+		}
+		c.ensureSpare(readChunk)
+		n, err := syscall.Read(c.fd, c.in[len(c.in):cap(c.in)])
+		switch {
+		case n > 0:
+			rec.Add(c.rtid, obs.CNetBytesIn, uint64(n))
+			c.in = c.in[:len(c.in)+n]
+			if !c.pumpIngest(tid) {
+				return false
+			}
+		case n == 0 && err == nil:
+			c.pumpStop()
+			c.closeSoon()
+			return false
+		default:
+			switch err {
+			case syscall.EAGAIN:
+				return c.pumpDone()
+			case syscall.EINTR:
+				continue
+			default:
+				c.pumpStop()
+				c.abort()
+				return false
+			}
+		}
+	}
+}
+
+// flushRaw drains the settled prefix of the write queue with vectored
+// writes. Exactly one flushRaw owns a connection at a time
+// (flushActive); it loops until the queue has nothing flushable, the
+// socket blocks (EAGAIN → EPOLLOUT resumes), or the connection dies.
+func (c *conn) flushRaw() {
+	rec := c.srv.rec
+	for {
+		c.wmu.Lock()
+		if c.dead {
+			c.flushActive = false
+			fin := c.maybeFinalizeLocked()
+			c.wmu.Unlock()
+			if fin {
+				c.finalize()
+			}
+			return
+		}
+		c.iov = c.iov[:0]
+		total := 0
+		nb := 0
+		for p := c.qhead; p != nil && p.nwait == 0 && nb < maxFlushBatch; p = p.next {
+			d := p.data
+			if nb == 0 && c.woff > 0 {
+				d = d[c.woff:]
+			}
+			if len(d) > 0 {
+				c.iov = append(c.iov, d)
+				total += len(d)
+			}
+			nb++
+		}
+		if total == 0 {
+			c.flushActive = false
+			if c.closing && c.qhead == nil {
+				c.dead = true
+			}
+			fin := c.maybeFinalizeLocked()
+			c.wmu.Unlock()
+			if fin {
+				c.finalize()
+			}
+			return
+		}
+		c.wmu.Unlock()
+
+		n, werr := c.writevRaw(c.iov)
+		if n > 0 {
+			rec.Add(c.rtid, obs.CNetBytesOut, uint64(n))
+			rec.Inc(c.rtid, obs.CNetFlushes)
+			rec.Observe(c.rtid, obs.HFlushBytes, uint64(n))
+		}
+
+		c.wmu.Lock()
+		if c.dead { // abort cleared the queue under us
+			c.flushActive = false
+			fin := c.maybeFinalizeLocked()
+			c.wmu.Unlock()
+			if fin {
+				c.finalize()
+			}
+			return
+		}
+		c.batch = c.batch[:0]
+		rem := n
+		for rem > 0 && c.qhead != nil {
+			p := c.qhead
+			avail := len(p.data) - c.woff
+			if rem < avail {
+				c.woff += rem
+				rem = 0
+				break
+			}
+			rem -= avail
+			c.woff = 0
+			c.qhead = p.next
+			p.next = nil
+			c.qlen--
+			c.batch = append(c.batch, p)
+		}
+		if c.qhead == nil {
+			c.qtail = nil
+		}
+		if len(c.batch) > 0 {
+			rec.Observe(c.rtid, obs.HFlushBatch, uint64(len(c.batch)))
+		}
+		resume := c.readParked && c.qlen <= pipelineCap/2 && !c.closing
+		if resume {
+			c.readParked = false
+		}
+		again := werr == syscall.EAGAIN
+		if again {
+			c.wantWrite = true
+			c.flushActive = false
+		}
+		c.wmu.Unlock()
+
+		for i, p := range c.batch {
+			releasePending(p)
+			c.batch[i] = nil
+		}
+		if resume {
+			c.schedulePump()
+		}
+		if werr != nil {
+			if again {
+				// Close the edge-race window (see rearmWrite).
+				c.srv.rearmWrite(c)
+				return
+			}
+			c.abort()
+			return
+		}
+	}
+}
+
+// writevRaw issues one writev(2) over bufs using per-conn iovec
+// scratch. EAGAIN writes nothing; partial writes return with nil error
+// and the caller re-batches.
+func (c *conn) writevRaw(bufs [][]byte) (int, error) {
+	if cap(c.rw.iovecs) < len(bufs) {
+		c.rw.iovecs = make([]syscall.Iovec, 0, len(bufs)+8)
+	}
+	iv := c.rw.iovecs[:0]
+	for _, b := range bufs {
+		iv = append(iv, syscall.Iovec{Base: &b[0], Len: uint64(len(b))})
+	}
+	c.rw.iovecs = iv
+	for {
+		n, _, errno := syscall.Syscall(syscall.SYS_WRITEV, uintptr(c.fd),
+			uintptr(unsafe.Pointer(&iv[0])), uintptr(len(iv)))
+		runtime.KeepAlive(bufs)
+		switch errno {
+		case 0:
+			return int(n), nil
+		case syscall.EINTR:
+			continue
+		default:
+			return 0, errno
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,8 +108,11 @@ type Config struct {
 	// contend with another's. ArenaSize is per shard. When reopening a
 	// pool image, the image's own shard count wins.
 	Shards int
-	// MaxConns bounds concurrent connections; each holds a Montage
-	// thread id (default 64).
+	// MaxConns bounds concurrent connections (default 64). Connections
+	// no longer hold a Montage thread id each: a fixed pool of executor
+	// tids (sized by cores, not connections) is borrowed per read
+	// burst, so MaxConns can be 10k+ without growing the thread-id
+	// space.
 	MaxConns int
 	// EpochLength is the background epoch advance period (default 10ms,
 	// the paper's choice). Shorter epochs shrink the epoch-wait ack
@@ -166,9 +170,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// maxThreads is the Montage thread-id space: one tid per connection
-// slot, one admin tid (recovery, stats, shutdown sync), one spare.
-func (c Config) maxThreads() int { return c.MaxConns + 2 }
+// serverExecThreads is the executor-tid pool size: connections borrow
+// one tid per read burst instead of owning one for their lifetime, so
+// the Montage thread-id space (and its per-thread structures) scales
+// with cores, not connections. The floor keeps the protocol tests'
+// fixed tids 0..3 plus concurrent borrowers valid.
+func serverExecThreads() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// maxThreads is the Montage thread-id space: the executor-tid pool,
+// one admin tid (recovery, stats, shutdown sync), one spare.
+func (c Config) maxThreads() int { return serverExecThreads() + 2 }
 
 func (c Config) coreConfig() core.Config {
 	return core.Config{
@@ -221,10 +241,13 @@ type Server struct {
 	mu  sync.RWMutex
 	cur *rt
 
-	ln       net.Listener
-	adminTid int
-	tids     chan int
-	closed   atomic.Bool
+	ln net.Listener
+	// adminTid sits just above the executor-tid pool; execThreads is the
+	// pool size and tids hands out exclusive use of each executor tid.
+	adminTid    int
+	execThreads int
+	tids        chan int
+	closed      atomic.Bool
 	// down is set by Kill and cleared by Revive: the whole node is
 	// crash-stopped (no listener, pool crashed but not yet recovered).
 	down atomic.Bool
@@ -232,22 +255,37 @@ type Server struct {
 	// the exact same address after a Kill.
 	boundAddr string
 
+	// connSlots enforces MaxConns; connSeq spreads recording tids over
+	// the executor range for reactor connections.
+	connSlots atomic.Int32
+	connSeq   atomic.Uint64
+
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[*conn]struct{}
 	connWG sync.WaitGroup
+
+	// flushq feeds the shared flusher pool draining raw connections'
+	// response queues with vectored writes.
+	flushOnce sync.Once
+	flushq    chan *conn
+
+	reactorState
 }
 
 // New builds a server and its backing store (reopening cfg.PoolPath if
 // the image exists). Call Listen then Serve.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	exec := serverExecThreads()
 	s := &Server{
-		cfg:      cfg,
-		adminTid: cfg.MaxConns,
-		tids:     make(chan int, cfg.MaxConns),
-		conns:    make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		adminTid:    exec,
+		execThreads: exec,
+		tids:        make(chan int, exec),
+		conns:       make(map[*conn]struct{}),
+		flushq:      make(chan *conn, 4096),
 	}
-	for tid := 0; tid < cfg.MaxConns; tid++ {
+	for tid := 0; tid < exec; tid++ {
 		s.tids <- tid
 	}
 
@@ -356,29 +394,71 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		var tid int
-		select {
-		case tid = <-s.tids:
-		default:
-			// All connection slots (Montage thread ids) are taken.
+		if s.connSlots.Add(1) > int32(s.cfg.MaxConns) {
+			s.connSlots.Add(-1)
 			nc.Write(respTooManyConn)
 			nc.Close()
 			continue
 		}
-		s.connMu.Lock()
-		s.conns[nc] = struct{}{}
-		s.connMu.Unlock()
-		s.rec.Inc(tid, obs.CNetConns)
-		s.connWG.Add(1)
+		c := s.newConn(nc, -1)
+		c.accepted = true
+		s.startConn(c)
+		if s.tryRawConn(c) {
+			// Reactor connection: no goroutines of its own. Pumps run on
+			// readable edges, flushes on the shared flusher pool.
+			continue
+		}
 		go func() {
-			defer s.connWG.Done()
-			s.serveConn(nc, tid)
-			s.connMu.Lock()
-			delete(s.conns, nc)
-			s.connMu.Unlock()
-			s.rec.Inc(tid, obs.CNetConnsClosed)
-			s.tids <- tid
+			c.runBlocking()
 		}()
+	}
+}
+
+// startConn tracks an accepted connection for Kill/Shutdown.
+func (s *Server) startConn(c *conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+	s.rec.Inc(c.rtid, obs.CNetConns)
+	s.connWG.Add(1)
+}
+
+// finishConn is the exactly-once teardown bookkeeping (via conn
+// finalize/closeNow).
+func (s *Server) finishConn(c *conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+	s.rec.Inc(c.rtid, obs.CNetConnsClosed)
+	s.connSlots.Add(-1)
+	s.connWG.Done()
+}
+
+// submitFlush hands a raw connection with a flushable queue to the
+// flusher pool (overflow spawns a one-shot goroutine rather than
+// blocking the caller, which may hold nothing but may be a lot
+// subscriber that must not stall a shard).
+func (s *Server) submitFlush(c *conn) {
+	s.flushOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 2 {
+			n = 2
+		}
+		if n > 8 {
+			n = 8
+		}
+		for i := 0; i < n; i++ {
+			go func() {
+				for fc := range s.flushq {
+					fc.flushRaw()
+				}
+			}()
+		}
+	})
+	select {
+	case s.flushq <- c:
+	default:
+		go c.flushRaw()
 	}
 }
 
@@ -449,11 +529,9 @@ func (s *Server) Kill(mode pmem.CrashMode) error {
 	s.mu.Lock()
 	close(s.cur.crashCh)
 	s.mu.Unlock()
-	s.connMu.Lock()
-	for nc := range s.conns {
-		nc.Close()
+	for _, c := range s.liveConns() {
+		c.abort()
 	}
-	s.connMu.Unlock()
 	s.connWG.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -548,13 +626,12 @@ func (s *Server) Shutdown(drain time.Duration) error {
 	select {
 	case <-done:
 	case <-time.After(drain):
-		s.connMu.Lock()
-		for nc := range s.conns {
-			nc.Close()
+		for _, c := range s.liveConns() {
+			c.abort()
 		}
-		s.connMu.Unlock()
 		<-done
 	}
+	s.closeReactor()
 	var err error
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -567,6 +644,18 @@ func (s *Server) Shutdown(drain time.Duration) error {
 		s.cur.pool.Close()
 	}
 	return err
+}
+
+// liveConns snapshots the tracked connection set (abort must run
+// outside connMu: teardown bookkeeping re-enters it).
+func (s *Server) liveConns() []*conn {
+	s.connMu.Lock()
+	out := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		out = append(out, c)
+	}
+	s.connMu.Unlock()
+	return out
 }
 
 // Recorder returns the observability recorder serving this server.

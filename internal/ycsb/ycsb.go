@@ -105,8 +105,24 @@ func NewWorkload(records uint64, readFrac float64, seed int64) *Workload {
 	}
 }
 
-// Key renders record i as a YCSB-style key string.
-func Key(i uint64) string { return fmt.Sprintf("user%012d", i) }
+// Key renders record i as a YCSB-style key string ("user" + the record
+// number zero-padded to 12 digits). It is called once per generated
+// operation on every load-generator connection, so it is hand-rolled:
+// fmt.Sprintf here costs more than the whole zipfian draw and the
+// generator's overhead is charged against whatever it is measuring.
+func Key(i uint64) string {
+	if i >= 1_000_000_000_000 {
+		// Wider than the pad: matches fmt's %012d by printing all digits.
+		return fmt.Sprintf("user%012d", i)
+	}
+	var b [16]byte
+	copy(b[:4], "user")
+	for p := 15; p >= 4; p-- {
+		b[p] = '0' + byte(i%10)
+		i /= 10
+	}
+	return string(b[:])
+}
 
 // Next generates the next operation.
 func (w *Workload) Next() Op {

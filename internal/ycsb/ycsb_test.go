@@ -1,6 +1,7 @@
 package ycsb
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -83,5 +84,13 @@ func TestCustomWorkloadMix(t *testing.T) {
 func TestKeyFormat(t *testing.T) {
 	if Key(42) != "user000000000042" {
 		t.Fatalf("Key(42) = %q", Key(42))
+	}
+	// The hand-rolled formatter must match fmt's %012d exactly — a
+	// drifted key format would silently split every preloaded keyspace
+	// from the timed phase's lookups.
+	for _, i := range []uint64{0, 1, 9, 10, 999_999_999_999, 1_000_000_000_000, math.MaxUint64} {
+		if got, want := Key(i), fmt.Sprintf("user%012d", i); got != want {
+			t.Fatalf("Key(%d) = %q, want %q", i, got, want)
+		}
 	}
 }
