@@ -1,0 +1,51 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// Repro: blocking driver, client pipelines > pipelineCap commands in
+// one burst, then waits for all responses.
+func TestReproThrottleStall(t *testing.T) {
+	srv := newTestServer(t)
+	cl, sv := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.serveConn(sv, 0)
+	}()
+	const n = pipelineCap + 40
+	var req bytes.Buffer
+	for i := 0; i < n; i++ {
+		req.WriteString("get k\r\n")
+	}
+	go cl.Write(req.Bytes())
+	br := bufio.NewReader(cl)
+	got := 0
+	errc := make(chan error, 1)
+	go func() {
+		for got < n {
+			_, err := br.ReadString('\n')
+			if err != nil {
+				errc <- err
+				return
+			}
+			got++
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("read error after %d responses: %v", got, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("stalled: got %d of %d responses", got, n)
+	}
+	cl.Close()
+	<-done
+}
